@@ -1,0 +1,78 @@
+//! Graph-learning micro-benchmarks: label-propagation iterations,
+//! GraphSAGE epochs and GNNExplainer runs on a reproduction-scale TKG.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use trail::embed::{assemble_gnn_input, train_autoencoders};
+use trail::system::TrailSystem;
+use trail_gnn::{LabelPropagation, SageConfig, SageModel};
+use trail_graph::NodeId;
+use trail_ml::nn::autoencoder::AutoencoderConfig;
+use trail_ml::nn::Adam;
+use trail_osint::{OsintClient, World, WorldConfig};
+
+fn build() -> TrailSystem {
+    let cfg = WorldConfig::default().scaled(0.25);
+    let client = OsintClient::new(Arc::new(World::generate(cfg)));
+    let cutoff = client.world().config.cutoff_day;
+    TrailSystem::build(client, cutoff)
+}
+
+fn bench_label_propagation(c: &mut Criterion) {
+    let sys = build();
+    let csr = sys.tkg.csr();
+    let lp = LabelPropagation::new(&csr, sys.tkg.n_classes());
+    let mut seeds = vec![None; sys.tkg.graph.node_count()];
+    for e in &sys.tkg.events {
+        seeds[e.node.index()] = Some(e.apt);
+    }
+    let targets: Vec<NodeId> = sys.tkg.events.iter().map(|e| e.node).collect();
+    let mut group = c.benchmark_group("label_propagation");
+    for layers in [2usize, 4] {
+        group.bench_function(format!("lp_{layers}_layers"), |b| {
+            b.iter(|| std::hint::black_box(lp.predict(&seeds, layers, &targets).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sage_epoch(c: &mut Criterion) {
+    let sys = build();
+    let csr = sys.tkg.csr();
+    let mut rng = StdRng::seed_from_u64(2);
+    let ae_cfg = AutoencoderConfig { hidden: 64, code: 32, epochs: 1, ..Default::default() };
+    let (emb, _) = train_autoencoders(&mut rng, &sys.tkg, &ae_cfg);
+    let pairs: Vec<(NodeId, u16)> = sys.tkg.events.iter().map(|e| (e.node, e.apt)).collect();
+    let x = assemble_gnn_input(&sys.tkg, &emb, &pairs);
+    let cfg = SageConfig::new(x.cols(), 64, 2, sys.tkg.n_classes());
+    let mut model = SageModel::new(&mut rng, cfg);
+    let mut adam = Adam::new(1e-2);
+    let rows: Vec<usize> = pairs.iter().map(|(id, _)| id.index()).collect();
+    let y: Vec<u16> = pairs.iter().map(|&(_, c)| c).collect();
+
+    let mut group = c.benchmark_group("graphsage");
+    group.sample_size(10);
+    group.bench_function("forward_full_graph", |b| {
+        b.iter(|| std::hint::black_box(model.forward(&csr, &x, false).rows()))
+    });
+    group.bench_function("train_epoch_full_graph", |b| {
+        b.iter(|| {
+            let logits = model.forward(&csr, &x, true);
+            let sub = logits.gather_rows(&rows);
+            let (loss, d_sub) = trail_ml::nn::loss::softmax_cross_entropy(&sub, &y);
+            let mut d = trail_linalg::Matrix::zeros(logits.rows(), logits.cols());
+            for (i, &r) in rows.iter().enumerate() {
+                d.row_mut(r).copy_from_slice(d_sub.row(i));
+            }
+            model.backward(&csr, &d);
+            model.step(&mut adam);
+            std::hint::black_box(loss)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_label_propagation, bench_sage_epoch);
+criterion_main!(benches);

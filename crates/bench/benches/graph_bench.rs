@@ -1,0 +1,57 @@
+//! Graph-substrate micro-benchmarks: TKG construction, CSR freeze,
+//! traversal and component analysis at reproduction scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use trail::system::TrailSystem;
+use trail_graph::algo::{connected_components, diameter_double_sweep, k_hop};
+use trail_graph::{Csr, NodeId};
+use trail_osint::{OsintClient, World, WorldConfig};
+
+fn build_system(scale: f32) -> TrailSystem {
+    let cfg = WorldConfig::default().scaled(scale);
+    let client = OsintClient::new(Arc::new(World::generate(cfg)));
+    let cutoff = client.world().config.cutoff_day;
+    TrailSystem::build(client, cutoff)
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tkg_construction");
+    group.sample_size(10);
+    for scale in [0.1f32, 0.25] {
+        group.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &s| {
+            b.iter(|| {
+                let sys = build_system(s);
+                std::hint::black_box(sys.tkg.graph.node_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let sys = build_system(0.25);
+    let csr = sys.tkg.csr();
+    let roots: Vec<NodeId> = sys.tkg.events.iter().take(8).map(|e| e.node).collect();
+
+    let mut group = c.benchmark_group("graph_algorithms");
+    group.bench_function("csr_freeze", |b| {
+        b.iter(|| std::hint::black_box(Csr::from_store(&sys.tkg.graph).node_count()))
+    });
+    group.bench_function("k_hop_2", |b| {
+        b.iter(|| std::hint::black_box(k_hop(&csr, &roots, 2).len()))
+    });
+    group.bench_function("k_hop_3", |b| {
+        b.iter(|| std::hint::black_box(k_hop(&csr, &roots, 3).len()))
+    });
+    group.bench_function("connected_components", |b| {
+        b.iter(|| std::hint::black_box(connected_components(&csr).count()))
+    });
+    group.bench_function("diameter_double_sweep", |b| {
+        b.iter(|| std::hint::black_box(diameter_double_sweep(&csr, roots[0], 4)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_traversal);
+criterion_main!(benches);

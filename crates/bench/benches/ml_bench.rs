@@ -1,0 +1,109 @@
+//! ML-substrate micro-benchmarks: feature encoding, SMOTE, tree
+//! ensembles and the MLP on IOC-shaped data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trail_ioc::analysis::UrlAnalysis;
+use trail_ioc::features::UrlEncoder;
+use trail_ioc::url::UrlIoc;
+use trail_linalg::Matrix;
+use trail_ml::dataset::Dataset;
+use trail_ml::forest::{ForestConfig, RandomForest};
+use trail_ml::gbt::{GbtConfig, GradientBoostedTrees};
+use trail_ml::nn::{Mlp, MlpConfig};
+use trail_ml::smote::{smote, SmoteConfig};
+use trail_ml::Classifier;
+
+/// IOC-shaped synthetic data: mostly one-hot with a weak class signal.
+fn ioc_like(n: usize, dims: usize, classes: u16, seed: u64) -> (Matrix, Vec<u16>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Matrix::zeros(n, dims);
+    let mut y = Vec::with_capacity(n);
+    for r in 0..n {
+        let class = rng.gen_range(0..classes);
+        if rng.gen::<f32>() < 0.6 {
+            x[(r, (class as usize * 13) % dims)] = 1.0;
+        }
+        for _ in 0..12 {
+            let c = rng.gen_range(0..dims);
+            x[(r, c)] = 1.0;
+        }
+        y.push(class);
+    }
+    (x, y)
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let encoder = UrlEncoder::default();
+    let url = UrlIoc::parse("http://a.b.example:8080/x/y/load.php?k=v").unwrap();
+    let analysis = UrlAnalysis {
+        alive: true,
+        file_type: Some("text/html".into()),
+        file_class: Some("html".into()),
+        http_code: Some(200),
+        encoding: Some("gzip".into()),
+        server: Some("nginx/1.18.0".into()),
+        server_os: Some("linux".into()),
+        services: vec!["http".into(), "ssh".into()],
+        header_flags: vec!["hsts".into()],
+        resolved_ips: vec![],
+    };
+    c.bench_function("url_feature_encode_1517d", |b| {
+        b.iter(|| std::hint::black_box(encoder.encode(&url, &analysis).len()))
+    });
+}
+
+fn bench_models(c: &mut Criterion) {
+    let (x, y) = ioc_like(1500, 507, 22, 3);
+    let mut group = c.benchmark_group("classical_models");
+    group.sample_size(10);
+    group.bench_function("gbt_fit_1500x507", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let cfg = GbtConfig { n_rounds: 4, colsample: 0.2, ..Default::default() };
+            std::hint::black_box(GradientBoostedTrees::fit(&mut rng, &x, &y, 22, &cfg).n_rounds())
+        })
+    });
+    group.bench_function("forest_fit_1500x507", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let cfg = ForestConfig { n_trees: 8, ..Default::default() };
+            std::hint::black_box(RandomForest::fit(&mut rng, &x, &y, 22, &cfg).n_trees())
+        })
+    });
+    group.bench_function("mlp_fit_1500x507", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let cfg = MlpConfig { hidden: vec![64], epochs: 2, ..MlpConfig::small() };
+            let mlp = Mlp::fit(&mut rng, &x, &y, 22, &cfg);
+            std::hint::black_box(mlp.n_classes())
+        })
+    });
+    group.bench_function("smote_1500x507", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let data = Dataset::new(x.clone(), y.clone(), 22);
+            std::hint::black_box(smote(&mut rng, &data, SmoteConfig::default()).len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let (x, y) = ioc_like(1500, 507, 22, 5);
+    let mut rng = StdRng::seed_from_u64(1);
+    let gbt = GradientBoostedTrees::fit(
+        &mut rng,
+        &x,
+        &y,
+        22,
+        &GbtConfig { n_rounds: 6, colsample: 0.2, ..Default::default() },
+    );
+    c.bench_function("gbt_predict_1500", |b| {
+        b.iter(|| std::hint::black_box(gbt.predict(&x).len()))
+    });
+}
+
+criterion_group!(benches, bench_encoding, bench_models, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! End-to-end pipeline micro-benchmarks: world generation, report
+//! parsing, single-event ingestion with two-hop enrichment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use trail::collector::{collect, AptRegistry};
+use trail::enrich::Enricher;
+use trail::tkg::Tkg;
+use trail_osint::{OsintClient, World, WorldConfig};
+
+fn bench_world_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("world_generation");
+    group.sample_size(10);
+    group.bench_function("generate_quarter_scale", |b| {
+        b.iter(|| {
+            let cfg = WorldConfig::default().scaled(0.25);
+            std::hint::black_box(World::generate(cfg).events.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_ingestion(c: &mut Criterion) {
+    let cfg = WorldConfig::default().scaled(0.25);
+    let client = OsintClient::new(Arc::new(World::generate(cfg)));
+    let cutoff = client.world().config.cutoff_day;
+    let reports = client.events_before(cutoff);
+    let registry = AptRegistry::new(client.world().config.n_apts);
+    let (events, _) = collect(&reports, &registry);
+
+    let mut group = c.benchmark_group("pipeline");
+    group.bench_function("parse_and_collect_all_reports", |b| {
+        b.iter(|| std::hint::black_box(collect(&reports, &registry).0.len()))
+    });
+    group.sample_size(20);
+    group.bench_function("ingest_one_event_two_hop", |b| {
+        b.iter_batched(
+            || Tkg::new(AptRegistry::new(client.world().config.n_apts)),
+            |mut tkg| {
+                let enricher = Enricher::new(&client, cutoff);
+                std::hint::black_box(enricher.ingest(&mut tkg, &events[0]).edges)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("ingest_fifty_events", |b| {
+        b.iter_batched(
+            || Tkg::new(AptRegistry::new(client.world().config.n_apts)),
+            |mut tkg| {
+                let enricher = Enricher::new(&client, cutoff);
+                for e in events.iter().take(50) {
+                    enricher.ingest(&mut tkg, e);
+                }
+                std::hint::black_box(tkg.graph.node_count())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_world_generation, bench_ingestion);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! `repro` — regenerate every table and figure of the TRAIL paper.
+//!
+//! ```text
+//! repro <experiment> [--scale S] [--seed N] [--folds K] [--quick]
+//!
+//! experiments:
+//!   table2  table3  table4  fig3  fig4  fig7  fig8  fig9  fig10
+//!   sec5    case    all
+//! ```
+//!
+//! `fig7` and `fig8` share one longitudinal run (`fig7` is the first
+//! month's confusion matrix of the same study).
+
+use trail_bench::RunOptions;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = String::from("all");
+    let mut opts = RunOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                opts.scale = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(usage);
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(usage);
+            }
+            "--folds" => {
+                i += 1;
+                opts.folds = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(usage);
+            }
+            "--quick" => opts.quick = true,
+            flag if flag.starts_with("--") => usage(),
+            name => experiment = name.to_owned(),
+        }
+        i += 1;
+    }
+
+    let needs_embeddings =
+        matches!(experiment.as_str(), "table4" | "fig10" | "ablations" | "all");
+    let total = std::time::Instant::now();
+    let sys = opts.build_system();
+    let embeddings = if needs_embeddings {
+        let t = std::time::Instant::now();
+        let mut rng = opts.rng();
+        let (emb, _) = trail::embed::train_autoencoders(&mut rng, &sys.tkg, &opts.ae_settings());
+        println!("[setup] autoencoders trained in {:?}", t.elapsed());
+        Some(emb)
+    } else {
+        None
+    };
+
+    match experiment.as_str() {
+        "table2" => trail_bench::table2(&sys),
+        "sec5" => trail_bench::sec5(&sys),
+        "fig3" => trail_bench::fig3(&sys),
+        "fig4" => trail_bench::fig4(&sys),
+        "table3" => trail_bench::table3(&sys, &opts),
+        "table4" => trail_bench::table4(&sys, &opts, embeddings.as_ref().expect("built")),
+        "fig9" => trail_bench::fig9(&sys, &opts),
+        "ablations" => trail_bench::ablations(&sys, &opts, embeddings.as_ref().expect("built")),
+        "fig10" => trail_bench::fig10(&sys, &opts, embeddings.as_ref().expect("built")),
+        "fig7" | "fig8" => trail_bench::fig7_fig8(sys, &opts),
+        "case" => trail_bench::case(sys, &opts),
+        "all" => {
+            let emb = embeddings.as_ref().expect("built");
+            trail_bench::table2(&sys);
+            trail_bench::sec5(&sys);
+            trail_bench::fig3(&sys);
+            trail_bench::fig4(&sys);
+            trail_bench::table3(&sys, &opts);
+            trail_bench::table4(&sys, &opts, emb);
+            trail_bench::fig9(&sys, &opts);
+            trail_bench::fig10(&sys, &opts, emb);
+            // The longitudinal experiments consume systems of their own.
+            trail_bench::case(opts.build_system(), &opts);
+            trail_bench::fig7_fig8(opts.build_system(), &opts);
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}");
+            usage::<()>();
+        }
+    }
+    println!("\n[done] total {:?}", total.elapsed());
+}
+
+fn usage<T>() -> T {
+    eprintln!(
+        "usage: repro <table2|table3|table4|fig3|fig4|fig7|fig8|fig9|fig10|sec5|case|ablations|all> \
+         [--scale S] [--seed N] [--folds K] [--quick]"
+    );
+    std::process::exit(2);
+}

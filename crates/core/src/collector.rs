@@ -1,0 +1,155 @@
+//! Report collection and APT tag resolution (paper Section IV-A).
+//!
+//! The collector searches the exchange for tagged reports, maps free-
+//! form tags (names and aliases) onto canonical APT identities, drops
+//! reports whose tags point at more than one APT ("to avoid downloading
+//! IOC dumps that are unrelated or relate to multiple incidents"), and
+//! parses the surviving indicator lists.
+
+use trail_ioc::report::{ParsedReport, RawReport};
+use trail_osint::profile::{aliases, APT_NAMES};
+
+/// The canonical APT label space: index = label id.
+#[derive(Debug, Clone)]
+pub struct AptRegistry {
+    names: Vec<String>,
+}
+
+impl AptRegistry {
+    /// Registry over the first `n` canonical APTs.
+    pub fn new(n: usize) -> Self {
+        Self { names: APT_NAMES.iter().take(n).map(|s| (*s).to_owned()).collect() }
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Class names in label order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Name of a label.
+    pub fn name(&self, label: u16) -> &str {
+        &self.names[label as usize]
+    }
+
+    /// Resolve a tag (canonical or alias, case-insensitive) to a label.
+    pub fn resolve(&self, tag: &str) -> Option<u16> {
+        let t = tag.to_ascii_lowercase();
+        self.names.iter().position(|n| {
+            n.to_ascii_lowercase() == t
+                || aliases(n).iter().any(|a| a.to_ascii_lowercase() == t)
+        }).map(|i| i as u16)
+    }
+}
+
+/// A collected event: parsed report plus its resolved APT label.
+#[derive(Debug, Clone)]
+pub struct CollectedEvent {
+    /// Parsed report (validated IOCs).
+    pub report: ParsedReport,
+    /// Resolved APT label.
+    pub apt: u16,
+}
+
+/// Outcome statistics of a collection pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CollectStats {
+    /// Reports kept.
+    pub kept: usize,
+    /// Reports dropped: no tag resolved to a known APT.
+    pub unresolved: usize,
+    /// Reports dropped: tags resolved to multiple different APTs.
+    pub conflicting: usize,
+    /// Indicators rejected during parsing across kept reports.
+    pub rejected_indicators: usize,
+}
+
+/// Filter and parse raw reports against the registry.
+pub fn collect(reports: &[RawReport], registry: &AptRegistry) -> (Vec<CollectedEvent>, CollectStats) {
+    let mut out = Vec::with_capacity(reports.len());
+    let mut stats = CollectStats::default();
+    for raw in reports {
+        let mut labels: Vec<u16> = raw.tags.iter().filter_map(|t| registry.resolve(t)).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        match labels.as_slice() {
+            [] => stats.unresolved += 1,
+            [one] => {
+                let parsed = raw.parse();
+                stats.rejected_indicators += parsed.rejected.len();
+                stats.kept += 1;
+                out.push(CollectedEvent { report: parsed, apt: *one });
+            }
+            _ => stats.conflicting += 1,
+        }
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trail_ioc::report::RawIndicator;
+
+    fn raw(id: &str, tags: &[&str]) -> RawReport {
+        RawReport {
+            id: id.into(),
+            created_day: 10,
+            tags: tags.iter().map(|s| (*s).to_owned()).collect(),
+            indicators: vec![RawIndicator {
+                indicator_type: "IPv4".into(),
+                indicator: "198.51.100.7".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn resolves_names_and_aliases() {
+        let reg = AptRegistry::new(22);
+        assert_eq!(reg.resolve("APT28"), Some(0));
+        assert_eq!(reg.resolve("sofacy"), Some(0));
+        assert_eq!(reg.resolve("LAZARUS"), reg.resolve("APT38"));
+        assert_eq!(reg.resolve("unknown-group"), None);
+    }
+
+    #[test]
+    fn multi_apt_tags_are_dropped() {
+        let reg = AptRegistry::new(22);
+        let reports = vec![
+            raw("a", &["APT28"]),
+            raw("b", &["APT28", "fancy-bear"]), // same APT twice: kept
+            raw("c", &["APT28", "APT29"]),      // conflict: dropped
+            raw("d", &["not-an-apt"]),          // unresolved: dropped
+        ];
+        let (events, stats) = collect(&reports, &reg);
+        assert_eq!(events.len(), 2);
+        assert_eq!(stats, CollectStats { kept: 2, unresolved: 1, conflicting: 1, rejected_indicators: 0 });
+        assert_eq!(events[0].apt, 0);
+    }
+
+    #[test]
+    fn registry_size_limits_classes() {
+        let reg = AptRegistry::new(2);
+        assert_eq!(reg.len(), 2);
+        // APT27 is index 2 in APT_NAMES: out of this registry.
+        assert_eq!(reg.resolve("APT27"), None);
+    }
+
+    #[test]
+    fn rejected_indicator_counting() {
+        let reg = AptRegistry::new(22);
+        let mut r = raw("a", &["APT28"]);
+        r.indicators.push(RawIndicator { indicator_type: "URL".into(), indicator: "javascript:x()".into() });
+        let (_, stats) = collect(&[r], &reg);
+        assert_eq!(stats.rejected_indicators, 1);
+    }
+}

@@ -1,0 +1,257 @@
+//! Autoencoder projection and GNN input assembly (paper Section VI-C).
+//!
+//! URLs, IPs and domains have different widths (1,517 / 507 / 115), so
+//! one autoencoder per type projects them into a common 64-dim code
+//! space (Eq. 5). The GNN's per-node input is then
+//! `[code | node-kind one-hot | visible-label one-hot]`, implementing
+//! the paper's protocol where train-fold event labels are visible
+//! features and evaluation-fold labels are masked.
+
+use rand::Rng;
+use trail_graph::{NodeId, NodeKind};
+use trail_ioc::IocKind;
+use trail_linalg::Matrix;
+use trail_ml::nn::autoencoder::{Autoencoder, AutoencoderConfig};
+use trail_ml::nn::Adam;
+
+use crate::sparse::densify;
+use crate::tkg::Tkg;
+
+/// Per-node code vectors for every featured IOC node.
+pub struct NodeEmbeddings {
+    /// Code per graph node (zero rows for nodes without features).
+    pub codes: Matrix,
+    /// Code width.
+    pub code_dim: usize,
+}
+
+/// Per-kind feature standardisation fitted directly on the sparse
+/// store (zeros included, as densification would produce). Without
+/// this, wide-range lexical columns (URL length, ages) dominate the
+/// autoencoder's MSE and the codes under-represent the one-hot
+/// behavioural blocks.
+pub struct SparseScaler {
+    means: Vec<f32>,
+    inv_stds: Vec<f32>,
+}
+
+impl SparseScaler {
+    /// Fit over the featured rows of one kind.
+    pub fn fit(featured: &[(NodeId, &crate::sparse::SparseVec)], dims: usize) -> Self {
+        let n = featured.len().max(1) as f64;
+        let mut sums = vec![0.0f64; dims];
+        let mut sumsq = vec![0.0f64; dims];
+        for (_, sv) in featured {
+            for &(i, v) in &sv.entries {
+                sums[i as usize] += v as f64;
+                sumsq[i as usize] += (v as f64) * (v as f64);
+            }
+        }
+        let means: Vec<f32> = sums.iter().map(|&s| (s / n) as f32).collect();
+        let inv_stds: Vec<f32> = sumsq
+            .iter()
+            .zip(&means)
+            .map(|(&sq, &m)| {
+                let var = (sq / n) as f32 - m * m;
+                if var > 1e-8 {
+                    1.0 / var.sqrt()
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Self { means, inv_stds }
+    }
+
+    /// Standardise a densified batch in place.
+    pub fn transform_inplace(&self, x: &mut Matrix) {
+        let d = x.cols();
+        assert_eq!(d, self.means.len());
+        for row in x.as_mut_slice().chunks_exact_mut(d) {
+            for ((v, &m), &is) in row.iter_mut().zip(&self.means).zip(&self.inv_stds) {
+                *v = (*v - m) * is;
+            }
+        }
+    }
+}
+
+/// Train the three per-type autoencoders and produce node codes.
+///
+/// Minibatches are densified from the sparse store, so peak memory is
+/// `batch x dims` rather than `n x dims`.
+pub fn train_autoencoders<R: Rng + ?Sized>(
+    rng: &mut R,
+    tkg: &Tkg,
+    cfg: &AutoencoderConfig,
+) -> (NodeEmbeddings, Vec<Autoencoder>) {
+    let mut encoders = Vec::with_capacity(3);
+    let mut scalers = Vec::with_capacity(3);
+    for kind in IocKind::ALL {
+        let dims = Tkg::dims_of(kind);
+        let featured = tkg.featured_nodes(kind);
+        let scaler = SparseScaler::fit(&featured, dims);
+        let mut ae = Autoencoder::new(rng, dims, cfg);
+        if !featured.is_empty() {
+            train_on_sparse(rng, &mut ae, &scaler, &featured, dims, cfg);
+        }
+        encoders.push(ae);
+        scalers.push(scaler);
+    }
+    let embeddings = compute_codes_scaled(tkg, &encoders, &scalers, cfg.batch_size);
+    (embeddings, encoders)
+}
+
+/// [`compute_codes`] with explicit scalers (used right after training).
+fn compute_codes_scaled(
+    tkg: &Tkg,
+    encoders: &[Autoencoder],
+    scalers: &[SparseScaler],
+    batch_size: usize,
+) -> NodeEmbeddings {
+    let code_dim = encoders.first().map_or(0, |ae| ae.code_dim());
+    let n = tkg.graph.node_count();
+    let mut codes = Matrix::zeros(n, code_dim);
+    for ((kind, ae), scaler) in IocKind::ALL.iter().zip(encoders).zip(scalers) {
+        let dims = Tkg::dims_of(*kind);
+        let featured = tkg.featured_nodes(*kind);
+        for chunk in featured.chunks(batch_size.max(1)) {
+            let rows: Vec<&crate::sparse::SparseVec> = chunk.iter().map(|&(_, sv)| sv).collect();
+            let mut dense = densify(&rows, dims);
+            scaler.transform_inplace(&mut dense);
+            let encoded = ae.encode(&dense);
+            for (i, &(node, _)) in chunk.iter().enumerate() {
+                codes.row_mut(node.index()).copy_from_slice(encoded.row(i));
+            }
+        }
+    }
+    NodeEmbeddings { codes, code_dim }
+}
+
+/// Encode every featured node with already-trained encoders. Re-run
+/// after the TKG grows (monthly updates): new nodes get codes without
+/// retraining the autoencoders.
+pub fn compute_codes(tkg: &Tkg, encoders: &[Autoencoder], batch_size: usize) -> NodeEmbeddings {
+    // Refit the scalers on the current feature store (cheap: one sparse
+    // pass) so codes stay consistent as the TKG grows.
+    let scalers: Vec<SparseScaler> = IocKind::ALL
+        .iter()
+        .map(|&kind| SparseScaler::fit(&tkg.featured_nodes(kind), Tkg::dims_of(kind)))
+        .collect();
+    compute_codes_scaled(tkg, encoders, &scalers, batch_size)
+}
+
+fn train_on_sparse<R: Rng + ?Sized>(
+    rng: &mut R,
+    ae: &mut Autoencoder,
+    scaler: &SparseScaler,
+    featured: &[(NodeId, &crate::sparse::SparseVec)],
+    dims: usize,
+    cfg: &AutoencoderConfig,
+) {
+    use rand::seq::SliceRandom;
+    let mut adam = Adam::new(cfg.lr);
+    let mut order: Vec<usize> = (0..featured.len()).collect();
+    for _ in 0..cfg.epochs {
+        order.shuffle(rng);
+        for chunk in order.chunks(cfg.batch_size.max(1)) {
+            let rows: Vec<&crate::sparse::SparseVec> =
+                chunk.iter().map(|&i| featured[i].1).collect();
+            let mut dense = densify(&rows, dims);
+            scaler.transform_inplace(&mut dense);
+            ae.train_batch(&dense, &mut adam);
+        }
+    }
+}
+
+/// Width of the assembled GNN input:
+/// `code + 5 (node kind) + n_classes (visible label)`.
+pub fn gnn_input_dim(code_dim: usize, n_classes: usize) -> usize {
+    code_dim + 5 + n_classes
+}
+
+/// Assemble the GNN input matrix.
+///
+/// `visible` lists the event nodes whose labels the model may see
+/// (train-fold events per the paper's protocol).
+pub fn assemble_gnn_input(
+    tkg: &Tkg,
+    embeddings: &NodeEmbeddings,
+    visible: &[(NodeId, u16)],
+) -> Matrix {
+    let n = tkg.graph.node_count();
+    let k = tkg.n_classes();
+    let code = embeddings.code_dim;
+    let mut x = Matrix::zeros(n, gnn_input_dim(code, k));
+    for (id, rec) in tkg.graph.iter_nodes() {
+        let row = x.row_mut(id.index());
+        row[..code].copy_from_slice(embeddings.codes.row(id.index()));
+        row[code + rec.kind.index()] = 1.0;
+    }
+    for &(node, label) in visible {
+        debug_assert_eq!(tkg.graph.node(node).kind, NodeKind::Event);
+        x[(node.index(), code + 5 + label as usize)] = 1.0;
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::AptRegistry;
+    use crate::sparse::SparseVec;
+    use trail_graph::EdgeKind;
+
+    fn tkg_with_features() -> Tkg {
+        let mut tkg = Tkg::new(AptRegistry::new(3));
+        let e = tkg.graph.upsert_node(NodeKind::Event, "r0");
+        let ip = tkg.graph.upsert_node(NodeKind::Ip, "1.1.1.1");
+        tkg.graph.add_edge(e, ip, EdgeKind::InReport).unwrap();
+        tkg.add_event(e, "r0", 1, 2);
+        // Two IPs with *different* features: standardisation maps a
+        // lone sample to the zero vector, so variety is required for a
+        // non-trivial code.
+        let ip2 = tkg.graph.upsert_node(NodeKind::Ip, "2.2.2.2");
+        for (node, slot, v) in [(ip, 0usize, 1.0f32), (ip2, 3, 4.0)] {
+            let mut dense = vec![0.0f32; Tkg::dims_of(IocKind::Ip)];
+            dense[slot] = v;
+            dense[506] = 2.5 + v;
+            tkg.set_features(node, SparseVec::from_dense(&dense));
+        }
+        tkg
+    }
+
+    #[test]
+    fn autoencoders_produce_codes_for_featured_nodes() {
+        let tkg = tkg_with_features();
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(42);
+        let cfg = AutoencoderConfig { hidden: 8, code: 4, epochs: 2, batch_size: 4, lr: 1e-3 };
+        let (emb, encoders) = train_autoencoders(&mut rng, &tkg, &cfg);
+        assert_eq!(encoders.len(), 3);
+        assert_eq!(emb.codes.shape(), (3, 4));
+        // The event node (no features) stays zero; the IP node does not.
+        let ip = tkg.graph.find_node(NodeKind::Ip, "1.1.1.1").unwrap();
+        let e = tkg.graph.find_node(NodeKind::Event, "r0").unwrap();
+        assert!(emb.codes.row(e.index()).iter().all(|&v| v == 0.0));
+        assert!(emb.codes.row(ip.index()).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn gnn_input_layout() {
+        let tkg = tkg_with_features();
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(42);
+        let cfg = AutoencoderConfig { hidden: 8, code: 4, epochs: 1, batch_size: 4, lr: 1e-3 };
+        let (emb, _) = train_autoencoders(&mut rng, &tkg, &cfg);
+        let e = tkg.graph.find_node(NodeKind::Event, "r0").unwrap();
+        let x = assemble_gnn_input(&tkg, &emb, &[(e, 2)]);
+        assert_eq!(x.cols(), gnn_input_dim(4, 3));
+        // Kind one-hot: event = index 0 of the kind block.
+        assert_eq!(x[(e.index(), 4)], 1.0);
+        // Visible label 2 set in the label block.
+        assert_eq!(x[(e.index(), 4 + 5 + 2)], 1.0);
+        // Masked variant: label block all zero.
+        let x_masked = assemble_gnn_input(&tkg, &emb, &[]);
+        for c in 0..3 {
+            assert_eq!(x_masked[(e.index(), 4 + 5 + c)], 0.0);
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! The two-hop enrichment pipeline (paper Section IV-A/B).
+//!
+//! For every reported (first-order) IOC we request an analysis from the
+//! intelligence exchange. The analysis yields features (encoded into
+//! the TKG feature store) and *secondary IOCs* — IPs behind domains,
+//! historic domains behind IPs, ASNs, the domains URLs are hosted on.
+//! Secondary IOCs are analysed too (their own features and edges back
+//! into the graph) but their relational output is not expanded further:
+//! "due to time and space constraints, we limit it to two hops from the
+//! initial event."
+
+use trail_graph::{EdgeKind, NodeId, NodeKind};
+use trail_ioc::domain::DomainIoc;
+use trail_ioc::ip::IpIoc;
+use trail_ioc::url::UrlIoc;
+use trail_ioc::Ioc;
+use trail_osint::OsintClient;
+
+use crate::collector::CollectedEvent;
+use crate::sparse::SparseVec;
+use crate::tkg::Tkg;
+
+/// Enrichment pipeline over an OSINT client.
+pub struct Enricher<'a> {
+    client: &'a OsintClient,
+    /// Analyses are requested "as of" this day (the TKG build date).
+    pub asof_day: u32,
+}
+
+/// What one event ingestion touched (sizes for logging/tests).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// First-order IOC nodes attached.
+    pub first_order: usize,
+    /// Secondary IOC nodes discovered.
+    pub secondary: usize,
+    /// Edges added.
+    pub edges: usize,
+    /// Analyses that returned nothing (gaps).
+    pub misses: usize,
+}
+
+impl<'a> Enricher<'a> {
+    /// New enricher querying analyses as of `asof_day`.
+    pub fn new(client: &'a OsintClient, asof_day: u32) -> Self {
+        Self { client, asof_day }
+    }
+
+    /// Ingest one collected event: create the event node, attach
+    /// first-order IOCs, run two-hop enrichment, store features.
+    pub fn ingest(&self, tkg: &mut Tkg, event: &CollectedEvent) -> IngestStats {
+        let mut stats = IngestStats::default();
+        let event_node = tkg.graph.upsert_node(NodeKind::Event, &event.report.id);
+        tkg.add_event(event_node, &event.report.id, event.report.created_day, event.apt);
+
+        // Pass 1: first-order nodes + InReport edges.
+        let mut first_order: Vec<(NodeId, Ioc)> = Vec::with_capacity(event.report.iocs.len());
+        for ioc in &event.report.iocs {
+            let node = tkg.graph.upsert_node(Tkg::node_kind(ioc.kind()), ioc.text());
+            tkg.graph.mark_first_order(node);
+            if tkg.graph.add_edge(event_node, node, EdgeKind::InReport).expect("schema") {
+                stats.edges += 1;
+            }
+            stats.first_order += 1;
+            first_order.push((node, ioc.clone()));
+        }
+
+        // Pass 2: analyse first-order IOCs; collect secondary IOCs.
+        let mut secondary: Vec<(NodeId, Ioc)> = Vec::new();
+        for (node, ioc) in &first_order {
+            match ioc {
+                Ioc::Url(url) => self.enrich_url(tkg, *node, url, true, &mut secondary, &mut stats),
+                Ioc::Domain(d) => self.enrich_domain(tkg, *node, d, true, &mut secondary, &mut stats),
+                Ioc::Ip(ip) => self.enrich_ip(tkg, *node, ip, true, &mut secondary, &mut stats),
+            }
+        }
+
+        // Pass 3: analyse secondary IOCs — features plus edges to nodes
+        // already present; no further expansion.
+        let mut sink: Vec<(NodeId, Ioc)> = Vec::new();
+        for (node, ioc) in &secondary {
+            match ioc {
+                Ioc::Domain(d) => self.enrich_domain(tkg, *node, d, false, &mut sink, &mut stats),
+                Ioc::Ip(ip) => self.enrich_ip(tkg, *node, ip, false, &mut sink, &mut stats),
+                Ioc::Url(url) => self.enrich_url(tkg, *node, url, false, &mut sink, &mut stats),
+            }
+        }
+        stats.secondary = secondary.len();
+        stats
+    }
+
+    fn enrich_url(
+        &self,
+        tkg: &mut Tkg,
+        node: NodeId,
+        url: &UrlIoc,
+        expand: bool,
+        secondary: &mut Vec<(NodeId, Ioc)>,
+        stats: &mut IngestStats,
+    ) {
+        // Lexical relation, no lookup needed: HostedOn.
+        if let Some(domain) = url.hosted_domain() {
+            let d_node = if expand {
+                Some(self.secondary_node(tkg, Ioc::Domain(domain.clone()), secondary))
+            } else {
+                tkg.graph.find_node(NodeKind::Domain, &domain.text)
+            };
+            if let Some(d_node) = d_node {
+                if tkg.graph.add_edge(node, d_node, EdgeKind::HostedOn).expect("schema") {
+                    stats.edges += 1;
+                }
+            }
+        }
+        let Some(analysis) = self.client.analyze_url(&url.text, self.asof_day) else {
+            stats.misses += 1;
+            return;
+        };
+        for ip_text in &analysis.resolved_ips {
+            let Ok(ip) = IpIoc::parse(ip_text) else { continue };
+            let ip_node = if expand {
+                Some(self.secondary_node(tkg, Ioc::Ip(ip), secondary))
+            } else {
+                tkg.graph.find_node(NodeKind::Ip, ip_text)
+            };
+            if let Some(ip_node) = ip_node {
+                if tkg.graph.add_edge(node, ip_node, EdgeKind::UrlResolvesTo).expect("schema") {
+                    stats.edges += 1;
+                }
+            }
+        }
+        if !tkg.has_features(node) {
+            let dense = tkg.url_encoder.encode(url, &analysis);
+            tkg.set_features(node, SparseVec::from_dense(&dense));
+        }
+    }
+
+    fn enrich_domain(
+        &self,
+        tkg: &mut Tkg,
+        node: NodeId,
+        domain: &DomainIoc,
+        expand: bool,
+        secondary: &mut Vec<(NodeId, Ioc)>,
+        stats: &mut IngestStats,
+    ) {
+        let Some(analysis) = self.client.analyze_domain(&domain.text, self.asof_day) else {
+            stats.misses += 1;
+            return;
+        };
+        for ip_text in &analysis.resolved_ips {
+            let Ok(ip) = IpIoc::parse(ip_text) else { continue };
+            let ip_node = if expand {
+                Some(self.secondary_node(tkg, Ioc::Ip(ip), secondary))
+            } else {
+                // Two-hop cap: only link to IPs already in the graph.
+                tkg.graph.find_node(NodeKind::Ip, ip_text)
+            };
+            if let Some(ip_node) = ip_node {
+                if tkg.graph.add_edge(node, ip_node, EdgeKind::DomainResolvesTo).expect("schema") {
+                    stats.edges += 1;
+                }
+            }
+        }
+        // Secondary URLs from the domain's url_list (expansion only).
+        if expand {
+            for u_text in &analysis.hosted_urls {
+                let Ok(u) = UrlIoc::parse(u_text) else { continue };
+                let u_node = self.secondary_node(tkg, Ioc::Url(u), secondary);
+                if tkg.graph.add_edge(u_node, node, EdgeKind::HostedOn).expect("schema") {
+                    stats.edges += 1;
+                }
+            }
+        }
+        if !tkg.has_features(node) {
+            let dense = tkg.domain_encoder.encode(domain, &analysis);
+            tkg.set_features(node, SparseVec::from_dense(&dense));
+        }
+    }
+
+    fn enrich_ip(
+        &self,
+        tkg: &mut Tkg,
+        node: NodeId,
+        ip: &IpIoc,
+        expand: bool,
+        secondary: &mut Vec<(NodeId, Ioc)>,
+        stats: &mut IngestStats,
+    ) {
+        let Some(analysis) = self.client.analyze_ip(&ip.text, self.asof_day) else {
+            stats.misses += 1;
+            return;
+        };
+        // ASN node (whois/dig output) — cheap metadata, always linked.
+        if let Some(asn) = analysis.asn {
+            let asn_node = tkg.graph.upsert_node(NodeKind::Asn, &format!("AS{asn}"));
+            if tkg.graph.add_edge(node, asn_node, EdgeKind::InGroup).expect("schema") {
+                stats.edges += 1;
+            }
+        }
+        for d_text in &analysis.historic_domains {
+            let Ok(d) = DomainIoc::parse(d_text) else { continue };
+            let d_node = if expand {
+                Some(self.secondary_node(tkg, Ioc::Domain(d), secondary))
+            } else {
+                tkg.graph.find_node(NodeKind::Domain, d_text)
+            };
+            if let Some(d_node) = d_node {
+                if tkg.graph.add_edge(node, d_node, EdgeKind::ARecord).expect("schema") {
+                    stats.edges += 1;
+                }
+            }
+        }
+        if !tkg.has_features(node) {
+            let dense = tkg.ip_encoder.encode(ip, &analysis);
+            tkg.set_features(node, SparseVec::from_dense(&dense));
+        }
+    }
+
+    /// Upsert a secondary IOC node; queue it for depth-2 analysis the
+    /// first time it appears in this event.
+    fn secondary_node(
+        &self,
+        tkg: &mut Tkg,
+        ioc: Ioc,
+        secondary: &mut Vec<(NodeId, Ioc)>,
+    ) -> NodeId {
+        let kind = Tkg::node_kind(ioc.kind());
+        let existed = tkg.graph.find_node(kind, ioc.text());
+        let node = tkg.graph.upsert_node(kind, ioc.text());
+        if existed.is_none() {
+            secondary.push((node, ioc));
+        }
+        node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::{collect, AptRegistry};
+    use std::sync::Arc;
+    use trail_osint::{World, WorldConfig};
+
+    fn setup() -> (OsintClient, Vec<CollectedEvent>) {
+        let world = Arc::new(World::generate(WorldConfig::tiny(31)));
+        let client = OsintClient::new(world);
+        let reports = client.events_before(client.world().config.cutoff_day);
+        let registry = AptRegistry::new(client.world().config.n_apts);
+        let (events, _) = collect(&reports, &registry);
+        (client, events)
+    }
+
+    #[test]
+    fn ingest_builds_connected_event_subgraph() {
+        let (client, events) = setup();
+        let mut tkg = Tkg::new(AptRegistry::new(client.world().config.n_apts));
+        let enricher = Enricher::new(&client, client.world().config.cutoff_day);
+        let stats = enricher.ingest(&mut tkg, &events[0]);
+        assert!(stats.first_order > 0);
+        assert!(stats.edges >= stats.first_order);
+        let e = tkg.event_by_report(&events[0].report.id).unwrap();
+        assert!(tkg.graph.degree(e.node) == stats.first_order);
+    }
+
+    #[test]
+    fn enrichment_discovers_secondary_iocs() {
+        let (client, events) = setup();
+        let mut tkg = Tkg::new(AptRegistry::new(client.world().config.n_apts));
+        let enricher = Enricher::new(&client, client.world().config.cutoff_day);
+        let mut total_secondary = 0;
+        for e in events.iter().take(10) {
+            total_secondary += enricher.ingest(&mut tkg, e).secondary;
+        }
+        assert!(total_secondary > 0, "no secondary IOCs found across 10 events");
+        // Secondary nodes are not first-order.
+        let some_secondary = tkg
+            .graph
+            .iter_nodes()
+            .any(|(_, n)| !n.first_order && matches!(n.kind, NodeKind::Ip | NodeKind::Domain));
+        assert!(some_secondary);
+    }
+
+    #[test]
+    fn repeated_ingest_of_shared_iocs_is_idempotent_on_edges() {
+        let (client, events) = setup();
+        let mut tkg = Tkg::new(AptRegistry::new(client.world().config.n_apts));
+        let enricher = Enricher::new(&client, client.world().config.cutoff_day);
+        for e in events.iter().take(20) {
+            enricher.ingest(&mut tkg, e);
+        }
+        // No duplicate (src, dst, kind) edges can exist by construction;
+        // verify via a scan.
+        let mut seen = std::collections::HashSet::new();
+        for e in tkg.graph.edges() {
+            assert!(seen.insert((e.src, e.dst, e.kind)), "duplicate edge {e:?}");
+        }
+    }
+
+    #[test]
+    fn features_are_stored_for_analysable_iocs() {
+        let (client, events) = setup();
+        let mut tkg = Tkg::new(AptRegistry::new(client.world().config.n_apts));
+        let enricher = Enricher::new(&client, client.world().config.cutoff_day);
+        for e in events.iter().take(15) {
+            enricher.ingest(&mut tkg, e);
+        }
+        let n_featured = tkg.featured_nodes(trail_ioc::IocKind::Ip).len()
+            + tkg.featured_nodes(trail_ioc::IocKind::Url).len()
+            + tkg.featured_nodes(trail_ioc::IocKind::Domain).len();
+        assert!(n_featured > 10, "only {n_featured} featured nodes");
+    }
+
+    #[test]
+    fn url_hosted_on_edges_exist() {
+        let (client, events) = setup();
+        let mut tkg = Tkg::new(AptRegistry::new(client.world().config.n_apts));
+        let enricher = Enricher::new(&client, client.world().config.cutoff_day);
+        for e in events.iter().take(20) {
+            enricher.ingest(&mut tkg, e);
+        }
+        let hosted = tkg.graph.edge_counts_by_kind()[EdgeKind::HostedOn.index()];
+        assert!(hosted > 0, "no HostedOn edges");
+        let in_group = tkg.graph.edge_counts_by_kind()[EdgeKind::InGroup.index()];
+        assert!(in_group > 0, "no InGroup (ASN) edges");
+    }
+}

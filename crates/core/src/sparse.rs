@@ -1,0 +1,111 @@
+//! Sparse feature vectors.
+//!
+//! IOC feature vectors are overwhelmingly one-hot blocks (a 1,517-dim
+//! URL vector typically has ~20 non-zeros), so the TKG feature store
+//! keeps them sparse and densifies per minibatch.
+
+use serde::{Deserialize, Serialize};
+
+/// A sparse `f32` vector with a fixed logical dimensionality.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SparseVec {
+    /// Logical width.
+    pub dims: u32,
+    /// `(index, value)` entries, strictly increasing by index.
+    pub entries: Vec<(u32, f32)>,
+}
+
+impl SparseVec {
+    /// Compress a dense slice (drops zeros).
+    pub fn from_dense(dense: &[f32]) -> Self {
+        let entries = dense
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v != 0.0)
+            .map(|(i, &v)| (i as u32, v))
+            .collect();
+        Self { dims: dense.len() as u32, entries }
+    }
+
+    /// Materialise as a dense vector.
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dims as usize];
+        for &(i, v) in &self.entries {
+            out[i as usize] = v;
+        }
+        out
+    }
+
+    /// Write into a dense row slice (must match `dims`).
+    pub fn write_dense(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.dims as usize);
+        out.fill(0.0);
+        for &(i, v) in &self.entries {
+            out[i as usize] = v;
+        }
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Value at index `i`.
+    pub fn get(&self, i: u32) -> f32 {
+        self.entries
+            .binary_search_by_key(&i, |&(idx, _)| idx)
+            .map(|pos| self.entries[pos].1)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Gather sparse rows into a dense [`trail_linalg::Matrix`].
+pub fn densify(rows: &[&SparseVec], dims: usize) -> trail_linalg::Matrix {
+    let mut m = trail_linalg::Matrix::zeros(rows.len(), dims);
+    for (r, sv) in rows.iter().enumerate() {
+        debug_assert_eq!(sv.dims as usize, dims);
+        for &(i, v) in &sv.entries {
+            m[(r, i as usize)] = v;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let dense = vec![0.0, 1.5, 0.0, -2.0, 0.0];
+        let sv = SparseVec::from_dense(&dense);
+        assert_eq!(sv.nnz(), 2);
+        assert_eq!(sv.to_dense(), dense);
+        assert_eq!(sv.get(3), -2.0);
+        assert_eq!(sv.get(0), 0.0);
+    }
+
+    #[test]
+    fn write_dense_clears_stale_values() {
+        let sv = SparseVec::from_dense(&[1.0, 0.0]);
+        let mut buf = vec![9.0, 9.0];
+        sv.write_dense(&mut buf);
+        assert_eq!(buf, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn densify_batches() {
+        let a = SparseVec::from_dense(&[1.0, 0.0, 0.0]);
+        let b = SparseVec::from_dense(&[0.0, 0.0, 2.0]);
+        let m = densify(&[&a, &b], 3);
+        assert_eq!(m.row(0), &[1.0, 0.0, 0.0]);
+        assert_eq!(m.row(1), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_vector_is_fine() {
+        let sv = SparseVec::from_dense(&[0.0; 4]);
+        assert_eq!(sv.nnz(), 0);
+        assert_eq!(sv.to_dense(), vec![0.0; 4]);
+    }
+}

@@ -1,0 +1,26 @@
+//! Graph learning over the TRAIL knowledge graph.
+//!
+//! Implements the paper's Section VI-B/C analysis stack:
+//!
+//! * [`labelprop`] — label propagation per Eq. 1 (symmetric-normalised
+//!   adjacency power iteration from one-hot event labels).
+//! * [`sage`] — GraphSAGE (Eq. 3) with mean aggregation including the
+//!   self node, per-layer L2 normalisation (Eq. 4), trained full-graph
+//!   with cross-entropy on labelled event nodes.
+//! * [`train`] — the masked-fold training protocol of Section VII-B,
+//!   including the fine-tuning path the longitudinal study uses.
+//! * [`sampler`] — capped k-hop neighbourhood extraction for
+//!   minibatch-style inference on fresh events.
+//! * [`explain`] — GNNExplainer (Ying et al. 2019): a learned edge mask
+//!   over the event's k-hop subgraph identifying the most influential
+//!   IOCs (Fig. 10).
+
+pub mod explain;
+pub mod labelprop;
+pub mod sage;
+pub mod sampler;
+pub mod train;
+
+pub use labelprop::LabelPropagation;
+pub use sage::{SageConfig, SageModel};
+pub use train::{train_sage, train_sage_masked, FineTune, LabelMasking, TrainConfig};

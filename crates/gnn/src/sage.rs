@@ -1,0 +1,444 @@
+//! GraphSAGE (Hamilton et al. 2017) as the paper specifies it:
+//! mean aggregation over the neighbourhood (Eq. 3) with a separate
+//! root-weight term for the node's own representation (the standard
+//! GraphSAGE-mean formulation), per-layer L2 normalisation (Eq. 4),
+//! and a final layer emitting one logit per APT class.
+//!
+//! At reproduction scale the whole graph fits in memory, so layers run
+//! full-graph: a mean-aggregation sweep over the CSR followed by two
+//! dense linear maps. Backward passes mirror each step by hand.
+
+use rand::Rng;
+use trail_graph::{Csr, NodeId};
+use trail_linalg::{init, Matrix};
+use trail_ml::nn::{Adam, Param};
+
+/// GraphSAGE architecture parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SageConfig {
+    /// Node-feature input width.
+    pub input_dim: usize,
+    /// Hidden width (paper: 512; default reduced for laptop scale —
+    /// see DESIGN.md).
+    pub hidden: usize,
+    /// Number of SAGE layers (the paper evaluates 2, 3 and 4).
+    pub layers: usize,
+    /// Output classes.
+    pub n_classes: usize,
+    /// Apply the paper's per-layer L2 normalisation (Eq. 4). Exposed
+    /// as an ablation (DESIGN.md): normalisation equalises every
+    /// node's hidden magnitude, which discards the label-mass
+    /// confidence that plain label propagation exploits.
+    pub l2_normalize: bool,
+}
+
+impl SageConfig {
+    /// Default-shaped config with L2 normalisation on (the paper's
+    /// description).
+    pub fn new(input_dim: usize, hidden: usize, layers: usize, n_classes: usize) -> Self {
+        Self { input_dim, hidden, layers, n_classes, l2_normalize: true }
+    }
+
+    /// Configuration with the paper's hidden width.
+    pub fn paper(input_dim: usize, layers: usize, n_classes: usize) -> Self {
+        Self::new(input_dim, 512, layers, n_classes)
+    }
+}
+
+/// One SAGE layer:
+/// `y = h W_root + mean(N(v)) W_nbr + b`, then ReLU + L2 unless final.
+struct SageLayer {
+    w_root: Param,
+    w_nbr: Param,
+    b: Param,
+    last: bool,
+    l2_normalize: bool,
+    cache_input: Option<Matrix>,
+    cache_agg: Option<Matrix>,
+    cache_mask: Vec<bool>,
+    cache_act: Option<Matrix>,
+    cache_norms: Vec<f32>,
+}
+
+impl SageLayer {
+    fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        d_in: usize,
+        d_out: usize,
+        last: bool,
+        l2_normalize: bool,
+    ) -> Self {
+        Self {
+            w_root: Param::new(init::he_uniform(rng, d_in, d_out)),
+            w_nbr: Param::new(init::he_uniform(rng, d_in, d_out)),
+            b: Param::new(Matrix::zeros(1, d_out)),
+            last,
+            l2_normalize,
+            cache_input: None,
+            cache_agg: None,
+            cache_mask: Vec::new(),
+            cache_act: None,
+            cache_norms: Vec::new(),
+        }
+    }
+
+    fn forward(&mut self, csr: &Csr, h: &Matrix, train: bool) -> Matrix {
+        let agg = aggregate_mean(csr, h);
+        let mut y = h.matmul(&self.w_root.value).expect("root shape");
+        y.add_assign(&agg.matmul(&self.w_nbr.value).expect("nbr shape")).expect("same shape");
+        y.add_row_broadcast(self.b.value.as_slice()).expect("bias");
+        if train {
+            self.cache_input = Some(h.clone());
+            self.cache_agg = Some(agg);
+        }
+        if self.last {
+            return y;
+        }
+        if train {
+            self.cache_mask = y.as_slice().iter().map(|&v| v > 0.0).collect();
+        }
+        y.map_inplace(|v| v.max(0.0));
+        if self.l2_normalize {
+            // Row-wise L2 normalisation (Eq. 4).
+            let cols = y.cols();
+            let mut norms = Vec::with_capacity(y.rows());
+            for row in y.as_mut_slice().chunks_exact_mut(cols) {
+                let n = trail_linalg::vector::norm2(row).max(1e-12);
+                for v in row.iter_mut() {
+                    *v /= n;
+                }
+                norms.push(n);
+            }
+            if train {
+                self.cache_norms = norms;
+                self.cache_act = Some(y.clone());
+            }
+        } else if train {
+            self.cache_norms.clear();
+            self.cache_act = None;
+        }
+        y
+    }
+
+    /// Backward pass; returns the gradient w.r.t. the layer input `h`.
+    fn backward(&mut self, csr: &Csr, d_out: &Matrix) -> Matrix {
+        let mut d_pre = d_out.clone();
+        if !self.last {
+            if self.l2_normalize {
+                // L2-norm backward: dx = (dy - y (dy·y)) / ||x||.
+                let y = self.cache_act.as_ref().expect("forward(train) first");
+                let cols = d_pre.cols();
+                for (r, norm) in self.cache_norms.iter().enumerate() {
+                    let dot = trail_linalg::vector::dot(d_pre.row(r), y.row(r));
+                    let y_row: Vec<f32> = y.row(r).to_vec();
+                    let d_row = d_pre.row_mut(r);
+                    for c in 0..cols {
+                        d_row[c] = (d_row[c] - y_row[c] * dot) / norm;
+                    }
+                }
+            }
+            // ReLU backward.
+            for (g, &keep) in d_pre.as_mut_slice().iter_mut().zip(&self.cache_mask) {
+                if !keep {
+                    *g = 0.0;
+                }
+            }
+        }
+        let h = self.cache_input.as_ref().expect("forward(train) first");
+        let agg = self.cache_agg.as_ref().expect("forward(train) first");
+        let dw_root = h.t_matmul(&d_pre).expect("dw_root");
+        self.w_root.grad.add_assign(&dw_root).expect("accum");
+        let dw_nbr = agg.t_matmul(&d_pre).expect("dw_nbr");
+        self.w_nbr.grad.add_assign(&dw_nbr).expect("accum");
+        for (g, d) in self.b.grad.as_mut_slice().iter_mut().zip(d_pre.col_sums()) {
+            *g += d;
+        }
+        let mut d_h = d_pre.matmul_t(&self.w_root.value).expect("d_h root");
+        let d_agg = d_pre.matmul_t(&self.w_nbr.value).expect("d_agg");
+        d_h.add_assign(&scatter_mean_grad(csr, &d_agg)).expect("same shape");
+        d_h
+    }
+}
+
+/// Mean aggregation over `N(v)` (neighbours only; zero for isolates).
+pub fn aggregate_mean(csr: &Csr, h: &Matrix) -> Matrix {
+    let n = csr.node_count();
+    let d = h.cols();
+    assert_eq!(h.rows(), n);
+    let mut out = Matrix::zeros(n, d);
+    for v in 0..n {
+        let neighbors = csr.neighbors(NodeId::from(v));
+        if neighbors.is_empty() {
+            continue;
+        }
+        let inv = 1.0 / neighbors.len() as f32;
+        let acc = out.row_mut(v);
+        for &u in neighbors {
+            for (a, &x) in acc.iter_mut().zip(h.row(u.index())) {
+                *a += x;
+            }
+        }
+        for a in acc.iter_mut() {
+            *a *= inv;
+        }
+    }
+    out
+}
+
+/// Transpose of [`aggregate_mean`]: scatter `d_agg` back to inputs.
+fn scatter_mean_grad(csr: &Csr, d_agg: &Matrix) -> Matrix {
+    let n = csr.node_count();
+    let d = d_agg.cols();
+    let mut out = Matrix::zeros(n, d);
+    for v in 0..n {
+        let neighbors = csr.neighbors(NodeId::from(v));
+        if neighbors.is_empty() {
+            continue;
+        }
+        let inv = 1.0 / neighbors.len() as f32;
+        let src = d_agg.row(v);
+        for &u in neighbors {
+            let dst = out.row_mut(u.index());
+            for (o, &g) in dst.iter_mut().zip(src) {
+                *o += g * inv;
+            }
+        }
+    }
+    out
+}
+
+/// A full GraphSAGE model.
+pub struct SageModel {
+    layers: Vec<SageLayer>,
+    cfg: SageConfig,
+}
+
+/// One layer's parameters as borrowed matrices:
+/// `(W_root, W_nbr, bias)`.
+pub type LayerWeights<'a> = (&'a Matrix, &'a Matrix, &'a Matrix);
+
+impl SageModel {
+    /// Build untrained.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, cfg: SageConfig) -> Self {
+        assert!(cfg.layers >= 1);
+        let mut layers = Vec::with_capacity(cfg.layers);
+        let mut d_in = cfg.input_dim;
+        for l in 0..cfg.layers {
+            let last = l == cfg.layers - 1;
+            let d_out = if last { cfg.n_classes } else { cfg.hidden };
+            layers.push(SageLayer::new(rng, d_in, d_out, last, cfg.l2_normalize));
+            d_in = d_out;
+        }
+        Self { layers, cfg }
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> &SageConfig {
+        &self.cfg
+    }
+
+    /// Full-graph forward pass producing per-node logits.
+    pub fn forward(&mut self, csr: &Csr, x: &Matrix, train: bool) -> Matrix {
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.forward(csr, &h, train);
+        }
+        h
+    }
+
+    /// Backward pass from per-node logit gradients.
+    pub fn backward(&mut self, csr: &Csr, d_logits: &Matrix) {
+        let mut g = d_logits.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(csr, &g);
+        }
+    }
+
+    /// Optimiser step over all parameters.
+    pub fn step(&mut self, adam: &mut Adam) {
+        adam.tick();
+        for layer in &mut self.layers {
+            adam.step(&mut layer.w_root);
+            adam.step(&mut layer.w_nbr);
+            adam.step(&mut layer.b);
+        }
+    }
+
+    /// Per-node class probabilities (inference).
+    pub fn predict_proba(&mut self, csr: &Csr, x: &Matrix) -> Matrix {
+        let mut logits = self.forward(csr, x, false);
+        let k = self.cfg.n_classes;
+        for row in logits.as_mut_slice().chunks_exact_mut(k) {
+            trail_linalg::vector::softmax_inplace(row);
+        }
+        logits
+    }
+
+    /// Layer weights — the explainer re-runs the model on masked
+    /// subgraphs.
+    pub fn weights(&self) -> Vec<LayerWeights<'_>> {
+        self.layers.iter().map(|l| (&l.w_root.value, &l.w_nbr.value, &l.b.value)).collect()
+    }
+
+    /// Whether layer `l` applies L2 normalisation (hidden layers with
+    /// the Eq. 4 option on).
+    pub fn layer_is_normalised(&self, l: usize) -> bool {
+        !self.layers[l].last && self.layers[l].l2_normalize
+    }
+
+    /// Whether layer `l` applies the ReLU activation (all but the last).
+    pub fn layer_is_hidden(&self, l: usize) -> bool {
+        !self.layers[l].last
+    }
+
+    /// Replace layer `l`'s parameters (shape-checked). Used for loading
+    /// saved weights and for constructing reference models in tests.
+    pub fn set_layer_weights(&mut self, l: usize, w_root: Matrix, w_nbr: Matrix, b: Matrix) {
+        assert_eq!(w_root.shape(), self.layers[l].w_root.value.shape(), "W_root shape");
+        assert_eq!(w_nbr.shape(), self.layers[l].w_nbr.value.shape(), "W_nbr shape");
+        assert_eq!(b.shape(), self.layers[l].b.value.shape(), "b shape");
+        self.layers[l].w_root = Param::new(w_root);
+        self.layers[l].w_nbr = Param::new(w_nbr);
+        self.layers[l].b = Param::new(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use trail_graph::{EdgeKind, GraphStore, NodeKind};
+    use trail_ml::nn::loss::softmax_cross_entropy;
+
+    fn line_graph() -> (GraphStore, Vec<NodeId>) {
+        let mut g = GraphStore::new();
+        let e0 = g.upsert_node(NodeKind::Event, "e0");
+        let ip = g.upsert_node(NodeKind::Ip, "1.1.1.1");
+        let e1 = g.upsert_node(NodeKind::Event, "e1");
+        g.add_edge(e0, ip, EdgeKind::InReport).unwrap();
+        g.add_edge(e1, ip, EdgeKind::InReport).unwrap();
+        (g, vec![e0, ip, e1])
+    }
+
+    #[test]
+    fn aggregation_means_neighbors_only() {
+        let (g, n) = line_graph();
+        let csr = Csr::from_store(&g);
+        let h = Matrix::from_vec(3, 1, vec![3.0, 6.0, 9.0]).unwrap();
+        let agg = aggregate_mean(&csr, &h);
+        // e0: mean{ip}=6 ; ip: mean{e0,e1}=6 ; e1: mean{ip}=6.
+        assert_eq!(agg.as_slice(), &[6.0, 6.0, 6.0]);
+        let _ = n;
+    }
+
+    #[test]
+    fn isolated_node_aggregates_to_zero() {
+        let mut g = GraphStore::new();
+        g.upsert_node(NodeKind::Asn, "AS1");
+        let csr = Csr::from_store(&g);
+        let h = Matrix::from_vec(1, 2, vec![5.0, -1.0]).unwrap();
+        let agg = aggregate_mean(&csr, &h);
+        assert_eq!(agg.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn scatter_is_transpose_of_aggregate() {
+        // <aggregate(h), d> must equal <h, scatter(d)> for all h, d.
+        let (g, _) = line_graph();
+        let csr = Csr::from_store(&g);
+        let h = Matrix::from_vec(3, 2, vec![1.0, 2.0, -1.0, 0.5, 3.0, -2.0]).unwrap();
+        let d = Matrix::from_vec(3, 2, vec![0.2, -0.7, 1.0, 0.3, -0.4, 0.9]).unwrap();
+        let lhs: f32 = aggregate_mean(&csr, &h)
+            .as_slice()
+            .iter()
+            .zip(d.as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        let rhs: f32 = h
+            .as_slice()
+            .iter()
+            .zip(scatter_mean_grad(&csr, &d).as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-5, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn output_shape_matches_classes() {
+        let (g, _) = line_graph();
+        let csr = Csr::from_store(&g);
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = SageConfig::new(4, 8, 3, 5);
+        let mut model = SageModel::new(&mut rng, cfg);
+        let x = Matrix::zeros(3, 4);
+        let out = model.forward(&csr, &x, false);
+        assert_eq!(out.shape(), (3, 5));
+    }
+
+    #[test]
+    fn training_fits_a_labelled_pair() {
+        // Two events share an IP; labels differ; distinct input features
+        // let the model separate them.
+        let (g, n) = line_graph();
+        let csr = Csr::from_store(&g);
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = SageConfig::new(2, 16, 2, 2);
+        let mut model = SageModel::new(&mut rng, cfg);
+        let x = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.5, 0.5, 0.0, 1.0]).unwrap();
+        let labels = [(n[0], 0u16), (n[2], 1u16)];
+        let mut adam = Adam::new(0.05);
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..60 {
+            let logits = model.forward(&csr, &x, true);
+            let rows: Vec<usize> = labels.iter().map(|(id, _)| id.index()).collect();
+            let sub = logits.gather_rows(&rows);
+            let y: Vec<u16> = labels.iter().map(|&(_, c)| c).collect();
+            let (loss, d_sub) = softmax_cross_entropy(&sub, &y);
+            let mut d_logits = Matrix::zeros(3, 2);
+            for (i, &r) in rows.iter().enumerate() {
+                d_logits.row_mut(r).copy_from_slice(d_sub.row(i));
+            }
+            model.backward(&csr, &d_logits);
+            model.step(&mut adam);
+            first_loss.get_or_insert(loss);
+            last_loss = loss;
+        }
+        assert!(last_loss < first_loss.unwrap() * 0.5, "{first_loss:?} -> {last_loss}");
+        let proba = model.predict_proba(&csr, &x);
+        assert!(proba[(n[0].index(), 0)] > 0.5);
+        assert!(proba[(n[2].index(), 1)] > 0.5);
+    }
+
+    #[test]
+    fn hidden_layers_are_unit_norm() {
+        let (g, _) = line_graph();
+        let csr = Csr::from_store(&g);
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = SageConfig::new(3, 6, 2, 2);
+        let mut model = SageModel::new(&mut rng, cfg);
+        let x = Matrix::from_fn(3, 3, |r, c| (r + c) as f32 + 0.5);
+        let h = model.layers[0].forward(&csr, &x, false);
+        for row in h.rows_iter() {
+            let n = trail_linalg::vector::norm2(row);
+            if n > 1e-9 {
+                assert!((n - 1.0).abs() < 1e-4, "norm {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn root_weight_preserves_self_identity() {
+        // With W_nbr = 0 and W_root = I, the layer is the identity map
+        // (pre-normalisation): self features pass through undiluted.
+        let (g, _) = line_graph();
+        let csr = Csr::from_store(&g);
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = SageConfig::new(2, 4, 1, 2);
+        let mut model = SageModel::new(&mut rng, cfg);
+        model.set_layer_weights(0, Matrix::identity(2), Matrix::zeros(2, 2), Matrix::zeros(1, 2));
+        let x = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let y = model.forward(&csr, &x, false);
+        assert_eq!(y, x);
+    }
+}

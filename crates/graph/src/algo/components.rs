@@ -1,0 +1,154 @@
+//! Connected components via weighted union-find with path halving.
+//!
+//! Section V of the paper reports that the full TKG has 161 components
+//! with the largest holding 99.94 % of nodes, rising to 477 components
+//! on the first-order-only subgraph.
+
+use crate::csr::Csr;
+use crate::ids::NodeId;
+
+/// Summary of the undirected connected components of a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentSummary {
+    /// Component id per node (dense, 0-based, largest component first).
+    pub assignment: Vec<u32>,
+    /// Size of each component, sorted descending.
+    pub sizes: Vec<usize>,
+}
+
+impl ComponentSummary {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Size of the largest component (0 for an empty graph).
+    pub fn largest(&self) -> usize {
+        self.sizes.first().copied().unwrap_or(0)
+    }
+
+    /// Fraction of nodes in the largest component.
+    pub fn largest_fraction(&self) -> f64 {
+        let total: usize = self.sizes.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.largest() as f64 / total as f64
+        }
+    }
+
+    /// Node ids belonging to component `c`.
+    pub fn members(&self, c: u32) -> Vec<NodeId> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a == c)
+            .map(|(i, _)| NodeId::from(i))
+            .collect()
+    }
+}
+
+struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self { parent: (0..n as u32).collect(), size: vec![1; n] }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            // Path halving.
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+    }
+}
+
+/// Compute undirected connected components of a CSR graph.
+pub fn connected_components(csr: &Csr) -> ComponentSummary {
+    let n = csr.node_count();
+    let mut uf = UnionFind::new(n);
+    for u in 0..n {
+        for &v in csr.neighbors(NodeId::from(u)) {
+            uf.union(u as u32, v.0);
+        }
+    }
+    // Densify roots -> component ids ordered by descending size.
+    let mut root_of: Vec<u32> = (0..n as u32).map(|i| uf.find(i)).collect();
+    let mut by_root: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for &r in &root_of {
+        *by_root.entry(r).or_insert(0) += 1;
+    }
+    let mut roots: Vec<(u32, usize)> = by_root.into_iter().collect();
+    roots.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let dense: std::collections::HashMap<u32, u32> =
+        roots.iter().enumerate().map(|(i, &(r, _))| (r, i as u32)).collect();
+    for r in &mut root_of {
+        *r = dense[r];
+    }
+    ComponentSummary { assignment: root_of, sizes: roots.into_iter().map(|(_, s)| s).collect() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{EdgeKind, NodeKind};
+    use crate::store::GraphStore;
+
+    #[test]
+    fn two_components() {
+        let mut g = GraphStore::new();
+        let e1 = g.upsert_node(NodeKind::Event, "e1");
+        let ip1 = g.upsert_node(NodeKind::Ip, "1.1.1.1");
+        let d1 = g.upsert_node(NodeKind::Domain, "a.example");
+        g.add_edge(e1, ip1, EdgeKind::InReport).unwrap();
+        g.add_edge(ip1, d1, EdgeKind::ARecord).unwrap();
+        let e2 = g.upsert_node(NodeKind::Event, "e2");
+        let u2 = g.upsert_node(NodeKind::Url, "http://b.example/x");
+        g.add_edge(e2, u2, EdgeKind::InReport).unwrap();
+
+        let csr = Csr::from_store(&g);
+        let cc = connected_components(&csr);
+        assert_eq!(cc.count(), 2);
+        assert_eq!(cc.sizes, vec![3, 2]);
+        assert!((cc.largest_fraction() - 0.6).abs() < 1e-12);
+        assert_eq!(cc.members(0).len(), 3);
+        // Members of the same component share an assignment.
+        assert_eq!(cc.assignment[e1.index()], cc.assignment[d1.index()]);
+        assert_ne!(cc.assignment[e1.index()], cc.assignment[e2.index()]);
+    }
+
+    #[test]
+    fn isolated_nodes_are_singletons() {
+        let mut g = GraphStore::new();
+        g.upsert_node(NodeKind::Asn, "AS1");
+        g.upsert_node(NodeKind::Asn, "AS2");
+        let cc = connected_components(&Csr::from_store(&g));
+        assert_eq!(cc.count(), 2);
+        assert_eq!(cc.sizes, vec![1, 1]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let cc = connected_components(&Csr::from_store(&GraphStore::new()));
+        assert_eq!(cc.count(), 0);
+        assert_eq!(cc.largest(), 0);
+        assert_eq!(cc.largest_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Ego-net extraction (paper Figure 3, Figures 5–6).
+//!
+//! The paper views each incident report as an ego-net: the event is the
+//! ego and the reported IOCs are the alters; enrichment then expands the
+//! net with secondary IOCs and alter–alter edges.
+
+use crate::csr::Csr;
+use crate::ids::NodeId;
+use crate::schema::NodeKind;
+use crate::store::GraphStore;
+
+/// An extracted ego network: the ego, all nodes within `radius` hops,
+/// and the induced edge list among them.
+#[derive(Debug, Clone)]
+pub struct EgoNet {
+    /// The focal node.
+    pub ego: NodeId,
+    /// `(node, hop-distance)` for every member, ego first.
+    pub members: Vec<(NodeId, u32)>,
+    /// Induced edges among members as `(src, dst)` pairs (directed as stored).
+    pub edges: Vec<(NodeId, NodeId)>,
+}
+
+impl EgoNet {
+    /// Member count per node kind, indexed by [`NodeKind::index`].
+    pub fn kind_counts(&self, g: &GraphStore) -> [usize; 5] {
+        let mut counts = [0usize; 5];
+        for &(id, _) in &self.members {
+            counts[g.node(id).kind.index()] += 1;
+        }
+        counts
+    }
+
+    /// Members of a given kind.
+    pub fn members_of_kind(&self, g: &GraphStore, kind: NodeKind) -> Vec<NodeId> {
+        self.members.iter().filter(|&&(id, _)| g.node(id).kind == kind).map(|&(id, _)| id).collect()
+    }
+}
+
+/// Extract the ego-net of `ego` with the given hop radius.
+pub fn ego_net(g: &GraphStore, csr: &Csr, ego: NodeId, radius: u32) -> EgoNet {
+    let members = super::bfs::k_hop(csr, &[ego], radius);
+    let mut in_net = vec![false; g.node_count()];
+    for &(id, _) in &members {
+        in_net[id.index()] = true;
+    }
+    let mut edges = Vec::new();
+    for e in g.edges() {
+        if in_net[e.src.index()] && in_net[e.dst.index()] {
+            edges.push((e.src, e.dst));
+        }
+    }
+    EgoNet { ego, members, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::EdgeKind;
+
+    #[test]
+    fn egonet_counts_and_induced_edges() {
+        let mut g = GraphStore::new();
+        let e = g.upsert_node(NodeKind::Event, "e");
+        let ip = g.upsert_node(NodeKind::Ip, "1.1.1.1");
+        let d = g.upsert_node(NodeKind::Domain, "a.example");
+        let d_far = g.upsert_node(NodeKind::Domain, "far.example");
+        g.add_edge(e, ip, EdgeKind::InReport).unwrap();
+        g.add_edge(e, d, EdgeKind::InReport).unwrap();
+        g.add_edge(ip, d, EdgeKind::ARecord).unwrap(); // alter-alter edge
+        g.add_edge(ip, d_far, EdgeKind::ARecord).unwrap(); // 2 hops from ego
+
+        let csr = Csr::from_store(&g);
+        let net1 = ego_net(&g, &csr, e, 1);
+        assert_eq!(net1.members.len(), 3);
+        // The induced subgraph keeps the alter-alter A-record edge.
+        assert_eq!(net1.edges.len(), 3);
+        let counts = net1.kind_counts(&g);
+        assert_eq!(counts[NodeKind::Ip.index()], 1);
+        assert_eq!(counts[NodeKind::Domain.index()], 1);
+
+        let net2 = ego_net(&g, &csr, e, 2);
+        assert_eq!(net2.members.len(), 4);
+        assert_eq!(net2.edges.len(), 4);
+        assert_eq!(net2.members_of_kind(&g, NodeKind::Domain).len(), 2);
+    }
+}

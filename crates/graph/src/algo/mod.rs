@@ -1,0 +1,11 @@
+//! Graph algorithms backing the paper's Section V analysis:
+//! connected components, BFS traversals (k-hop neighbourhoods,
+//! diameter estimation) and ego-net extraction.
+
+pub mod bfs;
+pub mod components;
+pub mod egonet;
+
+pub use bfs::{bfs_distances, diameter_double_sweep, k_hop};
+pub use components::{ComponentSummary, connected_components};
+pub use egonet::{ego_net, EgoNet};

@@ -1,0 +1,139 @@
+//! Frozen undirected CSR view for fast traversal and message passing.
+
+use crate::ids::NodeId;
+use crate::schema::EdgeKind;
+use crate::store::GraphStore;
+
+/// Compressed-sparse-row adjacency treating every edge as undirected,
+/// which is how the paper traverses the TKG (label propagation and
+/// GraphSAGE both use the symmetrised adjacency).
+#[derive(Debug, Clone)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<NodeId>,
+    kinds: Vec<EdgeKind>,
+}
+
+impl Csr {
+    /// Build from a [`GraphStore`], symmetrising all edges.
+    pub fn from_store(g: &GraphStore) -> Self {
+        let n = g.node_count();
+        let mut degrees = vec![0usize; n];
+        for e in g.edges() {
+            degrees[e.src.index()] += 1;
+            degrees[e.dst.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0;
+        offsets.push(0);
+        for d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![NodeId(0); acc];
+        let mut kinds = vec![EdgeKind::InReport; acc];
+        for e in g.edges() {
+            let s = e.src.index();
+            let d = e.dst.index();
+            targets[cursor[s]] = e.dst;
+            kinds[cursor[s]] = e.kind;
+            cursor[s] += 1;
+            targets[cursor[d]] = e.src;
+            kinds[cursor[d]] = e.kind;
+            cursor[d] += 1;
+        }
+        Self { offsets, targets, kinds }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of directed half-edges (2x the undirected edge count).
+    #[inline]
+    pub fn half_edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Undirected degree of a node.
+    #[inline]
+    pub fn degree(&self, id: NodeId) -> usize {
+        self.offsets[id.index() + 1] - self.offsets[id.index()]
+    }
+
+    /// Neighbours of a node.
+    #[inline]
+    pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
+        &self.targets[self.offsets[id.index()]..self.offsets[id.index() + 1]]
+    }
+
+    /// Neighbours of a node with the edge kind of each incident edge.
+    pub fn neighbors_with_kinds(&self, id: NodeId) -> impl Iterator<Item = (NodeId, EdgeKind)> + '_ {
+        let r = self.offsets[id.index()]..self.offsets[id.index() + 1];
+        self.targets[r.clone()].iter().copied().zip(self.kinds[r].iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::NodeKind;
+
+    #[test]
+    fn csr_matches_store_adjacency() {
+        let mut g = GraphStore::new();
+        let e = g.upsert_node(NodeKind::Event, "e");
+        let ip = g.upsert_node(NodeKind::Ip, "i");
+        let d = g.upsert_node(NodeKind::Domain, "d");
+        g.add_edge(e, ip, EdgeKind::InReport).unwrap();
+        g.add_edge(e, d, EdgeKind::InReport).unwrap();
+        g.add_edge(ip, d, EdgeKind::ARecord).unwrap();
+
+        let csr = Csr::from_store(&g);
+        assert_eq!(csr.node_count(), 3);
+        assert_eq!(csr.half_edge_count(), 6);
+        assert_eq!(csr.degree(e), 2);
+        assert_eq!(csr.degree(d), 2);
+        let mut n: Vec<_> = csr.neighbors(d).to_vec();
+        n.sort();
+        assert_eq!(n, vec![e, ip]);
+        let kinds: Vec<_> = csr.neighbors_with_kinds(ip).collect();
+        assert!(kinds.contains(&(e, EdgeKind::InReport)));
+        assert!(kinds.contains(&(d, EdgeKind::ARecord)));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = Csr::from_store(&GraphStore::new());
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.half_edge_count(), 0);
+    }
+
+    #[test]
+    fn isolated_node_has_empty_neighbor_slice() {
+        let mut g = GraphStore::new();
+        let a = g.upsert_node(NodeKind::Asn, "AS1");
+        let csr = Csr::from_store(&g);
+        assert_eq!(csr.degree(a), 0);
+        assert!(csr.neighbors(a).is_empty());
+        assert_eq!(csr.neighbors_with_kinds(a).count(), 0);
+    }
+
+    #[test]
+    fn parallel_edges_of_different_kinds_both_appear() {
+        let mut g = GraphStore::new();
+        let u = g.upsert_node(NodeKind::Url, "http://a.example/x");
+        let ip = g.upsert_node(NodeKind::Ip, "1.1.1.1");
+        let d = g.upsert_node(NodeKind::Domain, "a.example");
+        g.add_edge(u, ip, EdgeKind::UrlResolvesTo).unwrap();
+        g.add_edge(u, d, EdgeKind::HostedOn).unwrap();
+        g.add_edge(d, ip, EdgeKind::DomainResolvesTo).unwrap();
+        let csr = Csr::from_store(&g);
+        let kinds: Vec<EdgeKind> = csr.neighbors_with_kinds(u).map(|(_, k)| k).collect();
+        assert!(kinds.contains(&EdgeKind::UrlResolvesTo));
+        assert!(kinds.contains(&EdgeKind::HostedOn));
+    }
+}

@@ -1,0 +1,58 @@
+//! Typed property-graph store and algorithms for the TRAIL knowledge graph.
+//!
+//! The paper stores the TKG in neo4j and uses it for traversal queries
+//! (k-hop neighbourhoods, ego-nets, connected components, diameter).
+//! This crate is the embedded substitute: a deduplicating, schema-checked
+//! property graph ([`GraphStore`]) with a frozen CSR view ([`Csr`]) for
+//! fast traversal, the algorithm suite the paper's Section V analysis
+//! needs ([`algo`]), and a JSON snapshot format ([`persist`]).
+//!
+//! Node and edge kinds mirror the schema of the paper's Figure 2 and
+//! Table I exactly; see [`schema`].
+
+pub mod algo;
+pub mod csr;
+pub mod ids;
+pub mod persist;
+pub mod schema;
+pub mod store;
+
+pub use csr::Csr;
+pub use ids::NodeId;
+pub use schema::{EdgeKind, NodeKind};
+pub use store::{GraphStore, NodeRecord};
+
+/// Errors raised by graph mutation and persistence.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge was inserted between node kinds the Table I schema forbids.
+    SchemaViolation {
+        /// Offending edge kind.
+        edge: EdgeKind,
+        /// Source node kind supplied.
+        src: NodeKind,
+        /// Destination node kind supplied.
+        dst: NodeKind,
+    },
+    /// A node id was out of range for this graph.
+    UnknownNode(NodeId),
+    /// Snapshot (de)serialisation failure.
+    Persist(String),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::SchemaViolation { edge, src, dst } => {
+                write!(f, "edge {edge:?} not allowed from {src:?} to {dst:?}")
+            }
+            GraphError::UnknownNode(id) => write!(f, "unknown node {id:?}"),
+            GraphError::Persist(msg) => write!(f, "persistence error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, GraphError>;

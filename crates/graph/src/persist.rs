@@ -1,0 +1,108 @@
+//! Snapshot persistence: a length-framed JSON encoding of the store.
+//!
+//! The frame is `b"TKG1"` + u64-LE payload length + JSON payload, which
+//! lets snapshots be embedded in larger archives and validated cheaply.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::store::GraphStore;
+use crate::{GraphError, Result};
+
+const MAGIC: &[u8; 4] = b"TKG1";
+
+/// Serialise a graph into a framed snapshot.
+pub fn to_bytes(g: &GraphStore) -> Result<Bytes> {
+    let payload =
+        serde_json::to_vec(g).map_err(|e| GraphError::Persist(format!("encode: {e}")))?;
+    let mut buf = BytesMut::with_capacity(payload.len() + 12);
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(payload.len() as u64);
+    buf.put_slice(&payload);
+    Ok(buf.freeze())
+}
+
+/// Deserialise a framed snapshot, rebuilding lookup indices.
+pub fn from_bytes(mut data: Bytes) -> Result<GraphStore> {
+    if data.len() < 12 {
+        return Err(GraphError::Persist("snapshot too short".into()));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(GraphError::Persist("bad magic".into()));
+    }
+    let len = data.get_u64_le() as usize;
+    if data.len() < len {
+        return Err(GraphError::Persist(format!(
+            "truncated snapshot: want {len}, have {}",
+            data.len()
+        )));
+    }
+    let mut g: GraphStore = serde_json::from_slice(&data[..len])
+        .map_err(|e| GraphError::Persist(format!("decode: {e}")))?;
+    g.rebuild_indices();
+    Ok(g)
+}
+
+/// Write a snapshot to a file.
+pub fn save(g: &GraphStore, path: &std::path::Path) -> Result<()> {
+    let bytes = to_bytes(g)?;
+    std::fs::write(path, &bytes).map_err(|e| GraphError::Persist(format!("write: {e}")))
+}
+
+/// Load a snapshot from a file.
+pub fn load(path: &std::path::Path) -> Result<GraphStore> {
+    let data = std::fs::read(path).map_err(|e| GraphError::Persist(format!("read: {e}")))?;
+    from_bytes(Bytes::from(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::LabelId;
+    use crate::schema::{EdgeKind, NodeKind};
+
+    fn sample() -> GraphStore {
+        let mut g = GraphStore::new();
+        let e = g.upsert_node(NodeKind::Event, "evt");
+        let ip = g.upsert_node(NodeKind::Ip, "1.2.3.4");
+        g.add_edge(e, ip, EdgeKind::InReport).unwrap();
+        g.set_label(e, LabelId(5)).unwrap();
+        g.mark_first_order(ip);
+        g
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let g = sample();
+        let bytes = to_bytes(&g).unwrap();
+        let g2 = from_bytes(bytes).unwrap();
+        assert_eq!(g2.node_count(), 2);
+        assert_eq!(g2.edge_count(), 1);
+        let e = g2.find_node(NodeKind::Event, "evt").unwrap();
+        assert_eq!(g2.node(e).label, Some(LabelId(5)));
+        let ip = g2.find_node(NodeKind::Ip, "1.2.3.4").unwrap();
+        assert!(g2.node(ip).first_order);
+        assert_eq!(g2.out_neighbors(e), &[(ip, EdgeKind::InReport)]);
+    }
+
+    #[test]
+    fn rejects_corrupt_frames() {
+        assert!(from_bytes(Bytes::from_static(b"short")).is_err());
+        assert!(from_bytes(Bytes::from_static(b"XXXX\0\0\0\0\0\0\0\0")).is_err());
+        let mut bytes = to_bytes(&sample()).unwrap().to_vec();
+        bytes.truncate(bytes.len() - 4);
+        assert!(from_bytes(Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("trail_graph_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.tkg");
+        save(&sample(), &path).unwrap();
+        let g2 = load(&path).unwrap();
+        assert_eq!(g2.node_count(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,168 @@
+//! The TKG schema: node and edge kinds of the paper's Figure 2 / Table I.
+
+use serde::{Deserialize, Serialize};
+
+/// Kind of a TKG node (paper Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A cyber incident report attributed to a single APT.
+    Event,
+    /// An IPv4/IPv6 address observed as an IOC.
+    Ip,
+    /// A full URL observed as an IOC.
+    Url,
+    /// A domain name observed as an IOC.
+    Domain,
+    /// An autonomous-system number grouping IP addresses.
+    Asn,
+}
+
+impl NodeKind {
+    /// All node kinds, in the order Table II reports them.
+    pub const ALL: [NodeKind; 5] =
+        [NodeKind::Event, NodeKind::Ip, NodeKind::Url, NodeKind::Domain, NodeKind::Asn];
+
+    /// Stable small index (used to bucket per-kind statistics).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            NodeKind::Event => 0,
+            NodeKind::Ip => 1,
+            NodeKind::Url => 2,
+            NodeKind::Domain => 3,
+            NodeKind::Asn => 4,
+        }
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            NodeKind::Event => "Events",
+            NodeKind::Ip => "IPs",
+            NodeKind::Url => "URLs",
+            NodeKind::Domain => "Domains",
+            NodeKind::Asn => "ASNs",
+        }
+    }
+}
+
+/// Kind of a TKG edge (paper Table I).
+///
+/// ```
+/// use trail_graph::EdgeKind;
+/// // Table I lists exactly six relations.
+/// assert_eq!(EdgeKind::ALL.len(), 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// Event → IP/Domain/URL: the IOC appeared in the incident report.
+    InReport,
+    /// IP → Domain: passive DNS captured a resolution from the IP to the
+    /// domain at some point in the past.
+    ARecord,
+    /// IP → ASN: the ASN containing the IP address.
+    InGroup,
+    /// URL → IP: the IP the URL resolves to (nslookup / passive DNS).
+    UrlResolvesTo,
+    /// URL → Domain: the domain the URL is hosted on (lexical).
+    HostedOn,
+    /// Domain → IP: a resolution from the domain to an IP address.
+    DomainResolvesTo,
+}
+
+impl EdgeKind {
+    /// All edge kinds, in Table I order.
+    pub const ALL: [EdgeKind; 6] = [
+        EdgeKind::InReport,
+        EdgeKind::ARecord,
+        EdgeKind::InGroup,
+        EdgeKind::UrlResolvesTo,
+        EdgeKind::HostedOn,
+        EdgeKind::DomainResolvesTo,
+    ];
+
+    /// Stable small index.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            EdgeKind::InReport => 0,
+            EdgeKind::ARecord => 1,
+            EdgeKind::InGroup => 2,
+            EdgeKind::UrlResolvesTo => 3,
+            EdgeKind::HostedOn => 4,
+            EdgeKind::DomainResolvesTo => 5,
+        }
+    }
+
+    /// Table I name of the relation.
+    pub fn name(self) -> &'static str {
+        match self {
+            EdgeKind::InReport => "InReport",
+            EdgeKind::ARecord => "A Record",
+            EdgeKind::InGroup => "InGroup",
+            EdgeKind::UrlResolvesTo => "ResolvesTo",
+            EdgeKind::HostedOn => "HostedOn",
+            EdgeKind::DomainResolvesTo => "ResolvesTo",
+        }
+    }
+
+    /// Whether this edge kind may run from `src` to `dst`, per Table I.
+    pub fn allows(self, src: NodeKind, dst: NodeKind) -> bool {
+        use EdgeKind::*;
+        use NodeKind::*;
+        matches!(
+            (self, src, dst),
+            (InReport, Event, Ip)
+                | (InReport, Event, Domain)
+                | (InReport, Event, Url)
+                | (ARecord, Ip, Domain)
+                | (InGroup, Ip, Asn)
+                | (UrlResolvesTo, Url, Ip)
+                | (HostedOn, Url, Domain)
+                | (DomainResolvesTo, Domain, Ip)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_allowed_pairs_exact() {
+        // Enumerate the full (edge, src, dst) product and assert that the
+        // accepted set is exactly the eight rows of Table I.
+        let mut allowed = Vec::new();
+        for e in EdgeKind::ALL {
+            for s in NodeKind::ALL {
+                for d in NodeKind::ALL {
+                    if e.allows(s, d) {
+                        allowed.push((e, s, d));
+                    }
+                }
+            }
+        }
+        assert_eq!(allowed.len(), 8);
+        assert!(allowed.contains(&(EdgeKind::InReport, NodeKind::Event, NodeKind::Url)));
+        assert!(allowed.contains(&(EdgeKind::ARecord, NodeKind::Ip, NodeKind::Domain)));
+        assert!(allowed.contains(&(EdgeKind::InGroup, NodeKind::Ip, NodeKind::Asn)));
+        assert!(allowed.contains(&(EdgeKind::DomainResolvesTo, NodeKind::Domain, NodeKind::Ip)));
+        // Nothing points *at* an event, and ASNs have no outgoing edges.
+        assert!(allowed.iter().all(|&(_, _, d)| d != NodeKind::Event));
+        assert!(allowed.iter().all(|&(_, s, _)| s != NodeKind::Asn));
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; 5];
+        for k in NodeKind::ALL {
+            assert!(!seen[k.index()]);
+            seen[k.index()] = true;
+        }
+        let mut seen_e = [false; 6];
+        for e in EdgeKind::ALL {
+            assert!(!seen_e[e.index()]);
+            seen_e[e.index()] = true;
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! The mutable, deduplicating property-graph store.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{LabelId, NodeId};
+use crate::schema::{EdgeKind, NodeKind};
+use crate::{GraphError, Result};
+
+/// A single node: its kind, natural key, optional class label and
+/// whether it was reported directly in an event ("first order") or only
+/// discovered during enrichment ("secondary", 75 % of the paper's graph).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeRecord {
+    /// Node kind per the Figure 2 schema.
+    pub kind: NodeKind,
+    /// Natural key — the IOC text (e.g. `"198.51.100.7"`, `"evil.example"`).
+    pub key: String,
+    /// APT label; only ever set on [`NodeKind::Event`] nodes.
+    pub label: Option<LabelId>,
+    /// True when the node appeared directly in some incident report.
+    pub first_order: bool,
+}
+
+/// A directed, typed edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Relation type per Table I.
+    pub kind: EdgeKind,
+}
+
+/// Mutable TKG store with key-deduplication and Table I schema checks.
+///
+/// Parallel edges of the same kind are rejected (idempotent insert), so
+/// repeated enrichment of overlapping reports converges — the property
+/// the paper relies on when merging 4,512 event subgraphs.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GraphStore {
+    nodes: Vec<NodeRecord>,
+    edges: Vec<Edge>,
+    #[serde(skip)]
+    key_index: HashMap<(NodeKind, String), NodeId>,
+    #[serde(skip)]
+    edge_set: HashSet<(u32, u32, u8)>,
+    out: Vec<Vec<(NodeId, EdgeKind)>>,
+    inn: Vec<Vec<(NodeId, EdgeKind)>>,
+}
+
+impl GraphStore {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty graph with node capacity reserved.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Self {
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+            key_index: HashMap::with_capacity(nodes),
+            edge_set: HashSet::with_capacity(edges),
+            out: Vec::with_capacity(nodes),
+            inn: Vec::with_capacity(nodes),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of (directed, deduplicated) edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Insert the node if its `(kind, key)` is new, otherwise return the
+    /// existing id. Never downgrades `first_order` (see [`Self::mark_first_order`]).
+    pub fn upsert_node(&mut self, kind: NodeKind, key: &str) -> NodeId {
+        if let Some(&id) = self.key_index.get(&(kind, key.to_owned())) {
+            return id;
+        }
+        let id = NodeId::from(self.nodes.len());
+        self.nodes.push(NodeRecord { kind, key: key.to_owned(), label: None, first_order: false });
+        self.key_index.insert((kind, key.to_owned()), id);
+        self.out.push(Vec::new());
+        self.inn.push(Vec::new());
+        id
+    }
+
+    /// Look up a node id by kind and key.
+    pub fn find_node(&self, kind: NodeKind, key: &str) -> Option<NodeId> {
+        self.key_index.get(&(kind, key.to_owned())).copied()
+    }
+
+    /// Borrow a node record.
+    pub fn node(&self, id: NodeId) -> &NodeRecord {
+        &self.nodes[id.index()]
+    }
+
+    /// Set the APT label of an event node.
+    pub fn set_label(&mut self, id: NodeId, label: LabelId) -> Result<()> {
+        let rec = self.nodes.get_mut(id.index()).ok_or(GraphError::UnknownNode(id))?;
+        rec.label = Some(label);
+        Ok(())
+    }
+
+    /// Clear a node's label (used when masking folds).
+    pub fn clear_label(&mut self, id: NodeId) {
+        if let Some(rec) = self.nodes.get_mut(id.index()) {
+            rec.label = None;
+        }
+    }
+
+    /// Mark a node as first-order (directly reported in an event).
+    pub fn mark_first_order(&mut self, id: NodeId) {
+        if let Some(rec) = self.nodes.get_mut(id.index()) {
+            rec.first_order = true;
+        }
+    }
+
+    /// Add a typed edge; returns `Ok(false)` when the identical edge
+    /// already exists. Rejects pairs Table I forbids.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, kind: EdgeKind) -> Result<bool> {
+        let (sk, dk) = (
+            self.nodes.get(src.index()).ok_or(GraphError::UnknownNode(src))?.kind,
+            self.nodes.get(dst.index()).ok_or(GraphError::UnknownNode(dst))?.kind,
+        );
+        if !kind.allows(sk, dk) {
+            return Err(GraphError::SchemaViolation { edge: kind, src: sk, dst: dk });
+        }
+        if !self.edge_set.insert((src.0, dst.0, kind.index() as u8)) {
+            return Ok(false);
+        }
+        self.edges.push(Edge { src, dst, kind });
+        self.out[src.index()].push((dst, kind));
+        self.inn[dst.index()].push((src, kind));
+        Ok(true)
+    }
+
+    /// Out-neighbours of a node with edge kinds.
+    pub fn out_neighbors(&self, id: NodeId) -> &[(NodeId, EdgeKind)] {
+        &self.out[id.index()]
+    }
+
+    /// In-neighbours of a node with edge kinds.
+    pub fn in_neighbors(&self, id: NodeId) -> &[(NodeId, EdgeKind)] {
+        &self.inn[id.index()]
+    }
+
+    /// Undirected degree (in + out).
+    pub fn degree(&self, id: NodeId) -> usize {
+        self.out[id.index()].len() + self.inn[id.index()].len()
+    }
+
+    /// All node ids of a given kind.
+    pub fn nodes_of_kind(&self, kind: NodeKind) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.kind == kind)
+            .map(|(i, _)| NodeId::from(i))
+            .collect()
+    }
+
+    /// Count of nodes per kind, indexed by [`NodeKind::index`].
+    pub fn node_counts_by_kind(&self) -> [usize; 5] {
+        let mut counts = [0; 5];
+        for n in &self.nodes {
+            counts[n.kind.index()] += 1;
+        }
+        counts
+    }
+
+    /// Count of edge endpoints touching each node kind (the per-kind
+    /// "Edges" column of Table II counts an edge once per endpoint kind).
+    pub fn edge_endpoint_counts_by_kind(&self) -> [usize; 5] {
+        let mut counts = [0; 5];
+        for e in &self.edges {
+            counts[self.nodes[e.src.index()].kind.index()] += 1;
+            counts[self.nodes[e.dst.index()].kind.index()] += 1;
+        }
+        counts
+    }
+
+    /// Count of edges per edge kind.
+    pub fn edge_counts_by_kind(&self) -> [usize; 6] {
+        let mut counts = [0; 6];
+        for e in &self.edges {
+            counts[e.kind.index()] += 1;
+        }
+        counts
+    }
+
+    /// Iterate all edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Iterate all node records with ids.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = (NodeId, &NodeRecord)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId::from(i), n))
+    }
+
+    /// Induced subgraph over `keep`. Returns the new graph and, for each
+    /// old node id, its new id (or `None` if dropped). Used for the
+    /// paper's first-order-only analysis (Section V).
+    pub fn subgraph(&self, keep: impl Fn(NodeId, &NodeRecord) -> bool) -> (Self, Vec<Option<NodeId>>) {
+        let mut mapping: Vec<Option<NodeId>> = vec![None; self.nodes.len()];
+        let mut sub = GraphStore::new();
+        for (id, rec) in self.iter_nodes() {
+            if keep(id, rec) {
+                let new_id = sub.upsert_node(rec.kind, &rec.key);
+                if let Some(l) = rec.label {
+                    sub.set_label(new_id, l).expect("fresh node");
+                }
+                if rec.first_order {
+                    sub.mark_first_order(new_id);
+                }
+                mapping[id.index()] = Some(new_id);
+            }
+        }
+        for e in &self.edges {
+            if let (Some(s), Some(d)) = (mapping[e.src.index()], mapping[e.dst.index()]) {
+                sub.add_edge(s, d, e.kind).expect("kinds preserved");
+            }
+        }
+        (sub, mapping)
+    }
+
+    /// Rebuild the lookup indices after deserialisation (they are skipped
+    /// in the snapshot to halve its size).
+    pub fn rebuild_indices(&mut self) {
+        self.key_index = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| ((n.kind, n.key.clone()), NodeId::from(i)))
+            .collect();
+        self.edge_set =
+            self.edges.iter().map(|e| (e.src.0, e.dst.0, e.kind.index() as u8)).collect();
+        self.out = vec![Vec::new(); self.nodes.len()];
+        self.inn = vec![Vec::new(); self.nodes.len()];
+        for e in &self.edges {
+            self.out[e.src.index()].push((e.dst, e.kind));
+            self.inn[e.dst.index()].push((e.src, e.kind));
+        }
+    }
+}
+
+pub use crate::ids::LabelId as Label;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (GraphStore, NodeId, NodeId, NodeId) {
+        let mut g = GraphStore::new();
+        let e = g.upsert_node(NodeKind::Event, "evt-1");
+        let ip = g.upsert_node(NodeKind::Ip, "198.51.100.7");
+        let d = g.upsert_node(NodeKind::Domain, "evil.example");
+        g.add_edge(e, ip, EdgeKind::InReport).unwrap();
+        g.add_edge(e, d, EdgeKind::InReport).unwrap();
+        g.add_edge(ip, d, EdgeKind::ARecord).unwrap();
+        (g, e, ip, d)
+    }
+
+    #[test]
+    fn upsert_is_idempotent() {
+        let mut g = GraphStore::new();
+        let a = g.upsert_node(NodeKind::Ip, "198.51.100.7");
+        let b = g.upsert_node(NodeKind::Ip, "198.51.100.7");
+        assert_eq!(a, b);
+        assert_eq!(g.node_count(), 1);
+        // Same key under a different kind is a different node.
+        let c = g.upsert_node(NodeKind::Domain, "198.51.100.7");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn duplicate_edge_rejected_quietly() {
+        let (mut g, e, ip, _) = tiny();
+        assert!(!g.add_edge(e, ip, EdgeKind::InReport).unwrap());
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn schema_violation_is_an_error() {
+        let (mut g, e, ip, _) = tiny();
+        // IP -> Event is never allowed.
+        let err = g.add_edge(ip, e, EdgeKind::InReport).unwrap_err();
+        assert!(matches!(err, GraphError::SchemaViolation { .. }));
+    }
+
+    #[test]
+    fn neighbors_and_degree() {
+        let (g, e, ip, d) = tiny();
+        assert_eq!(g.out_neighbors(e).len(), 2);
+        assert_eq!(g.in_neighbors(d).len(), 2);
+        assert_eq!(g.degree(ip), 2);
+    }
+
+    #[test]
+    fn labels_and_first_order() {
+        let (mut g, e, ip, _) = tiny();
+        g.set_label(e, LabelId(3)).unwrap();
+        g.mark_first_order(ip);
+        assert_eq!(g.node(e).label, Some(LabelId(3)));
+        assert!(g.node(ip).first_order);
+        g.clear_label(e);
+        assert_eq!(g.node(e).label, None);
+    }
+
+    #[test]
+    fn subgraph_drops_edges_to_removed_nodes() {
+        let (g, _, ip, d) = tiny();
+        let (sub, mapping) = g.subgraph(|_, n| n.kind != NodeKind::Event);
+        assert_eq!(sub.node_count(), 2);
+        assert_eq!(sub.edge_count(), 1); // only ip -> domain survives
+        let new_ip = mapping[ip.index()].unwrap();
+        let new_d = mapping[d.index()].unwrap();
+        assert_eq!(sub.out_neighbors(new_ip), &[(new_d, EdgeKind::ARecord)]);
+    }
+
+    #[test]
+    fn counts_by_kind() {
+        let (g, ..) = tiny();
+        let nodes = g.node_counts_by_kind();
+        assert_eq!(nodes[NodeKind::Event.index()], 1);
+        assert_eq!(nodes[NodeKind::Ip.index()], 1);
+        assert_eq!(nodes[NodeKind::Domain.index()], 1);
+        let edges = g.edge_counts_by_kind();
+        assert_eq!(edges[EdgeKind::InReport.index()], 2);
+        assert_eq!(edges[EdgeKind::ARecord.index()], 1);
+    }
+
+    #[test]
+    fn rebuild_indices_restores_lookup() {
+        let (mut g, _, ip, _) = tiny();
+        g.rebuild_indices();
+        assert_eq!(g.find_node(NodeKind::Ip, "198.51.100.7"), Some(ip));
+        // Dedup still works post-rebuild.
+        let before = g.edge_count();
+        let e = g.find_node(NodeKind::Event, "evt-1").unwrap();
+        assert!(!g.add_edge(e, ip, EdgeKind::InReport).unwrap());
+        assert_eq!(g.edge_count(), before);
+    }
+}

@@ -1,0 +1,62 @@
+//! Refanging of defensively obfuscated IOC text.
+//!
+//! Threat reports "defang" IOCs so they cannot be clicked:
+//! `hxxp://threebody[.]cn/trisolaris.php` (the paper's own example).
+//! All parsers in this crate accept defanged input via [`refang`].
+
+/// Undo the common defanging conventions:
+/// `hxxp`/`hXXp` → `http`, `[.]`/`(.)`/`{.}` → `.`, `[:]` → `:`,
+/// `[at]`/`(at)` → `@`, and surrounding whitespace.
+pub fn refang(s: &str) -> String {
+    let mut out = s.trim().to_owned();
+    // Scheme first, case-insensitively, only at the start.
+    for (pat, rep) in [("hxxps://", "https://"), ("hxxp://", "http://")] {
+        if out.len() >= pat.len() && out[..pat.len()].eq_ignore_ascii_case(pat) {
+            out = format!("{rep}{}", &out[pat.len()..]);
+            break;
+        }
+    }
+    for (pat, rep) in
+        [("[.]", "."), ("(.)", "."), ("{.}", "."), ("[:]", ":"), ("[at]", "@"), ("(at)", "@"), ("[@]", "@")]
+    {
+        out = out.replace(pat, rep);
+    }
+    out
+}
+
+/// Defang text for safe display: `.` → `[.]` in the host part and
+/// `http` → `hxxp`. Inverse (up to convention) of [`refang`].
+pub fn defang(s: &str) -> String {
+    let mut out = s.replace('.', "[.]");
+    if let Some(rest) = out.strip_prefix("https://") {
+        out = format!("hxxps://{rest}");
+    } else if let Some(rest) = out.strip_prefix("http://") {
+        out = format!("hxxp://{rest}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_refangs() {
+        assert_eq!(refang("hxxp://threebody[.]cn/trisolaris.php"), "http://threebody.cn/trisolaris.php");
+    }
+
+    #[test]
+    fn refang_variants() {
+        assert_eq!(refang("hXXps://a[.]b"), "https://a.b");
+        assert_eq!(refang("  1.0.36[.]127 "), "1.0.36.127");
+        assert_eq!(refang("v5y7s3[.]l2twn2[.]club"), "v5y7s3.l2twn2.club");
+        assert_eq!(refang("user[at]mail(.)example"), "user@mail.example");
+        assert_eq!(refang("plain.example"), "plain.example");
+    }
+
+    #[test]
+    fn defang_roundtrip() {
+        let original = "http://a.b.example/x";
+        assert_eq!(refang(&defang(original)), original);
+    }
+}

@@ -1,0 +1,107 @@
+//! Fixed-layout feature encoders (paper Section IV-B).
+//!
+//! Dimensionalities match the paper exactly: URLs 1,517, IPs 507,
+//! domains 115. Every slot has a stable, human-readable name so the
+//! SHAP-style explanations of Fig. 9 can label their axes.
+//!
+//! Where the paper's block arithmetic is ambiguous, the concrete layout
+//! chosen here is recorded in DESIGN.md.
+
+pub mod domain_enc;
+pub mod ip_enc;
+pub mod url_enc;
+
+pub use domain_enc::DomainEncoder;
+pub use ip_enc::IpEncoder;
+pub use url_enc::UrlEncoder;
+
+/// Feature-vector width for URLs.
+pub const URL_DIMS: usize = 1517;
+/// Feature-vector width for IPs.
+pub const IP_DIMS: usize = 507;
+/// Feature-vector width for domains.
+pub const DOMAIN_DIMS: usize = 115;
+
+/// The top-100 TLD vocabulary shared by the URL and domain encoders.
+pub(crate) const COMMON_TLDS: &[&str] = &[
+    "com", "net", "org", "info", "biz", "ru", "cn", "club", "xyz", "top", "site", "online", "io",
+    "me", "cc", "tv", "us", "uk", "de", "fr", "kr", "jp", "in", "br", "ir", "vn", "pl", "nl",
+    "eu", "su", "pw", "ws", "link", "space", "live", "tech", "store", "pro", "work", "life",
+];
+
+/// Curated server-software names (first slots of the 944-way block).
+pub(crate) const COMMON_SERVERS: &[&str] = &[
+    "nginx", "apache", "iis", "litespeed", "caddy", "cloudflare", "gws", "openresty", "lighttpd",
+    "tengine", "tomcat", "jetty", "gunicorn", "kestrel", "cherokee", "hiawatha", "monkey",
+    "thttpd", "boa", "mini_httpd",
+];
+
+/// Curated server operating systems (50-way block).
+pub(crate) const COMMON_OS: &[&str] = &[
+    "linux", "ubuntu", "debian", "centos", "windows", "freebsd", "openbsd", "alpine", "rhel",
+    "fedora", "gentoo", "unix",
+];
+
+/// Curated content encodings (12-way block).
+pub(crate) const COMMON_ENCODINGS: &[&str] =
+    &["gzip", "deflate", "br", "identity", "compress", "zstd", "chunked", "none"];
+
+/// Curated MIME file types (106-way block).
+pub(crate) const COMMON_FILE_TYPES: &[&str] = &[
+    "text/html", "text/plain", "application/octet-stream", "application/x-msdownload",
+    "application/zip", "application/pdf", "application/javascript", "application/json",
+    "image/png", "image/jpeg", "image/gif", "application/x-dosexec", "application/msword",
+    "application/x-rar", "application/x-7z-compressed", "application/xml",
+    "application/x-shockwave-flash", "text/css", "application/vnd.ms-excel",
+    "application/x-executable",
+];
+
+/// Curated coarse file classes (21-way block).
+pub(crate) const COMMON_FILE_CLASSES: &[&str] = &[
+    "html", "text", "binary", "pe", "elf", "script", "archive", "document", "image", "flash",
+    "java", "apk", "cert", "data",
+];
+
+/// Curated HTTP response codes (68-way block, string-keyed).
+pub(crate) const COMMON_HTTP_CODES: &[&str] = &[
+    "200", "301", "302", "303", "304", "307", "308", "400", "401", "403", "404", "405", "410",
+    "418", "429", "500", "502", "503", "504",
+];
+
+/// Curated service banners (183-way multi-hot block).
+pub(crate) const COMMON_SERVICES: &[&str] = &[
+    "http", "https", "ssh", "ftp", "smtp", "dns", "rdp", "telnet", "mysql", "postgres", "smb",
+    "vnc", "pop3", "imap", "proxy", "socks", "tor", "irc", "ntp", "snmp",
+];
+
+/// Curated header flags (23-way multi-hot block).
+pub(crate) const COMMON_HEADER_FLAGS: &[&str] = &[
+    "hsts", "csp", "xss-protection", "nosniff", "cors", "set-cookie", "redirect", "self-signed",
+    "expired-cert", "keep-alive", "etag", "cache-control", "powered-by", "frame-deny",
+];
+
+/// Curated ISO country codes (249-way block).
+pub(crate) const COMMON_COUNTRIES: &[&str] = &[
+    "us", "cn", "ru", "kp", "ir", "de", "fr", "gb", "nl", "kr", "jp", "in", "br", "ua", "lv",
+    "lt", "ee", "pl", "ro", "bg", "tr", "vn", "th", "sg", "hk", "tw", "ca", "au", "se", "ch",
+    "es", "it", "cz", "hu", "il", "ae", "sa", "pk", "id", "my",
+];
+
+/// Curated IP issuers / registries (250-way block).
+pub(crate) const COMMON_ISSUERS: &[&str] = &[
+    "arin", "ripe", "apnic", "lacnic", "afrinic", "cloudflare", "amazon", "google", "microsoft",
+    "digitalocean", "ovh", "hetzner", "linode", "vultr", "alibaba", "tencent", "selectel",
+    "king-servers", "m247", "choopa",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_match_paper() {
+        assert_eq!(URL_DIMS, 1517);
+        assert_eq!(IP_DIMS, 507);
+        assert_eq!(DOMAIN_DIMS, 115);
+    }
+}

@@ -1,0 +1,275 @@
+//! The raw incident-report format the pipeline ingests.
+//!
+//! This mirrors the shape of an OTX "pulse": an id, a creation date, a
+//! set of APT tags, and a list of typed indicators. The TRAIL collector
+//! (Section IV-A) filters reports whose tags map to more than one APT
+//! and parses the rest.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{Ioc, IocKind};
+
+/// One indicator entry in a raw report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RawIndicator {
+    /// Declared type: `"IPv4"`, `"IPv6"`, `"URL"`, `"domain"`,
+    /// `"hostname"` (OTX vocabulary; case-insensitive).
+    #[serde(rename = "type")]
+    pub indicator_type: String,
+    /// The indicator text, possibly defanged.
+    pub indicator: String,
+}
+
+/// A raw incident report as fetched from the intelligence exchange.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RawReport {
+    /// Provider-assigned report id.
+    pub id: String,
+    /// Day index the report was created (days since epoch of the feed).
+    pub created_day: u32,
+    /// Free-form APT tags attached by the reporting analyst.
+    pub tags: Vec<String>,
+    /// The indicators listed in the report.
+    pub indicators: Vec<RawIndicator>,
+}
+
+/// A parsed report: validated IOCs plus parse failures kept for audit.
+#[derive(Debug, Clone)]
+pub struct ParsedReport {
+    /// Report id.
+    pub id: String,
+    /// Creation day index.
+    pub created_day: u32,
+    /// APT tags (unresolved; alias mapping happens in the collector).
+    pub tags: Vec<String>,
+    /// Successfully parsed IOCs, deduplicated, in first-seen order.
+    pub iocs: Vec<Ioc>,
+    /// Indicators that failed validation (the paper's "junk URLs").
+    pub rejected: Vec<(String, String)>,
+}
+
+impl RawReport {
+    /// Parse from JSON text.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| format!("bad report JSON: {e}"))
+    }
+
+    /// Validate and deduplicate every indicator.
+    pub fn parse(&self) -> ParsedReport {
+        let mut iocs = Vec::with_capacity(self.indicators.len());
+        let mut seen = std::collections::HashSet::new();
+        let mut rejected = Vec::new();
+        for ind in &self.indicators {
+            let kind = match declared_kind(&ind.indicator_type) {
+                Some(k) => k,
+                None => {
+                    rejected.push((ind.indicator.clone(), format!("unknown type {:?}", ind.indicator_type)));
+                    continue;
+                }
+            };
+            match Ioc::parse_as(kind, &ind.indicator) {
+                Ok(ioc) => {
+                    if seen.insert((ioc.kind(), ioc.text().to_owned())) {
+                        iocs.push(ioc);
+                    }
+                }
+                Err(e) => rejected.push((ind.indicator.clone(), e.to_string())),
+            }
+        }
+        ParsedReport {
+            id: self.id.clone(),
+            created_day: self.created_day,
+            tags: self.tags.clone(),
+            iocs,
+            rejected,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MISP event format
+// ---------------------------------------------------------------------------
+
+/// A MISP attribute (the second feed format TRAIL understands — the
+/// paper: "TRAIL could easily be extended to parse the responses from
+/// other data providers", and OTX itself "aggregates many existing
+/// MISP feeds").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MispAttribute {
+    /// MISP attribute type, e.g. `ip-dst`, `url`, `domain`.
+    #[serde(rename = "type")]
+    pub attr_type: String,
+    /// The attribute value.
+    pub value: String,
+}
+
+/// A MISP event wrapper (`{"Event": {...}}`) reduced to the fields the
+/// collector needs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MispEvent {
+    /// Event UUID.
+    pub uuid: String,
+    /// Event info line — used as a tag source alongside `Tag`.
+    pub info: String,
+    /// Days since the feed epoch.
+    #[serde(default)]
+    pub date_day: u32,
+    /// Galaxy/taxonomy tags, e.g. `misp-galaxy:threat-actor="Sofacy"`.
+    #[serde(default)]
+    pub tags: Vec<String>,
+    /// The attributes.
+    #[serde(default, rename = "Attribute")]
+    pub attributes: Vec<MispAttribute>,
+}
+
+impl MispEvent {
+    /// Parse from JSON text (accepts both bare events and the
+    /// `{"Event": ...}` wrapper MISP exports use).
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        #[derive(Deserialize)]
+        struct Wrapper {
+            #[serde(rename = "Event")]
+            event: MispEvent,
+        }
+        if let Ok(w) = serde_json::from_str::<Wrapper>(json) {
+            return Ok(w.event);
+        }
+        serde_json::from_str(json).map_err(|e| format!("bad MISP JSON: {e}"))
+    }
+
+    /// Convert to the canonical [`RawReport`] the pipeline ingests.
+    /// Galaxy tags are reduced to their quoted value
+    /// (`misp-galaxy:threat-actor="Sofacy"` → `Sofacy`).
+    pub fn into_raw_report(self) -> RawReport {
+        let indicators = self
+            .attributes
+            .into_iter()
+            .filter_map(|a| {
+                let t = match a.attr_type.as_str() {
+                    "ip-dst" | "ip-src" | "ip" => "IPv4",
+                    "url" | "uri" => "URL",
+                    "domain" | "hostname" | "domain|ip" => "domain",
+                    _ => return None,
+                };
+                // `domain|ip` composite attributes carry both values.
+                let value = a.value.split('|').next().unwrap_or(&a.value).to_owned();
+                Some(RawIndicator { indicator_type: t.to_owned(), indicator: value })
+            })
+            .collect();
+        let tags = self
+            .tags
+            .iter()
+            .map(|t| match t.split_once('=') {
+                Some((_, v)) => v.trim_matches('"').to_owned(),
+                None => t.clone(),
+            })
+            .collect();
+        RawReport { id: self.uuid, created_day: self.date_day, tags, indicators }
+    }
+}
+
+/// Map an OTX-style indicator type string to an IOC kind.
+pub fn declared_kind(s: &str) -> Option<IocKind> {
+    match s.to_ascii_lowercase().as_str() {
+        "ipv4" | "ipv6" | "ip" => Some(IocKind::Ip),
+        "url" | "uri" => Some(IocKind::Url),
+        "domain" | "hostname" => Some(IocKind::Domain),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+        "id": "pulse-001",
+        "created_day": 2900,
+        "tags": ["APT28", "sofacy"],
+        "indicators": [
+            {"type": "IPv4", "indicator": "1.0.36[.]127"},
+            {"type": "domain", "indicator": "v5y7s3[.]l2twn2[.]club"},
+            {"type": "URL", "indicator": "hxxp://sfj54f7[.]17ti3sk[.]club/?H3%2540ba&d"},
+            {"type": "URL", "indicator": "javascript:void(0)"},
+            {"type": "FileHash-SHA256", "indicator": "deadbeef"},
+            {"type": "IPv4", "indicator": "1.0.36.127"}
+        ]
+    }"#;
+
+    #[test]
+    fn parses_and_filters_sample() {
+        let raw = RawReport::from_json(SAMPLE).unwrap();
+        let parsed = raw.parse();
+        assert_eq!(parsed.id, "pulse-001");
+        // 4 valid entries but the duplicate IP collapses to 3.
+        assert_eq!(parsed.iocs.len(), 3);
+        // The javascript snippet and the file hash are rejected.
+        assert_eq!(parsed.rejected.len(), 2);
+        assert_eq!(parsed.iocs[0].text(), "1.0.36.127");
+    }
+
+    #[test]
+    fn bad_json_is_an_error() {
+        assert!(RawReport::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn declared_kind_vocabulary() {
+        assert_eq!(declared_kind("IPv4"), Some(IocKind::Ip));
+        assert_eq!(declared_kind("hostname"), Some(IocKind::Domain));
+        assert_eq!(declared_kind("URI"), Some(IocKind::Url));
+        assert_eq!(declared_kind("FileHash-MD5"), None);
+    }
+
+    const MISP_SAMPLE: &str = r#"{
+        "Event": {
+            "uuid": "5f6e-misp-001",
+            "info": "Sofacy spearphishing wave",
+            "date_day": 2901,
+            "tags": ["misp-galaxy:threat-actor=\"Sofacy\"", "tlp:white"],
+            "Attribute": [
+                {"type": "ip-dst", "value": "198.51.100.7"},
+                {"type": "url", "value": "http://evil.example/drop.php"},
+                {"type": "domain|ip", "value": "evil.example|198.51.100.7"},
+                {"type": "sha256", "value": "aabbcc"}
+            ]
+        }
+    }"#;
+
+    #[test]
+    fn misp_event_converts_to_raw_report() {
+        let ev = MispEvent::from_json(MISP_SAMPLE).unwrap();
+        assert_eq!(ev.uuid, "5f6e-misp-001");
+        let raw = ev.into_raw_report();
+        assert_eq!(raw.id, "5f6e-misp-001");
+        assert_eq!(raw.created_day, 2901);
+        // Galaxy tag reduced to its quoted value; tlp tag passes through.
+        assert!(raw.tags.contains(&"Sofacy".to_owned()));
+        // sha256 dropped; domain|ip keeps the domain half.
+        assert_eq!(raw.indicators.len(), 3);
+        assert!(raw
+            .indicators
+            .iter()
+            .any(|i| i.indicator_type == "domain" && i.indicator == "evil.example"));
+        // And the converted report parses cleanly end to end.
+        let parsed = raw.parse();
+        assert_eq!(parsed.iocs.len(), 3);
+        assert!(parsed.rejected.is_empty());
+    }
+
+    #[test]
+    fn misp_accepts_bare_event_json() {
+        let bare = r#"{"uuid": "x", "info": "t", "Attribute": []}"#;
+        let ev = MispEvent::from_json(bare).unwrap();
+        assert_eq!(ev.uuid, "x");
+        assert_eq!(ev.date_day, 0);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let raw = RawReport::from_json(SAMPLE).unwrap();
+        let encoded = serde_json::to_string(&raw).unwrap();
+        let again = RawReport::from_json(&encoded).unwrap();
+        assert_eq!(raw, again);
+    }
+}

@@ -1,0 +1,293 @@
+//! URL IOCs: a from-scratch parser and the ten lexical features.
+
+use serde::{Deserialize, Serialize};
+
+use crate::defang::refang;
+use crate::domain::DomainIoc;
+use crate::ip::IpIoc;
+use crate::{shannon_entropy, IocError, Result};
+
+/// The host part of a URL: either a domain name or a literal IP.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UrlHost {
+    /// Hostname, validated as a domain.
+    Domain(DomainIoc),
+    /// Literal address.
+    Ip(IpIoc),
+}
+
+/// A parsed URL IOC.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct UrlIoc {
+    /// Canonical full text (refanged, scheme lowercased).
+    pub text: String,
+    /// `http` or `https` (other schemes are rejected — the paper's junk
+    /// filter drops javascript: snippets that leak into feeds).
+    pub scheme: String,
+    /// The host.
+    pub host: UrlHost,
+    /// Explicit port, if any.
+    pub port: Option<u16>,
+    /// Path component, always starting with `/`.
+    pub path: String,
+    /// Query string without the leading `?`, if any.
+    pub query: Option<String>,
+}
+
+/// The ten lexical URL features of Section IV-B.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UrlLexical {
+    /// Full URL length.
+    pub length: f32,
+    /// Path length.
+    pub path_length: f32,
+    /// Path depth (number of `/`-separated segments).
+    pub path_depth: f32,
+    /// Number of query parameters.
+    pub query_params: f32,
+    /// Fraction of characters that are digits.
+    pub digit_ratio: f32,
+    /// Count of special characters (`%&=?_-~`).
+    pub special_chars: f32,
+    /// Shannon entropy of the whole URL.
+    pub entropy: f32,
+    /// Shannon entropy of the path+query only.
+    pub path_entropy: f32,
+    /// Subdomain depth of the host (0 for IP hosts).
+    pub subdomain_depth: f32,
+    /// 1.0 when an explicit port is present.
+    pub has_port: f32,
+}
+
+impl UrlLexical {
+    /// Stable names for the ten slots, for explanation output.
+    pub const NAMES: [&'static str; 10] = [
+        "url_length",
+        "path_length",
+        "path_depth",
+        "query_params",
+        "digit_ratio",
+        "special_chars",
+        "url_entropy",
+        "path_entropy",
+        "subdomain_depth",
+        "has_port",
+    ];
+
+    /// The features as a fixed array in [`Self::NAMES`] order.
+    pub fn to_array(self) -> [f32; 10] {
+        [
+            self.length,
+            self.path_length,
+            self.path_depth,
+            self.query_params,
+            self.digit_ratio,
+            self.special_chars,
+            self.entropy,
+            self.path_entropy,
+            self.subdomain_depth,
+            self.has_port,
+        ]
+    }
+}
+
+impl UrlIoc {
+    /// Parse (possibly defanged) text as an HTTP(S) URL.
+    pub fn parse(raw: &str) -> Result<Self> {
+        let s = refang(raw);
+        let (scheme, rest) = s
+            .split_once("://")
+            .ok_or_else(|| IocError::invalid("url", raw, "missing scheme"))?;
+        let scheme = scheme.to_ascii_lowercase();
+        if scheme != "http" && scheme != "https" {
+            return Err(IocError::invalid("url", raw, "unsupported scheme"));
+        }
+        if rest.is_empty() {
+            return Err(IocError::invalid("url", raw, "empty authority"));
+        }
+        // Split authority from path/query/fragment.
+        let split_at = rest.find(['/', '?', '#']).unwrap_or(rest.len());
+        let (authority, tail) = rest.split_at(split_at);
+        // Strip userinfo if present.
+        let hostport = authority.rsplit('@').next().unwrap_or(authority);
+        let (host_text, port) = match hostport.rsplit_once(':') {
+            // Only treat as port when the suffix is all digits (avoids
+            // mangling IPv6 literals, which we require to be bracketed).
+            Some((h, p)) if p.bytes().all(|b| b.is_ascii_digit()) && !p.is_empty() => {
+                let port: u16 = p
+                    .parse()
+                    .map_err(|_| IocError::invalid("url", raw, "port out of range"))?;
+                (h, Some(port))
+            }
+            _ => (hostport, None),
+        };
+        let host_text = host_text.trim_matches(['[', ']']);
+        if host_text.is_empty() {
+            return Err(IocError::invalid("url", raw, "empty host"));
+        }
+        let host = if let Ok(ip) = IpIoc::parse(host_text) {
+            UrlHost::Ip(ip)
+        } else {
+            UrlHost::Domain(DomainIoc::parse(host_text)?)
+        };
+        // Path / query / fragment.
+        let (path_query, _fragment) = match tail.split_once('#') {
+            Some((pq, f)) => (pq, Some(f)),
+            None => (tail, None),
+        };
+        let (path, query) = match path_query.split_once('?') {
+            Some((p, q)) => (p, Some(q.to_owned())),
+            None => (path_query, None),
+        };
+        let path = if path.is_empty() { "/".to_owned() } else { path.to_owned() };
+        if !path.starts_with('/') {
+            return Err(IocError::invalid("url", raw, "malformed path"));
+        }
+        // Junk filter: the paper notes javascript snippets masquerading
+        // as URLs in feeds. Reject anything with whitespace or braces.
+        if s.contains(|c: char| c.is_whitespace() || c == '{' || c == '}' || c == '<' || c == '>') {
+            return Err(IocError::invalid("url", raw, "junk characters (script snippet?)"));
+        }
+        let canonical = {
+            let host_str = match &host {
+                UrlHost::Domain(d) => d.text.clone(),
+                UrlHost::Ip(ip) => ip.text.clone(),
+            };
+            let port_str = port.map(|p| format!(":{p}")).unwrap_or_default();
+            let query_str = query.as_deref().map(|q| format!("?{q}")).unwrap_or_default();
+            format!("{scheme}://{host_str}{port_str}{path}{query_str}")
+        };
+        Ok(Self { text: canonical, scheme, host, port, path, query })
+    }
+
+    /// The domain this URL is hosted on, if the host is a name — used to
+    /// emit the `HostedOn` edge in the TKG.
+    pub fn hosted_domain(&self) -> Option<&DomainIoc> {
+        match &self.host {
+            UrlHost::Domain(d) => Some(d),
+            UrlHost::Ip(_) => None,
+        }
+    }
+
+    /// Extract the ten lexical features.
+    pub fn lexical(&self) -> UrlLexical {
+        let len = self.text.len() as f32;
+        let digits = self.text.bytes().filter(u8::is_ascii_digit).count() as f32;
+        let specials =
+            self.text.bytes().filter(|b| matches!(b, b'%' | b'&' | b'=' | b'?' | b'_' | b'-' | b'~')).count();
+        let path_and_query = match &self.query {
+            Some(q) => format!("{}?{q}", self.path),
+            None => self.path.clone(),
+        };
+        UrlLexical {
+            length: len,
+            path_length: self.path.len() as f32,
+            path_depth: self.path.split('/').filter(|s| !s.is_empty()).count() as f32,
+            query_params: self
+                .query
+                .as_deref()
+                .map_or(0.0, |q| q.split('&').filter(|s| !s.is_empty()).count() as f32),
+            digit_ratio: if len > 0.0 { digits / len } else { 0.0 },
+            special_chars: specials as f32,
+            entropy: shannon_entropy(&self.text),
+            path_entropy: shannon_entropy(&path_and_query),
+            subdomain_depth: match &self.host {
+                UrlHost::Domain(d) => d.subdomain_depth() as f32,
+                UrlHost::Ip(_) => 0.0,
+            },
+            has_port: if self.port.is_some() { 1.0 } else { 0.0 },
+        }
+    }
+}
+
+impl std::fmt::Display for UrlIoc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example() {
+        let u = UrlIoc::parse("hxxp://sfj54f7[.]17ti3sk[.]club/?H3%2540ba&d").unwrap();
+        assert_eq!(u.scheme, "http");
+        assert_eq!(u.hosted_domain().unwrap().text, "sfj54f7.17ti3sk.club");
+        assert_eq!(u.path, "/");
+        assert_eq!(u.query.as_deref(), Some("H3%2540ba&d"));
+    }
+
+    #[test]
+    fn parses_components() {
+        let u = UrlIoc::parse("https://user@a.b.Example:8443/x/y/z.php?k=v&q=1#frag").unwrap();
+        assert_eq!(u.scheme, "https");
+        assert_eq!(u.port, Some(8443));
+        assert_eq!(u.path, "/x/y/z.php");
+        assert_eq!(u.query.as_deref(), Some("k=v&q=1"));
+        assert_eq!(u.hosted_domain().unwrap().text, "a.b.example");
+        assert_eq!(u.text, "https://a.b.example:8443/x/y/z.php?k=v&q=1");
+    }
+
+    #[test]
+    fn parses_ip_host() {
+        let u = UrlIoc::parse("http://198.51.100.7/payload.bin").unwrap();
+        assert!(matches!(u.host, UrlHost::Ip(_)));
+        assert!(u.hosted_domain().is_none());
+    }
+
+    #[test]
+    fn rejects_junk_and_bad_schemes() {
+        for bad in [
+            "javascript:alert(1)",
+            "ftp://a.example/x",
+            "http://",
+            "not a url",
+            "http://a.example/{jsvar}",
+            "http://a.example/x y",
+            "http://:80/",
+        ] {
+            assert!(UrlIoc::parse(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn lexical_features_sane() {
+        let u = UrlIoc::parse("http://a.b.example:8080/one/two?x=1&y=2").unwrap();
+        let l = u.lexical();
+        assert_eq!(l.path_depth, 2.0);
+        assert_eq!(l.query_params, 2.0);
+        assert_eq!(l.subdomain_depth, 1.0);
+        assert_eq!(l.has_port, 1.0);
+        assert!(l.entropy > 0.0 && l.path_entropy > 0.0);
+        assert_eq!(UrlLexical::NAMES.len(), l.to_array().len());
+    }
+
+    #[test]
+    fn bracketed_ipv6_host_parses() {
+        let u = UrlIoc::parse("http://[2001:db8::1]/x").unwrap();
+        assert!(matches!(u.host, UrlHost::Ip(ref ip) if ip.v6));
+        assert_eq!(u.path, "/x");
+    }
+
+    #[test]
+    fn userinfo_is_stripped_from_canonical_text() {
+        let u = UrlIoc::parse("http://admin:pw@a.example/x").unwrap();
+        assert_eq!(u.text, "http://a.example/x");
+    }
+
+    #[test]
+    fn fragment_is_dropped() {
+        let u = UrlIoc::parse("http://a.example/x#section").unwrap();
+        assert_eq!(u.text, "http://a.example/x");
+        assert!(u.query.is_none());
+    }
+
+    #[test]
+    fn default_path_is_slash() {
+        let u = UrlIoc::parse("http://a.example").unwrap();
+        assert_eq!(u.path, "/");
+        assert_eq!(u.lexical().path_depth, 0.0);
+    }
+}

@@ -1,0 +1,459 @@
+//! Row-major dense `f32` matrix with blocked, threaded multiplication.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, ShapeError};
+
+/// Minimum work (rows * inner dim) before `matmul` spreads across threads.
+const PARALLEL_THRESHOLD: usize = 64 * 1024;
+
+/// A dense row-major `f32` matrix.
+///
+/// Rows are contiguous, which makes per-sample access (the dominant
+/// pattern in minibatch training) a single slice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Create a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Create a matrix from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Wrap an existing buffer. Errors if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(ShapeError::new(format!(
+                "buffer of len {} cannot be a {rows}x{cols} matrix",
+                data.len()
+            )));
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Build a matrix whose rows are the given equal-length slices.
+    pub fn from_rows(rows: &[&[f32]]) -> Result<Self> {
+        let n_cols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(rows.len() * n_cols);
+        for r in rows {
+            if r.len() != n_cols {
+                return Err(ShapeError::new("ragged rows"));
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Self { rows: rows.len(), cols: n_cols, data })
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrow the backing buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the backing buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into the backing buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterate over rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Copy the given rows into a new matrix (gather).
+    pub fn gather_rows(&self, indices: &[usize]) -> Self {
+        let mut out = Self::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Transpose into a new matrix.
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Element-wise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// In-place element-wise map.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// `self += other` (same shape).
+    pub fn add_assign(&mut self, other: &Self) -> Result<()> {
+        self.zip_inplace(other, |a, b| a + b)
+    }
+
+    /// `self -= other` (same shape).
+    pub fn sub_assign(&mut self, other: &Self) -> Result<()> {
+        self.zip_inplace(other, |a, b| a - b)
+    }
+
+    /// `self *= other` element-wise (Hadamard product, same shape).
+    pub fn hadamard_assign(&mut self, other: &Self) -> Result<()> {
+        self.zip_inplace(other, |a, b| a * b)
+    }
+
+    fn zip_inplace(&mut self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(ShapeError::new(format!(
+                "element-wise op on {:?} vs {:?}",
+                self.shape(),
+                other.shape()
+            )));
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a = f(*a, b);
+        }
+        Ok(())
+    }
+
+    /// Multiply every element by a scalar.
+    pub fn scale(&mut self, k: f32) {
+        for x in &mut self.data {
+            *x *= k;
+        }
+    }
+
+    /// `self += k * other` (same shape). The AXPY building block of the
+    /// optimisers.
+    pub fn axpy(&mut self, k: f32, other: &Self) -> Result<()> {
+        self.zip_inplace(other, |a, b| a + k * b)
+    }
+
+    /// Add a row vector to every row (bias broadcast).
+    pub fn add_row_broadcast(&mut self, bias: &[f32]) -> Result<()> {
+        if bias.len() != self.cols {
+            return Err(ShapeError::new("broadcast length != cols"));
+        }
+        for row in self.data.chunks_exact_mut(self.cols) {
+            for (x, &b) in row.iter_mut().zip(bias) {
+                *x += b;
+            }
+        }
+        Ok(())
+    }
+
+    /// Sum over rows into a length-`cols` vector (bias gradient).
+    pub fn col_sums(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.cols];
+        for row in self.data.chunks_exact(self.cols) {
+            for (o, &x) in out.iter_mut().zip(row) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// `self @ other` — the classic product.
+    pub fn matmul(&self, other: &Self) -> Result<Self> {
+        if self.cols != other.rows {
+            return Err(ShapeError::new(format!(
+                "matmul {:?} x {:?}",
+                self.shape(),
+                other.shape()
+            )));
+        }
+        let mut out = Self::zeros(self.rows, other.cols);
+        matmul_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+        );
+        Ok(out)
+    }
+
+    /// `selfᵀ @ other` without materialising the transpose.
+    ///
+    /// Used for weight gradients: `dW = Xᵀ @ dY`.
+    pub fn t_matmul(&self, other: &Self) -> Result<Self> {
+        if self.rows != other.rows {
+            return Err(ShapeError::new(format!(
+                "t_matmul {:?} x {:?}",
+                self.shape(),
+                other.shape()
+            )));
+        }
+        // (cols x rows) @ (rows x other.cols)
+        let mut out = Self::zeros(self.cols, other.cols);
+        // out[i][j] = sum_k self[k][i] * other[k][j]; iterate k outermost so
+        // both reads are sequential.
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = other.row(k);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `self @ otherᵀ` without materialising the transpose.
+    ///
+    /// Used for input gradients: `dX = dY @ Wᵀ`.
+    pub fn matmul_t(&self, other: &Self) -> Result<Self> {
+        if self.cols != other.cols {
+            return Err(ShapeError::new(format!(
+                "matmul_t {:?} x {:?}",
+                self.shape(),
+                other.shape()
+            )));
+        }
+        let mut out = Self::zeros(self.rows, other.rows);
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let out_row = &mut out.data[r * other.rows..(r + 1) * other.rows];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = crate::vector::dot(a_row, other.row(j));
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Blocked `C += A @ B` kernel over raw buffers; parallelises over row
+/// chunks with scoped threads when the problem is large enough.
+fn matmul_into(a: &[f32], a_rows: usize, a_cols: usize, b: &[f32], b_cols: usize, c: &mut [f32]) {
+    let work = a_rows * a_cols;
+    let threads = available_threads();
+    if work < PARALLEL_THRESHOLD || threads < 2 || a_rows < 2 * threads {
+        matmul_rows(a, a_cols, b, b_cols, c);
+        return;
+    }
+    let chunk_rows = a_rows.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        let a_chunks = a.chunks(chunk_rows * a_cols);
+        let c_chunks = c.chunks_mut(chunk_rows * b_cols);
+        for (a_chunk, c_chunk) in a_chunks.zip(c_chunks) {
+            scope.spawn(move |_| matmul_rows(a_chunk, a_cols, b, b_cols, c_chunk));
+        }
+    })
+    .expect("matmul worker panicked");
+}
+
+/// Straightforward ikj-order kernel: sequential access on both inputs,
+/// auto-vectorises well.
+fn matmul_rows(a: &[f32], a_cols: usize, b: &[f32], b_cols: usize, c: &mut [f32]) {
+    for (a_row, c_row) in a.chunks_exact(a_cols).zip(c.chunks_exact_mut(b_cols)) {
+        for (k, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[k * b_cols..(k + 1) * b_cols];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn t_matmul_matches_explicit_transpose() {
+        let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let fast = a.t_matmul(&b).unwrap();
+        let slow = a.transpose().matmul(&b).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn matmul_t_matches_explicit_transpose() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(4, 3, &[1.0; 12]);
+        let fast = a.matmul_t(&b).unwrap();
+        let slow = a.matmul(&b.transpose()).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn parallel_matmul_matches_serial() {
+        // Big enough to trip the parallel path.
+        let n = 300;
+        let a = Matrix::from_fn(n, n, |r, c| ((r * 31 + c * 17) % 13) as f32 - 6.0);
+        let b = Matrix::from_fn(n, n, |r, c| ((r * 7 + c * 3) % 11) as f32 - 5.0);
+        let c = a.matmul(&b).unwrap();
+        // Check a handful of entries against a direct computation.
+        for &(r, col) in &[(0, 0), (1, 7), (299, 299), (150, 42)] {
+            let expect: f32 = (0..n).map(|k| a[(r, k)] * b[(k, col)]).sum();
+            assert!((c[(r, col)] - expect).abs() < 1e-3, "entry ({r},{col})");
+        }
+    }
+
+    #[test]
+    fn broadcast_and_sums() {
+        let mut a = Matrix::zeros(3, 2);
+        a.add_row_broadcast(&[1.0, 2.0]).unwrap();
+        assert_eq!(a.col_sums(), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn gather_rows_copies() {
+        let a = m(3, 2, &[0.0, 1.0, 10.0, 11.0, 20.0, 21.0]);
+        let g = a.gather_rows(&[2, 0]);
+        assert_eq!(g.as_slice(), &[20.0, 21.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let mut a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = m(2, 2, &[1.0, 1.0, 1.0, 1.0]);
+        a.add_assign(&b).unwrap();
+        assert_eq!(a.as_slice(), &[2.0, 3.0, 4.0, 5.0]);
+        a.sub_assign(&b).unwrap();
+        a.hadamard_assign(&b).unwrap();
+        assert_eq!(a.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        a.axpy(2.0, &b).unwrap();
+        assert_eq!(a.as_slice(), &[3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(Matrix::from_rows(&[&[1.0, 2.0][..], &[3.0][..]]).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! Column statistics used by the standard scaler and batch normalisation.
+
+use crate::Matrix;
+
+/// Per-column mean of a matrix.
+pub fn col_means(m: &Matrix) -> Vec<f32> {
+    let mut out = m.col_sums();
+    let n = m.rows().max(1) as f32;
+    for x in &mut out {
+        *x /= n;
+    }
+    out
+}
+
+/// Per-column (population) standard deviation given precomputed means.
+pub fn col_stds(m: &Matrix, means: &[f32]) -> Vec<f32> {
+    assert_eq!(means.len(), m.cols());
+    let mut acc = vec![0.0f64; m.cols()];
+    for row in m.rows_iter() {
+        for ((a, &x), &mu) in acc.iter_mut().zip(row).zip(means) {
+            let d = (x - mu) as f64;
+            *a += d * d;
+        }
+    }
+    let n = m.rows().max(1) as f64;
+    acc.into_iter().map(|a| (a / n).sqrt() as f32).collect()
+}
+
+/// Per-column variance given precomputed means.
+pub fn col_vars(m: &Matrix, means: &[f32]) -> Vec<f32> {
+    col_stds(m, means).into_iter().map(|s| s * s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_and_stds() {
+        let m = Matrix::from_vec(3, 2, vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0]).unwrap();
+        let mu = col_means(&m);
+        assert_eq!(mu, vec![2.0, 20.0]);
+        let sd = col_stds(&m, &mu);
+        let expect = (2.0f32 / 3.0).sqrt();
+        assert!((sd[0] - expect).abs() < 1e-6);
+        assert!((sd[1] - 10.0 * expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_matrix_is_safe() {
+        let m = Matrix::zeros(0, 3);
+        let mu = col_means(&m);
+        assert_eq!(mu, vec![0.0; 3]);
+        let sd = col_stds(&m, &mu);
+        assert_eq!(sd, vec![0.0; 3]);
+    }
+}

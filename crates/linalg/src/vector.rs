@@ -1,0 +1,147 @@
+//! Slice-level numeric primitives shared by the ML and GNN crates.
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// `y += k * x` for equal-length slices.
+#[inline]
+pub fn axpy(k: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv += k * xv;
+    }
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(a: &[f32]) -> f32 {
+    a.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+/// Normalise to unit L2 norm in place; zero vectors are left untouched.
+/// This is the stabilisation step of GraphSAGE (paper Eq. 4).
+pub fn l2_normalize(a: &mut [f32]) {
+    let n = norm2(a);
+    if n > 1e-12 {
+        for x in a.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+/// Numerically stable softmax in place.
+pub fn softmax_inplace(a: &mut [f32]) {
+    if a.is_empty() {
+        return;
+    }
+    let max = a.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for x in a.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    if sum > 0.0 {
+        for x in a.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+/// Index of the maximum element (first on ties); `None` when empty.
+pub fn argmax(a: &[f32]) -> Option<usize> {
+    if a.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, &x) in a.iter().enumerate().skip(1) {
+        if x > a[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Mean of a slice; 0 when empty.
+pub fn mean(a: &[f32]) -> f32 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f32>() / a.len() as f32
+    }
+}
+
+/// Shannon entropy (bits) of a probability distribution. Ignores zeros.
+pub fn entropy(p: &[f32]) -> f32 {
+    -p.iter().filter(|&&x| x > 0.0).map(|&x| x * x.log2()).sum::<f32>()
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+#[inline]
+pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_axpy() {
+        let a = [1.0, 2.0, 3.0];
+        let mut y = [1.0, 1.0, 1.0];
+        assert_eq!(dot(&a, &a), 14.0);
+        axpy(2.0, &a, &mut y);
+        assert_eq!(y, [3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let mut a = [1000.0, 1001.0, 999.0];
+        softmax_inplace(&mut a);
+        let sum: f32 = a.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(a[1] > a[0] && a[0] > a[2]);
+    }
+
+    #[test]
+    fn softmax_handles_empty_and_uniform() {
+        let mut e: [f32; 0] = [];
+        softmax_inplace(&mut e);
+        let mut u = [0.0, 0.0];
+        softmax_inplace(&mut u);
+        assert_eq!(u, [0.5, 0.5]);
+    }
+
+    #[test]
+    fn argmax_prefers_first_tie() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+        assert_eq!(argmax::<>(&[]), None);
+    }
+
+    #[test]
+    fn l2_normalize_unit_norm() {
+        let mut v = [3.0, 4.0];
+        l2_normalize(&mut v);
+        assert!((norm2(&v) - 1.0).abs() < 1e-6);
+        let mut z = [0.0, 0.0];
+        l2_normalize(&mut z);
+        assert_eq!(z, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn entropy_of_uniform_is_log2_n() {
+        let p = [0.25; 4];
+        assert!((entropy(&p) - 2.0).abs() < 1e-6);
+        assert_eq!(entropy(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn sq_dist_basic() {
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Softmax cross-entropy — the optimisation target of the paper's MLP,
+//! GNN and the classification head everywhere.
+
+use trail_linalg::Matrix;
+
+/// Mean softmax cross-entropy over a batch.
+///
+/// Returns `(loss, d_logits)` where `d_logits = (softmax - onehot)/n`,
+/// ready to feed the network's backward pass.
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[u16]) -> (f32, Matrix) {
+    assert_eq!(logits.rows(), labels.len());
+    let n = logits.rows().max(1) as f32;
+    let mut grad = logits.clone();
+    let mut loss = 0.0f32;
+    for (r, &label) in labels.iter().enumerate() {
+        let row = grad.row_mut(r);
+        trail_linalg::vector::softmax_inplace(row);
+        let p = row[label as usize].max(1e-12);
+        loss -= p.ln();
+        row[label as usize] -= 1.0;
+        for v in row.iter_mut() {
+            *v /= n;
+        }
+    }
+    (loss / n, grad)
+}
+
+/// Mean squared error and its gradient (`2(x̂ - x)/numel`), used by the
+/// autoencoder reconstruction loss (paper Eq. 5).
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    assert_eq!(pred.shape(), target.shape());
+    let numel = (pred.rows() * pred.cols()).max(1) as f32;
+    let mut grad = pred.clone();
+    grad.sub_assign(target).expect("same shape");
+    let loss = grad.as_slice().iter().map(|d| d * d).sum::<f32>() / numel;
+    grad.scale(2.0 / numel);
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_has_low_loss() {
+        let logits = Matrix::from_vec(2, 3, vec![10.0, 0.0, 0.0, 0.0, 10.0, 0.0]).unwrap();
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 1]);
+        assert!(loss < 1e-3);
+        assert!(grad.as_slice().iter().all(|g| g.abs() < 1e-3));
+    }
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let logits = Matrix::zeros(1, 4);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[2]);
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+        // Gradient: p - onehot = 0.25 everywhere except 0.25-1 at label.
+        assert!((grad[(0, 0)] - 0.25).abs() < 1e-6);
+        assert!((grad[(0, 2)] + 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.5, 0.0]).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &[1, 2]);
+        for row in grad.rows_iter() {
+            assert!(row.iter().sum::<f32>().abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mse_basics() {
+        let pred = Matrix::from_vec(1, 2, vec![1.0, 3.0]).unwrap();
+        let target = Matrix::from_vec(1, 2, vec![0.0, 0.0]).unwrap();
+        let (loss, grad) = mse(&pred, &target);
+        assert!((loss - 5.0).abs() < 1e-6);
+        assert!((grad[(0, 0)] - 1.0).abs() < 1e-6);
+        assert!((grad[(0, 1)] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn numeric_gradient_check() {
+        let logits = Matrix::from_vec(1, 3, vec![0.3, -0.2, 0.9]).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, &[1]);
+        let eps = 1e-3;
+        for c in 0..3 {
+            let mut lp = logits.clone();
+            lp[(0, c)] += eps;
+            let mut lm = logits.clone();
+            lm[(0, c)] -= eps;
+            let (fp, _) = softmax_cross_entropy(&lp, &[1]);
+            let (fm, _) = softmax_cross_entropy(&lm, &[1]);
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((grad[(0, c)] - numeric).abs() < 1e-3, "col {c}");
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! The paper's MLP classifier (Section VI-A): an input layer of 2048
+//! neurons, hidden layers of 1024/512/128/64, ReLU + batch-norm between
+//! layers, 50 % dropout on the first three hidden layers, softmax
+//! output trained with cross-entropy and Adam.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use trail_linalg::Matrix;
+
+use super::layers::{BatchNorm1d, Dropout, Layer, Linear, Relu};
+use super::loss::softmax_cross_entropy;
+use super::optim::Adam;
+use crate::Classifier;
+
+/// MLP architecture and training parameters.
+#[derive(Debug, Clone)]
+pub struct MlpConfig {
+    /// Hidden widths, first entry is the "input layer" width.
+    pub hidden: Vec<usize>,
+    /// Dropout rate on the first `dropout_layers` hidden layers.
+    pub dropout: f32,
+    /// How many leading hidden layers get dropout.
+    pub dropout_layers: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+}
+
+impl MlpConfig {
+    /// The exact architecture of the paper.
+    pub fn paper() -> Self {
+        Self {
+            hidden: vec![2048, 1024, 512, 128, 64],
+            dropout: 0.5,
+            dropout_layers: 3,
+            lr: 1e-3,
+            epochs: 30,
+            batch_size: 128,
+        }
+    }
+
+    /// A narrow variant for constrained scales / tests.
+    pub fn small() -> Self {
+        Self {
+            hidden: vec![64, 32],
+            dropout: 0.2,
+            dropout_layers: 1,
+            lr: 1e-2,
+            epochs: 60,
+            batch_size: 32,
+        }
+    }
+}
+
+/// A sequential MLP with a softmax classification head.
+pub struct Mlp {
+    layers: Vec<Box<dyn Layer + Send>>,
+    n_classes: usize,
+}
+
+impl Mlp {
+    /// Build (untrained) with He initialisation.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, d_in: usize, n_classes: usize, cfg: &MlpConfig) -> Self {
+        let mut layers: Vec<Box<dyn Layer + Send>> = Vec::new();
+        let mut prev = d_in;
+        for (i, &width) in cfg.hidden.iter().enumerate() {
+            layers.push(Box::new(Linear::new(rng, prev, width)));
+            layers.push(Box::new(BatchNorm1d::new(width)));
+            layers.push(Box::new(Relu::default()));
+            if i < cfg.dropout_layers && cfg.dropout > 0.0 {
+                layers.push(Box::new(Dropout::new(cfg.dropout, rng.gen())));
+            }
+            prev = width;
+        }
+        layers.push(Box::new(Linear::new(rng, prev, n_classes)));
+        Self { layers, n_classes }
+    }
+
+    /// Forward pass producing logits.
+    pub fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.forward(&h, train);
+        }
+        h
+    }
+
+    fn backward(&mut self, d_logits: &Matrix) {
+        let mut g = d_logits.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+    }
+
+    fn step(&mut self, adam: &mut Adam) {
+        adam.tick();
+        for layer in &mut self.layers {
+            layer.visit_params(&mut |p| adam.step(p));
+        }
+    }
+
+    /// Train with minibatch Adam + cross-entropy; returns per-epoch
+    /// mean training loss.
+    pub fn train<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        x: &Matrix,
+        y: &[u16],
+        cfg: &MlpConfig,
+    ) -> Vec<f32> {
+        assert_eq!(x.rows(), y.len());
+        let mut adam = Adam::new(cfg.lr);
+        let mut order: Vec<usize> = (0..x.rows()).collect();
+        let mut losses = Vec::with_capacity(cfg.epochs);
+        for _epoch in 0..cfg.epochs {
+            order.shuffle(rng);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0;
+            for chunk in order.chunks(cfg.batch_size.max(2)) {
+                if chunk.len() < 2 {
+                    continue; // batch-norm needs >= 2 samples
+                }
+                let xb = x.gather_rows(chunk);
+                let yb: Vec<u16> = chunk.iter().map(|&i| y[i]).collect();
+                let logits = self.forward(&xb, true);
+                let (loss, d_logits) = softmax_cross_entropy(&logits, &yb);
+                self.backward(&d_logits);
+                self.step(&mut adam);
+                epoch_loss += loss;
+                batches += 1;
+            }
+            losses.push(if batches > 0 { epoch_loss / batches as f32 } else { 0.0 });
+        }
+        losses
+    }
+
+    /// Convenience: build and train in one call.
+    pub fn fit<R: Rng + ?Sized>(
+        rng: &mut R,
+        x: &Matrix,
+        y: &[u16],
+        n_classes: usize,
+        cfg: &MlpConfig,
+    ) -> Self {
+        let mut mlp = Self::new(rng, x.cols(), n_classes, cfg);
+        mlp.train(rng, x, y, cfg);
+        mlp
+    }
+}
+
+impl Classifier for Mlp {
+    fn predict_proba(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.forward_eval(&h);
+        }
+        for row in h.as_mut_slice().chunks_exact_mut(self.n_classes) {
+            trail_linalg::vector::softmax_inplace(row);
+        }
+        h
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn blobs(n_per: usize) -> (Matrix, Vec<u16>) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let centers = [(0.0f32, 0.0f32), (3.0, 3.0)];
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..n_per {
+                rows.push(cx + rng.gen_range(-0.8..0.8));
+                rows.push(cy + rng.gen_range(-0.8..0.8));
+                y.push(c as u16);
+            }
+        }
+        (Matrix::from_vec(2 * n_per, 2, rows).unwrap(), y)
+    }
+
+    #[test]
+    fn learns_separable_blobs() {
+        let (x, y) = blobs(40);
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = MlpConfig::small();
+        let mlp = Mlp::fit(&mut rng, &x, &y, 2, &cfg);
+        let acc = crate::metrics::accuracy(&y, &mlp.predict(&x));
+        assert!(acc > 0.95, "train accuracy {acc}");
+    }
+
+    #[test]
+    fn loss_decreases() {
+        let (x, y) = blobs(30);
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = MlpConfig::small();
+        let mut mlp = Mlp::new(&mut rng, 2, 2, &cfg);
+        let losses = mlp.train(&mut rng, &x, &y, &cfg);
+        assert!(losses.last().unwrap() < &losses[0], "{losses:?}");
+    }
+
+    #[test]
+    fn probabilities_are_normalised() {
+        let (x, y) = blobs(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = MlpConfig::small();
+        let mlp = Mlp::fit(&mut rng, &x, &y, 2, &cfg);
+        for row in mlp.predict_proba(&x).rows_iter() {
+            assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn paper_architecture_shape() {
+        let cfg = MlpConfig::paper();
+        assert_eq!(cfg.hidden, vec![2048, 1024, 512, 128, 64]);
+        let mut rng = StdRng::seed_from_u64(4);
+        // Instantiate against a small input dim just to count layers:
+        // 5 x (linear+bn+relu) + 3 dropout + output linear = 19.
+        let mlp = Mlp::new(&mut rng, 10, 22, &cfg);
+        assert_eq!(mlp.layers.len(), 19);
+        assert_eq!(mlp.n_classes, 22);
+    }
+}

@@ -1,0 +1,15 @@
+//! Neural-network substrate: layers, losses, optimisers, the paper's
+//! MLP architecture, and the autoencoders used to project IOC features
+//! into a common space for the GNN (paper Eq. 5).
+
+pub mod autoencoder;
+pub mod layers;
+pub mod loss;
+pub mod mlp;
+pub mod optim;
+
+pub use autoencoder::Autoencoder;
+pub use layers::{BatchNorm1d, Dropout, Layer, Linear, Param, Relu};
+pub use loss::softmax_cross_entropy;
+pub use mlp::{Mlp, MlpConfig};
+pub use optim::Adam;

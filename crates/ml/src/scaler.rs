@@ -1,0 +1,81 @@
+//! Standard scaling fitted on the training split (paper Section VI-A:
+//! "Using the training set as a basis, we find the mean and standard
+//! deviation, and rescale all of the data").
+
+use serde::{Deserialize, Serialize};
+use trail_linalg::{stats, Matrix};
+
+/// Per-column standardiser: `x' = (x - mean) / std`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f32>,
+    stds: Vec<f32>,
+}
+
+impl StandardScaler {
+    /// Fit on a training matrix. Constant columns get std 1 so they map
+    /// to zero instead of exploding.
+    pub fn fit(x: &Matrix) -> Self {
+        let means = stats::col_means(x);
+        let mut stds = stats::col_stds(x, &means);
+        for s in &mut stds {
+            if *s < 1e-8 {
+                *s = 1.0;
+            }
+        }
+        Self { means, stds }
+    }
+
+    /// Transform a matrix in place.
+    pub fn transform_inplace(&self, x: &mut Matrix) {
+        assert_eq!(x.cols(), self.means.len());
+        let cols = x.cols();
+        for row in x.as_mut_slice().chunks_exact_mut(cols) {
+            for ((v, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+                *v = (*v - m) / s;
+            }
+        }
+    }
+
+    /// Transform into a new matrix.
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        self.transform_inplace(&mut out);
+        out
+    }
+
+    /// Fit and transform in one step.
+    pub fn fit_transform(x: &Matrix) -> (Self, Matrix) {
+        let scaler = Self::fit(x);
+        let out = scaler.transform(x);
+        (scaler, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transformed_columns_are_standardised() {
+        let x = Matrix::from_vec(4, 2, vec![1.0, 5.0, 2.0, 5.0, 3.0, 5.0, 4.0, 5.0]).unwrap();
+        let (_, t) = StandardScaler::fit_transform(&x);
+        let means = stats::col_means(&t);
+        let stds = stats::col_stds(&t, &means);
+        assert!(means[0].abs() < 1e-6);
+        assert!((stds[0] - 1.0).abs() < 1e-5);
+        // Constant column maps to zero, not NaN.
+        assert!(t.as_slice().iter().all(|v| v.is_finite()));
+        assert_eq!(t[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn train_statistics_apply_to_test() {
+        let train = Matrix::from_vec(2, 1, vec![0.0, 2.0]).unwrap();
+        let scaler = StandardScaler::fit(&train);
+        let test = Matrix::from_vec(1, 1, vec![4.0]).unwrap();
+        let t = scaler.transform(&test);
+        // mean 1, std 1 -> (4-1)/1 = 3.
+        assert!((t[(0, 0)] - 3.0).abs() < 1e-6);
+    }
+}

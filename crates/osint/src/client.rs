@@ -1,0 +1,260 @@
+//! The OTX-like query surface the TRAIL pipeline consumes.
+//!
+//! Mirrors the paper's data-access pattern (Section IV-A): search for
+//! tagged events, then request per-IOC analyses that return both
+//! features and relational data (secondary IOCs). Analysis gaps are
+//! simulated deterministically per IOC so repeated queries agree.
+
+use std::sync::Arc;
+
+use trail_ioc::analysis::{DomainAnalysis, IpAnalysis, UrlAnalysis};
+use trail_ioc::report::RawReport;
+use trail_ioc::vocab::fnv1a;
+
+use crate::world::World;
+
+/// Maximum historic domains a passive-DNS query returns per IP —
+/// real services page their responses; the paper's two-hop cap plays
+/// the same role.
+const PDNS_PAGE: usize = 12;
+
+/// Read-only client over a generated [`World`].
+#[derive(Clone)]
+pub struct OsintClient {
+    world: Arc<World>,
+}
+
+impl OsintClient {
+    /// Wrap a world.
+    pub fn new(world: Arc<World>) -> Self {
+        Self { world }
+    }
+
+    /// Borrow the underlying world (ground truth — evaluation only).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// All reports created strictly before `day` (the main dataset pull).
+    pub fn events_before(&self, day: u32) -> Vec<RawReport> {
+        self.world.events.iter().filter(|e| e.day < day).map(|e| e.report.clone()).collect()
+    }
+
+    /// Reports with `lo <= day < hi` (monthly study batches).
+    pub fn events_between(&self, lo: u32, hi: u32) -> Vec<RawReport> {
+        self.world
+            .events
+            .iter()
+            .filter(|e| e.day >= lo && e.day < hi)
+            .map(|e| e.report.clone())
+            .collect()
+    }
+
+    /// Deterministic per-key analysis gap: true when the query "misses".
+    fn misses(&self, key: &str) -> bool {
+        let p = self.world.config.analysis_miss_prob;
+        let h = fnv1a(key) ^ self.world.config.seed;
+        ((h % 10_000) as f32) < p * 10_000.0
+    }
+
+    /// Analyse an IP as of `asof_day`. `None` when unknown or the
+    /// lookup gaps out.
+    pub fn analyze_ip(&self, ip: &str, asof_day: u32) -> Option<IpAnalysis> {
+        if self.misses(ip) {
+            return None;
+        }
+        let &idx = self.world.ip_index.get(ip)?;
+        let t = &self.world.ips[idx as usize];
+        let asn = &self.world.asns[t.asn as usize];
+        let historic: Vec<String> = t
+            .domains
+            .iter()
+            .take(PDNS_PAGE)
+            .map(|&d| self.world.domain_names[d as usize].clone())
+            .collect();
+        Some(IpAnalysis {
+            country: Some(asn.country.clone()),
+            issuer: Some(t.issuer.clone()),
+            latitude: t.lat,
+            longitude: t.lon,
+            a_record_count: t.domains.len() as u32,
+            resolving_domain_count: t.domains.len() as u32,
+            asn: Some(asn.number),
+            asn_size_log: asn.size_log,
+            first_seen_days: asof_day.saturating_sub(t.first_day) as f32,
+            last_seen_days: asof_day.saturating_sub(t.last_day) as f32,
+            historic_domains: historic,
+        })
+    }
+
+    /// Analyse a domain as of `asof_day`.
+    pub fn analyze_domain(&self, domain: &str, asof_day: u32) -> Option<DomainAnalysis> {
+        if self.misses(domain) {
+            return None;
+        }
+        let &idx = self.world.domain_index.get(domain)?;
+        let t = &self.world.domains[idx as usize];
+        let mut record_counts = [0u32; 9];
+        record_counts[0] = t.ips.len() as u32;
+        record_counts[1..9].copy_from_slice(&t.extra_records);
+        let nxdomain =
+            asof_day.saturating_sub(t.last_day) as f32 > self.world.config.nxdomain_after_days;
+        Some(DomainAnalysis {
+            record_counts,
+            nxdomain,
+            first_seen_days: asof_day.saturating_sub(t.first_day) as f32,
+            last_seen_days: asof_day.saturating_sub(t.last_day) as f32,
+            resolved_ips: t
+                .ips
+                .iter()
+                .take(PDNS_PAGE)
+                .map(|&ip| self.world.ip_names[ip as usize].clone())
+                .collect(),
+            cname_targets: Vec::new(),
+            hosted_urls: t
+                .urls
+                .iter()
+                .take(PDNS_PAGE)
+                .map(|&u| self.world.url_names[u as usize].clone())
+                .collect(),
+        })
+    }
+
+    /// Analyse a URL as of `asof_day` (the cached cURL probe).
+    pub fn analyze_url(&self, url: &str, asof_day: u32) -> Option<UrlAnalysis> {
+        if self.misses(url) {
+            return None;
+        }
+        let &idx = self.world.url_index.get(url)?;
+        let t = &self.world.urls[idx as usize];
+        let alive = asof_day.saturating_sub(t.created_day) < 400;
+        Some(UrlAnalysis {
+            alive,
+            file_type: Some(t.file_type.clone()),
+            file_class: Some(t.file_class.clone()),
+            http_code: Some(if alive { t.http_code } else { 404 }),
+            encoding: Some(t.encoding.clone()),
+            server: Some(t.server.clone()),
+            server_os: Some(t.server_os.clone()),
+            services: t.services.clone(),
+            header_flags: t.header_flags.clone(),
+            resolved_ips: t
+                .ips
+                .iter()
+                .take(PDNS_PAGE)
+                .map(|&ip| self.world.ip_names[ip as usize].clone())
+                .collect(),
+        })
+    }
+
+    /// ASN metadata by number (whois equivalent): `(name, country)`.
+    pub fn asn_info(&self, number: u32) -> Option<(String, String)> {
+        self.world
+            .asns
+            .iter()
+            .find(|a| a.number == number)
+            .map(|a| (a.name.clone(), a.country.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use crate::world::World;
+
+    fn client() -> OsintClient {
+        OsintClient::new(Arc::new(World::generate(WorldConfig::tiny(9))))
+    }
+
+    #[test]
+    fn event_windows_partition_timeline() {
+        let c = client();
+        let cutoff = c.world().config.cutoff_day;
+        let horizon = c.world().config.horizon_day();
+        let before = c.events_before(cutoff).len();
+        let after = c.events_between(cutoff, horizon).len();
+        assert_eq!(before + after, c.world().events.len());
+        assert!(before > 0 && after > 0);
+    }
+
+    #[test]
+    fn analysis_is_deterministic() {
+        let c = client();
+        // Find an IP indicator in some report.
+        let reports = c.events_before(c.world().config.cutoff_day);
+        let ip = reports
+            .iter()
+            .flat_map(|r| &r.indicators)
+            .find(|i| i.indicator_type == "IPv4" && !i.indicator.contains('['))
+            .map(|i| i.indicator.clone())
+            .expect("some plain IP indicator");
+        assert_eq!(c.analyze_ip(&ip, 500), c.analyze_ip(&ip, 500));
+    }
+
+    #[test]
+    fn unknown_iocs_return_none() {
+        let c = client();
+        assert!(c.analyze_ip("203.0.113.99", 100).is_none());
+        assert!(c.analyze_domain("never-generated.example", 100).is_none());
+        assert!(c.analyze_url("http://never.example/x", 100).is_none());
+    }
+
+    #[test]
+    fn some_queries_gap_out() {
+        let c = client();
+        let total = c.world().ip_names.len();
+        let missed = c
+            .world()
+            .ip_names
+            .iter()
+            .filter(|name| c.analyze_ip(name, 400).is_none())
+            .count();
+        // miss prob is 10%: expect some but not most.
+        assert!(missed > 0, "no analysis gaps at all");
+        assert!(missed < total / 2, "{missed}/{total} missed");
+    }
+
+    #[test]
+    fn domain_analysis_links_ips_and_ages() {
+        let c = client();
+        // Find an analysable domain with resolutions.
+        let found = c
+            .world()
+            .domain_names
+            .iter()
+            .find_map(|name| c.analyze_domain(name, 700).map(|a| (name.clone(), a)))
+            .expect("some domain analysis");
+        let (_, a) = found;
+        assert_eq!(a.record_counts[0] as usize, a.resolved_ips.len().max(a.record_counts[0] as usize).min(a.record_counts[0] as usize));
+        assert!(a.first_seen_days >= a.last_seen_days);
+    }
+
+    #[test]
+    fn old_domains_go_nxdomain() {
+        let c = client();
+        let cfg_days = c.world().config.nxdomain_after_days as u32;
+        let name = c
+            .world()
+            .domain_names
+            .iter()
+            .find(|n| c.analyze_domain(n, 0).is_some())
+            .unwrap()
+            .clone();
+        let late = c.analyze_domain(&name, 100_000 + cfg_days).unwrap();
+        assert!(late.nxdomain);
+    }
+
+    #[test]
+    fn url_analysis_has_server_fingerprint() {
+        let c = client();
+        let found = c
+            .world()
+            .url_names
+            .iter()
+            .find_map(|name| c.analyze_url(name, 100).map(|a| a))
+            .expect("some URL analysis");
+        assert!(found.server.is_some());
+        assert!(found.file_type.is_some());
+    }
+}

@@ -1,0 +1,166 @@
+//! Generation parameters for the synthetic world.
+//!
+//! Defaults target the *shape* of the paper's dataset at roughly 1/4 of
+//! its event count and a reduced per-event IOC count, which keeps the
+//! full experiment suite tractable on a laptop while preserving the
+//! statistics the models learn from. Every knob DESIGN.md calls out for
+//! calibration lives here.
+
+use serde::{Deserialize, Serialize};
+
+/// All generation parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Master RNG seed; everything downstream is deterministic in it.
+    pub seed: u64,
+    /// Number of APT classes (paper: 22).
+    pub n_apts: usize,
+    /// Total events on the training timeline (paper: 4,512).
+    pub n_events: usize,
+    /// Mean number of first-order IOCs per event (paper: 190; default is
+    /// scaled down — see DESIGN.md).
+    pub mean_iocs_per_event: f32,
+    /// Number of ASNs in the registry (paper: ~6,028).
+    pub n_asns: usize,
+    /// Timeline cutoff day for the main dataset (events after this feed
+    /// the longitudinal study; paper cutoff is May 2023).
+    pub cutoff_day: u32,
+    /// Extra months of post-cutoff events for the Fig. 7/8 study.
+    pub study_months: u32,
+    /// Events per month during the study window.
+    pub study_events_per_month: usize,
+
+    // --- campaign / reuse structure -------------------------------------
+    /// Mean events per campaign (how long infrastructure lives).
+    pub mean_events_per_campaign: f32,
+    /// Probability an event IOC is drawn from the campaign pool rather
+    /// than freshly created (drives Fig. 4 reuse and LP accuracy).
+    pub pool_reuse_prob: f32,
+    /// Per-APT backbone IPs shared across that APT's campaigns.
+    pub backbone_ips_per_apt: usize,
+    /// Probability a campaign domain also resolves to a backbone IP
+    /// (creates the >2-hop paths only enrichment reveals).
+    pub backbone_link_prob: f32,
+    /// Number of globally shared benign infrastructure IPs/domains.
+    pub shared_infra_size: usize,
+    /// Probability an event includes a shared benign IOC (noise).
+    pub shared_infra_prob: f32,
+    /// Probability an event's label is corrupted to a random APT
+    /// (reports are community-sourced; some attributions are wrong).
+    pub label_noise: f32,
+    /// Probability an indicator in a report is junk (script snippet).
+    pub junk_indicator_prob: f32,
+
+    // --- per-IOC feature signal strength --------------------------------
+    /// Probability a URL's server config follows the APT preference
+    /// rather than a global draw (drives Table III URL accuracy).
+    pub url_signal: f32,
+    /// Same for IP country/issuer (Table III IP accuracy).
+    pub ip_signal: f32,
+    /// Same for domain TLD/DGA style (Table III domain accuracy).
+    pub domain_signal: f32,
+
+    // --- enrichment surface ----------------------------------------------
+    /// Mean co-hosted (never-reported) domains attached to each IP —
+    /// the passive-DNS surface that makes 75 % of the paper's graph
+    /// secondary.
+    pub pdns_domains_per_ip: f32,
+    /// Probability a campaign domain also resolves to a hidden
+    /// (never-reported) IP carrying the APT's hosting fingerprint.
+    pub hidden_ip_prob: f32,
+    /// Unreported URLs created per campaign (discovered only through
+    /// domain `url_list` enrichment).
+    pub hidden_urls_per_campaign: usize,
+    /// Probability an analysis query returns nothing (data gaps).
+    pub analysis_miss_prob: f32,
+    /// Days after last activity before a domain goes NXDOMAIN.
+    pub nxdomain_after_days: f32,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x7214_11,
+            n_apts: 22,
+            n_events: 1128, // 1/4 of the paper's 4,512
+            mean_iocs_per_event: 24.0,
+            n_asns: 1500,
+            cutoff_day: 3000, // ~ Feb 2015 + 100 months ~ May 2023
+            study_months: 7,
+            study_events_per_month: 22,
+            mean_events_per_campaign: 3.0,
+            pool_reuse_prob: 0.26,
+            backbone_ips_per_apt: 8,
+            backbone_link_prob: 0.26,
+            shared_infra_size: 60,
+            shared_infra_prob: 0.20,
+            label_noise: 0.05,
+            junk_indicator_prob: 0.02,
+            url_signal: 0.66,
+            ip_signal: 0.36,
+            domain_signal: 0.50,
+            pdns_domains_per_ip: 5.0,
+            hidden_ip_prob: 0.5,
+            hidden_urls_per_campaign: 2,
+            analysis_miss_prob: 0.10,
+            nxdomain_after_days: 400.0,
+        }
+    }
+}
+
+impl WorldConfig {
+    /// A tiny configuration for unit and integration tests.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            seed,
+            n_apts: 4,
+            n_events: 48,
+            mean_iocs_per_event: 8.0,
+            n_asns: 40,
+            cutoff_day: 600,
+            study_months: 2,
+            study_events_per_month: 6,
+            ..Self::default()
+        }
+    }
+
+    /// Scale event count and enrichment fanout by `s` (1.0 = default).
+    pub fn scaled(mut self, s: f32) -> Self {
+        self.n_events = ((self.n_events as f32 * s).round() as usize).max(self.n_apts * 8);
+        self.study_events_per_month =
+            ((self.study_events_per_month as f32 * s).round() as usize).max(6);
+        self
+    }
+
+    /// Total days in the generated timeline (cutoff + study window).
+    pub fn horizon_day(&self) -> u32 {
+        self.cutoff_day + self.study_months * crate::DAYS_PER_MONTH
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_shape() {
+        let c = WorldConfig::default();
+        assert_eq!(c.n_apts, 22);
+        assert!(c.n_events >= 1000);
+        assert!(c.pool_reuse_prob > 0.0 && c.pool_reuse_prob < 1.0);
+    }
+
+    #[test]
+    fn scaled_respects_minimum() {
+        let c = WorldConfig::default().scaled(0.01);
+        assert!(c.n_events >= c.n_apts * 8);
+        let big = WorldConfig::default().scaled(2.0);
+        assert_eq!(big.n_events, 2256);
+    }
+
+    #[test]
+    fn horizon_covers_study() {
+        let c = WorldConfig::default();
+        assert_eq!(c.horizon_day(), c.cutoff_day + c.study_months * 30);
+    }
+}

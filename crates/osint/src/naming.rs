@@ -1,0 +1,156 @@
+//! Deterministic name generators for the synthetic world: dictionary
+//! and DGA-style domain labels, URL paths, server banners.
+
+use rand::Rng;
+
+/// Words used for "dictionary" style domains and URL paths; benign-ish
+/// vocabulary typical of phishing/malware hosting observed in feeds.
+pub const WORDS: &[&str] = &[
+    "update", "secure", "mail", "login", "account", "portal", "cloud", "drive", "docs", "news",
+    "cdn", "static", "api", "download", "support", "service", "online", "verify", "billing",
+    "invoice", "report", "share", "file", "data", "sync", "host", "panel", "admin", "web",
+    "store", "shop", "bank", "pay", "wallet", "crypto", "job", "career", "offer", "bonus",
+    "track", "ship", "post", "gov", "tax", "health", "corp", "office", "team", "project",
+];
+
+/// File stems for URL paths.
+pub const FILE_STEMS: &[&str] = &[
+    "index", "main", "load", "gate", "panel", "config", "setup", "install", "update", "flash",
+    "doc", "invoice", "resume", "report", "order", "payload", "stage", "drop", "beacon", "task",
+];
+
+/// File extensions by coarse class, used to keep MIME data coherent.
+pub const EXTENSIONS: &[(&str, &str, &str)] = &[
+    // (extension, mime type, file class)
+    ("php", "text/html", "html"),
+    ("html", "text/html", "html"),
+    ("txt", "text/plain", "text"),
+    ("js", "application/javascript", "script"),
+    ("exe", "application/x-msdownload", "pe"),
+    ("dll", "application/x-dosexec", "pe"),
+    ("zip", "application/zip", "archive"),
+    ("rar", "application/x-rar", "archive"),
+    ("doc", "application/msword", "document"),
+    ("pdf", "application/pdf", "document"),
+    ("png", "image/png", "image"),
+    ("jpg", "image/jpeg", "image"),
+    ("bin", "application/octet-stream", "binary"),
+    ("dat", "application/octet-stream", "data"),
+];
+
+const DGA_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+const ALPHA_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+
+/// A random DGA-style label: `len` chars drawn from `[a-z0-9]` with the
+/// given digit affinity (0 = letters only, 1 = digits likely).
+pub fn dga_label<R: Rng + ?Sized>(rng: &mut R, len: usize, digit_affinity: f32) -> String {
+    (0..len.max(1))
+        .map(|i| {
+            // First char alphabetic to stay LDH-valid and realistic.
+            if i == 0 || rng.gen::<f32>() > digit_affinity {
+                ALPHA_CHARS[rng.gen_range(0..ALPHA_CHARS.len())] as char
+            } else {
+                DGA_CHARS[rng.gen_range(26..DGA_CHARS.len())] as char
+            }
+        })
+        .collect()
+}
+
+/// A dictionary-style label: one or two words, optionally hyphenated,
+/// optionally with a numeric suffix.
+pub fn word_label<R: Rng + ?Sized>(rng: &mut R) -> String {
+    let w1 = WORDS[rng.gen_range(0..WORDS.len())];
+    match rng.gen_range(0..4u8) {
+        0 => w1.to_owned(),
+        1 => format!("{w1}{}", WORDS[rng.gen_range(0..WORDS.len())]),
+        2 => format!("{w1}-{}", WORDS[rng.gen_range(0..WORDS.len())]),
+        _ => format!("{w1}{}", rng.gen_range(1..100)),
+    }
+}
+
+/// A URL path of the requested depth and style.
+///
+/// `entropy_level` in `[0,1]`: 0 produces word segments, 1 produces
+/// random hex-ish segments (the obfuscated style Fig. 9 associates with
+/// APT28).
+pub fn url_path<R: Rng + ?Sized>(rng: &mut R, depth: usize, entropy_level: f32) -> (String, usize) {
+    let mut path = String::new();
+    for _ in 0..depth {
+        path.push('/');
+        if rng.gen::<f32>() < entropy_level {
+            let len = rng.gen_range(5..12);
+            path.push_str(&dga_label(rng, len, 0.4));
+        } else {
+            path.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+        }
+    }
+    let ext_idx = rng.gen_range(0..EXTENSIONS.len());
+    let stem = if rng.gen::<f32>() < entropy_level {
+        let len = rng.gen_range(4..10);
+        dga_label(rng, len, 0.5)
+    } else {
+        FILE_STEMS[rng.gen_range(0..FILE_STEMS.len())].to_owned()
+    };
+    path.push('/');
+    path.push_str(&stem);
+    path.push('.');
+    path.push_str(EXTENSIONS[ext_idx].0);
+    (path, ext_idx)
+}
+
+/// A version-suffixed server banner, e.g. `nginx/1.18.0`. Drawn from a
+/// long tail of versions — used for background (non-preference) infra.
+pub fn server_banner<R: Rng + ?Sized>(rng: &mut R, base: &str) -> String {
+    format!("{base}/{}.{}.{}", rng.gen_range(1..3), rng.gen_range(0..25), rng.gen_range(0..10))
+}
+
+/// A banner from the *common* version set — the handful of widely
+/// deployed releases. APT preferences draw from this narrow pool so
+/// different groups collide on banners, keeping per-IOC attribution
+/// noisy (Table III's sub-50 % accuracies).
+pub fn common_server_banner<R: Rng + ?Sized>(rng: &mut R, base: &str) -> String {
+    const VERSIONS: [&str; 4] = ["1.18.0", "1.20.1", "2.4.41", "2.4.52"];
+    format!("{base}/{}", VERSIONS[rng.gen_range(0..VERSIONS.len())])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn dga_labels_are_ldh_valid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let l = dga_label(&mut rng, 12, 0.5);
+            assert_eq!(l.len(), 12);
+            assert!(l.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit()));
+            assert!(l.as_bytes()[0].is_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn word_labels_parse_as_domain_labels() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let l = word_label(&mut rng);
+            assert!(!l.starts_with('-') && !l.ends_with('-'));
+            assert!(l.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-'));
+        }
+    }
+
+    #[test]
+    fn url_path_structure() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (p, ext) = url_path(&mut rng, 2, 0.0);
+        assert_eq!(p.matches('/').count(), 3);
+        assert!(p.ends_with(EXTENSIONS[ext].0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(dga_label(&mut a, 8, 0.3), dga_label(&mut b, 8, 0.3));
+    }
+}

@@ -1,0 +1,72 @@
+//! Case study: attribute a fresh, never-seen incident report — the
+//! paper's Section VII-C walkthrough (an APT38 phishing campaign).
+//!
+//! ```sh
+//! cargo run --release --example case_study
+//! ```
+
+use std::sync::Arc;
+
+use trail::attribute::GnnEvalConfig;
+use trail::longitudinal::{case_study, StudyConfig};
+use trail::system::TrailSystem;
+use trail_ml::nn::autoencoder::AutoencoderConfig;
+use trail_osint::{OsintClient, World, WorldConfig};
+
+fn main() {
+    let mut config = WorldConfig::default().scaled(0.25);
+    config.seed = 42;
+    let world = Arc::new(World::generate(config));
+    let client = OsintClient::new(world);
+    let cutoff = client.world().config.cutoff_day;
+    let system = TrailSystem::build(client, cutoff);
+    println!(
+        "base TKG: {} events / {} nodes (built at day {cutoff})",
+        system.tkg.events.len(),
+        system.tkg.graph.node_count()
+    );
+
+    let cfg = StudyConfig {
+        months: 1,
+        gnn_layers: 2,
+        gnn: GnnEvalConfig {
+            hidden: 48,
+            train: trail_gnn::TrainConfig { lr: 2e-2, epochs: 150, patience: 0 },
+            val_fraction: 0.0,
+            l2_normalize: false,
+            label_visible_fraction: 0.7,
+        },
+        ae: AutoencoderConfig { hidden: 128, code: 48, epochs: 3, ..Default::default() },
+        fine_tune: trail_gnn::FineTune::default(),
+    };
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11);
+    let Some(cs) = case_study(&mut rng, system, &cfg, "APT38") else {
+        println!("no post-cutoff event available");
+        return;
+    };
+
+    println!("\n--- fresh report {} ---", cs.report_id);
+    println!("ground truth:              {}", cs.true_apt);
+    println!("IOCs listed in the report: {}", cs.reported_iocs);
+    println!("IOCs after 2-hop enrich:   {}", cs.neighborhood_iocs);
+    println!("attributed events @2 hops: {}", cs.events_2hop);
+    println!("attributed events @3 hops: {}", cs.events_3hop);
+    println!(
+        "label propagation verdict:  {}",
+        cs.lp_prediction.as_deref().unwrap_or("unattributed (no path to labelled events)")
+    );
+    println!(
+        "GNN, neighbours masked:     {} ({:.0}% confidence)",
+        cs.gnn_masked.0,
+        100.0 * cs.gnn_masked.1
+    );
+    println!(
+        "GNN, neighbours visible:    {} ({:.0}% confidence)",
+        cs.gnn_visible.0,
+        100.0 * cs.gnn_visible.1
+    );
+    println!(
+        "\npaper observation 3: IOCs viewed as a group in the knowledge graph\n\
+         describe APT behaviour well enough to be used for attribution."
+    );
+}

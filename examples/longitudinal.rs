@@ -1,0 +1,61 @@
+//! Longitudinal study: how attribution quality degrades as the TKG and
+//! model go stale, and what monthly fine-tuning recovers (paper Fig. 8).
+//!
+//! ```sh
+//! cargo run --release --example longitudinal
+//! ```
+
+use std::sync::Arc;
+
+use trail::attribute::GnnEvalConfig;
+use trail::longitudinal::{run_monthly_study, StudyConfig};
+use trail::system::TrailSystem;
+use trail_ml::nn::autoencoder::AutoencoderConfig;
+use trail_osint::{OsintClient, World, WorldConfig};
+
+fn main() {
+    let mut config = WorldConfig::default().scaled(0.25);
+    config.seed = 42;
+    config.study_events_per_month = 22; // the paper's June-2023 batch size
+    let world = Arc::new(World::generate(config));
+    let client = OsintClient::new(world);
+    let cutoff = client.world().config.cutoff_day;
+    let system = TrailSystem::build(client, cutoff);
+
+    let cfg = StudyConfig {
+        months: 5,
+        gnn_layers: 2,
+        gnn: GnnEvalConfig {
+            hidden: 48,
+            train: trail_gnn::TrainConfig { lr: 2e-2, epochs: 150, patience: 0 },
+            val_fraction: 0.0,
+            l2_normalize: false,
+            label_visible_fraction: 0.7,
+        },
+        ae: AutoencoderConfig { hidden: 128, code: 48, epochs: 3, ..Default::default() },
+        fine_tune: trail_gnn::FineTune { lr: 5e-3, epochs: 8 },
+    };
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(13);
+    let out = run_monthly_study(&mut rng, system, &cfg);
+
+    println!("first unseen month — confusion matrix of the frozen model:");
+    let names: Vec<&str> = out.class_names.iter().map(String::as_str).collect();
+    println!("{}", out.first_month_confusion.render(&names));
+
+    println!("monthly accuracy, frozen vs monthly-fine-tuned model:");
+    println!("{:>6} {:>8} {:>10} {:>10} {:>8}", "month", "events", "stale", "fresh", "gap");
+    for m in &out.months {
+        println!(
+            "{:>6} {:>8} {:>10.3} {:>10.3} {:>+8.3}",
+            m.month,
+            m.n_events,
+            m.stale_acc,
+            m.fresh_acc,
+            m.fresh_acc - m.stale_acc
+        );
+    }
+    println!(
+        "\npaper: the stale-fresh gap grows roughly 3.5% per month —\n\
+         \"clearly in a realistic setting, the GNN should be retrained frequently\"."
+    );
+}

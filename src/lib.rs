@@ -1,0 +1,20 @@
+//! Umbrella crate for the TRAIL reproduction workspace.
+//!
+//! This crate exists to host the runnable examples (`examples/`) and
+//! the cross-crate integration tests (`tests/`); the actual library
+//! surface lives in the member crates:
+//!
+//! * [`trail`] — the TRAIL system (pipeline, TKG, attribution).
+//! * [`trail_osint`] — the synthetic OSINT world.
+//! * [`trail_ioc`] — IOC parsing and feature extraction.
+//! * [`trail_graph`] — the property-graph substrate.
+//! * [`trail_ml`] / [`trail_gnn`] — the learning substrates.
+//! * [`trail_linalg`] — dense kernels.
+
+pub use trail;
+pub use trail_gnn;
+pub use trail_graph;
+pub use trail_ioc;
+pub use trail_linalg;
+pub use trail_ml;
+pub use trail_osint;

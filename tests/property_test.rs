@@ -1,0 +1,131 @@
+//! Property-based tests over the core data structures and parsers.
+
+use proptest::prelude::*;
+
+use trail_graph::{Csr, EdgeKind, GraphStore, NodeKind};
+use trail_ioc::defang::{defang, refang};
+use trail_ioc::domain::DomainIoc;
+use trail_ioc::ip::IpIoc;
+use trail_ioc::url::UrlIoc;
+use trail_ioc::vocab::Vocab;
+use trail_linalg::Matrix;
+
+proptest! {
+    /// Any dotted quad in range parses and round-trips its octets.
+    #[test]
+    fn ipv4_roundtrip(a in 0u8..=255, b in 0u8..=255, c in 0u8..=255, d in 0u8..=255) {
+        let text = format!("{a}.{b}.{c}.{d}");
+        let ip = IpIoc::parse(&text).expect("valid dotted quad");
+        prop_assert_eq!(ip.v4_octets(), Some([a, b, c, d]));
+        prop_assert_eq!(ip.text, text);
+    }
+
+    /// Defang then refang is the identity on URLs made of safe chars.
+    #[test]
+    fn defang_refang_roundtrip(host in "[a-z]{3,10}", tld in "(com|net|ru|club)", path in "[a-z0-9]{1,8}") {
+        let url = format!("http://{host}.{tld}/{path}");
+        prop_assert_eq!(refang(&defang(&url)), url);
+    }
+
+    /// Valid LDH domains always parse and canonicalise to lowercase.
+    #[test]
+    fn domain_parse_accepts_ldh(label in "[a-z][a-z0-9]{0,12}", tld in "[a-z]{2,6}") {
+        let d = DomainIoc::parse(&format!("{}.{}", label.to_uppercase(), tld)).expect("LDH domain");
+        prop_assert_eq!(d.tld(), tld.as_str());
+        prop_assert_eq!(d.text, format!("{label}.{tld}"));
+    }
+
+    /// Lexical features are finite and consistent with the text.
+    #[test]
+    fn domain_lexical_consistency(label in "[a-z][a-z0-9]{2,20}", tld in "[a-z]{2,4}") {
+        let text = format!("{label}.{tld}");
+        let d = DomainIoc::parse(&text).unwrap();
+        let lex = d.lexical();
+        prop_assert_eq!(lex.length as usize, text.len());
+        prop_assert!(lex.digit_ratio >= 0.0 && lex.digit_ratio <= 1.0);
+        prop_assert_eq!(lex.periods as usize, 1);
+        prop_assert!(lex.entropy.is_finite());
+    }
+
+    /// URL parsing extracts the host it was given.
+    #[test]
+    fn url_host_extraction(host in "[a-z]{3,8}", tld in "(com|net|org)", depth in 0usize..3) {
+        let path: String = (0..depth).map(|i| format!("/p{i}")).collect();
+        let url = format!("https://{host}.{tld}{path}");
+        let parsed = UrlIoc::parse(&url).unwrap();
+        prop_assert_eq!(parsed.hosted_domain().unwrap().text.clone(), format!("{host}.{tld}"));
+        prop_assert_eq!(parsed.lexical().path_depth as usize, depth);
+    }
+
+    /// Vocab slots are always in range and deterministic.
+    #[test]
+    fn vocab_slot_in_range(value in ".{0,40}", size in 1usize..500) {
+        let v = Vocab::new("test", size, &[]);
+        let s1 = v.slot(&value);
+        let s2 = v.slot(&value);
+        prop_assert!(s1 < size);
+        prop_assert_eq!(s1, s2);
+    }
+
+    /// CSR degree sum equals twice the edge count for any event→IOC
+    /// bipartite graph.
+    #[test]
+    fn csr_degree_sum(edges in proptest::collection::vec((0usize..10, 0usize..15), 0..60)) {
+        let mut g = GraphStore::new();
+        let events: Vec<_> = (0..10).map(|i| g.upsert_node(NodeKind::Event, &format!("e{i}"))).collect();
+        let ips: Vec<_> = (0..15).map(|i| g.upsert_node(NodeKind::Ip, &format!("1.1.1.{i}"))).collect();
+        for (e, i) in edges {
+            let _ = g.add_edge(events[e], ips[i], EdgeKind::InReport);
+        }
+        let csr = Csr::from_store(&g);
+        let degree_sum: usize = (0..csr.node_count()).map(|i| csr.degree(trail_graph::NodeId::from(i))).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+        prop_assert_eq!(csr.half_edge_count(), 2 * g.edge_count());
+    }
+
+    /// Subgraph never invents nodes or edges.
+    #[test]
+    fn subgraph_is_monotone(keep_events in proptest::collection::vec(any::<bool>(), 8)) {
+        let mut g = GraphStore::new();
+        let mut events = Vec::new();
+        let ip = g.upsert_node(NodeKind::Ip, "9.9.9.9");
+        for (i, _) in keep_events.iter().enumerate() {
+            let e = g.upsert_node(NodeKind::Event, &format!("e{i}"));
+            g.add_edge(e, ip, EdgeKind::InReport).unwrap();
+            events.push(e);
+        }
+        let (sub, mapping) = g.subgraph(|id, rec| {
+            rec.kind != NodeKind::Event || keep_events[events.iter().position(|&e| e == id).unwrap()]
+        });
+        prop_assert!(sub.node_count() <= g.node_count());
+        prop_assert!(sub.edge_count() <= g.edge_count());
+        let kept = keep_events.iter().filter(|&&k| k).count();
+        prop_assert_eq!(sub.node_count(), kept + 1);
+        prop_assert_eq!(sub.edge_count(), kept);
+        prop_assert_eq!(mapping.iter().filter(|m| m.is_some()).count(), kept + 1);
+    }
+
+    /// Matrix transpose is an involution and matmul distributes over
+    /// the transpose pair ops used in backprop.
+    #[test]
+    fn transpose_involution(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+        let m = Matrix::from_fn(rows, cols, |r, c| ((r * 31 + c * 17 + seed as usize) % 11) as f32 - 5.0);
+        prop_assert_eq!(m.transpose().transpose(), m.clone());
+        let other = Matrix::from_fn(rows, cols, |r, c| ((r + c * 3 + seed as usize) % 7) as f32);
+        let fast = m.t_matmul(&other).unwrap();
+        let slow = m.transpose().matmul(&other).unwrap();
+        for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    /// Softmax outputs a probability distribution for any finite input.
+    #[test]
+    fn softmax_distribution(values in proptest::collection::vec(-50.0f32..50.0, 1..20)) {
+        let mut v = values;
+        trail_linalg::vector::softmax_inplace(&mut v);
+        let sum: f32 = v.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(v.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+}
