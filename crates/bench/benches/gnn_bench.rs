@@ -38,6 +38,40 @@ fn bench_label_propagation(c: &mut Criterion) {
     group.finish();
 }
 
+/// Sequential baseline vs the shared worker pool for the two CSR
+/// sweeps the pool accelerates: mean aggregation (the GraphSAGE inner
+/// loop) and the label-propagation sweep. `*_seq` pins the region to
+/// one thread; `*_pooled` uses the `TRAIL_THREADS`/all-cores policy.
+fn bench_pool_vs_sequential(c: &mut Criterion) {
+    let sys = build();
+    let csr = sys.tkg.csr();
+    let mut rng = StdRng::seed_from_u64(7);
+    let h = trail_linalg::Matrix::from_fn(csr.node_count(), 64, |_, _| {
+        rand::Rng::gen_range(&mut rng, -1.0..1.0)
+    });
+    let mut group = c.benchmark_group("pool_vs_sequential");
+    group.sample_size(20);
+    group.bench_function("aggregate_mean_seq", |b| {
+        b.iter(|| std::hint::black_box(trail_gnn::sage::aggregate_mean_with_threads(&csr, &h, 1)))
+    });
+    group.bench_function("aggregate_mean_pooled", |b| {
+        b.iter(|| std::hint::black_box(trail_gnn::sage::aggregate_mean(&csr, &h)))
+    });
+
+    let lp = LabelPropagation::new(&csr, sys.tkg.n_classes());
+    let mut seeds = vec![None; sys.tkg.graph.node_count()];
+    for e in &sys.tkg.events {
+        seeds[e.node.index()] = Some(e.apt);
+    }
+    group.bench_function("labelprop_sweep_seq", |b| {
+        b.iter(|| std::hint::black_box(lp.propagate_with_threads(&seeds, 2, 1).len()))
+    });
+    group.bench_function("labelprop_sweep_pooled", |b| {
+        b.iter(|| std::hint::black_box(lp.propagate(&seeds, 2).len()))
+    });
+    group.finish();
+}
+
 fn bench_sage_epoch(c: &mut Criterion) {
     let sys = build();
     let csr = sys.tkg.csr();
@@ -74,5 +108,5 @@ fn bench_sage_epoch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_label_propagation, bench_sage_epoch);
+criterion_group!(benches, bench_label_propagation, bench_pool_vs_sequential, bench_sage_epoch);
 criterion_main!(benches);

@@ -10,8 +10,13 @@
 //!
 //! `fig7` and `fig8` share one longitudinal run (`fig7` is the first
 //! month's confusion matrix of the same study).
+//!
+//! Every run also writes `BENCH_repro.json` into the working
+//! directory: per-stage wall-clock seconds plus run metadata (thread
+//! count, scale, graph size), for mechanical perf comparison across
+//! commits.
 
-use trail_bench::RunOptions;
+use trail_bench::{BenchRecorder, RunOptions};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,14 +44,26 @@ fn main() {
         i += 1;
     }
 
-    let needs_embeddings =
-        matches!(experiment.as_str(), "table4" | "fig10" | "ablations" | "all");
+    let mut rec = BenchRecorder::new();
+    rec.set_meta("experiment", experiment.as_str());
+    rec.set_meta("threads", trail_linalg::pool::num_threads() as u64);
+    rec.set_meta("scale", opts.scale as f64);
+    rec.set_meta("seed", opts.seed);
+    rec.set_meta("folds", opts.folds as u64);
+    rec.set_meta("quick", opts.quick);
+
+    let needs_embeddings = matches!(experiment.as_str(), "table4" | "fig10" | "ablations" | "all");
     let total = std::time::Instant::now();
-    let sys = opts.build_system();
+    let sys = rec.time("setup_tkg", || opts.build_system());
+    rec.set_meta("events", sys.tkg.events.len() as u64);
+    rec.set_meta("nodes", sys.tkg.graph.node_count() as u64);
+    rec.set_meta("edges", sys.tkg.graph.edge_count() as u64);
     let embeddings = if needs_embeddings {
         let t = std::time::Instant::now();
         let mut rng = opts.rng();
-        let (emb, _) = trail::embed::train_autoencoders(&mut rng, &sys.tkg, &opts.ae_settings());
+        let (emb, _) = rec.time("autoencoders", || {
+            trail::embed::train_autoencoders(&mut rng, &sys.tkg, &opts.ae_settings())
+        });
         println!("[setup] autoencoders trained in {:?}", t.elapsed());
         Some(emb)
     } else {
@@ -54,35 +71,44 @@ fn main() {
     };
 
     match experiment.as_str() {
-        "table2" => trail_bench::table2(&sys),
-        "sec5" => trail_bench::sec5(&sys),
-        "fig3" => trail_bench::fig3(&sys),
-        "fig4" => trail_bench::fig4(&sys),
-        "table3" => trail_bench::table3(&sys, &opts),
-        "table4" => trail_bench::table4(&sys, &opts, embeddings.as_ref().expect("built")),
-        "fig9" => trail_bench::fig9(&sys, &opts),
-        "ablations" => trail_bench::ablations(&sys, &opts, embeddings.as_ref().expect("built")),
-        "fig10" => trail_bench::fig10(&sys, &opts, embeddings.as_ref().expect("built")),
-        "fig7" | "fig8" => trail_bench::fig7_fig8(sys, &opts),
-        "case" => trail_bench::case(sys, &opts),
+        "table2" => rec.time("table2", || trail_bench::table2(&sys)),
+        "sec5" => rec.time("sec5", || trail_bench::sec5(&sys)),
+        "fig3" => rec.time("fig3", || trail_bench::fig3(&sys)),
+        "fig4" => rec.time("fig4", || trail_bench::fig4(&sys)),
+        "table3" => rec.time("table3", || trail_bench::table3(&sys, &opts)),
+        "table4" => trail_bench::table4(&sys, &opts, embeddings.as_ref().expect("built"), &mut rec),
+        "fig9" => rec.time("fig9", || trail_bench::fig9(&sys, &opts)),
+        "ablations" => rec.time("ablations", || {
+            trail_bench::ablations(&sys, &opts, embeddings.as_ref().expect("built"))
+        }),
+        "fig10" => rec.time("fig10", || {
+            trail_bench::fig10(&sys, &opts, embeddings.as_ref().expect("built"))
+        }),
+        "fig7" | "fig8" => rec.time("fig7_fig8", || trail_bench::fig7_fig8(sys, &opts)),
+        "case" => rec.time("case", || trail_bench::case(sys, &opts)),
         "all" => {
             let emb = embeddings.as_ref().expect("built");
-            trail_bench::table2(&sys);
-            trail_bench::sec5(&sys);
-            trail_bench::fig3(&sys);
-            trail_bench::fig4(&sys);
-            trail_bench::table3(&sys, &opts);
-            trail_bench::table4(&sys, &opts, emb);
-            trail_bench::fig9(&sys, &opts);
-            trail_bench::fig10(&sys, &opts, emb);
+            rec.time("table2", || trail_bench::table2(&sys));
+            rec.time("sec5", || trail_bench::sec5(&sys));
+            rec.time("fig3", || trail_bench::fig3(&sys));
+            rec.time("fig4", || trail_bench::fig4(&sys));
+            rec.time("table3", || trail_bench::table3(&sys, &opts));
+            trail_bench::table4(&sys, &opts, emb, &mut rec);
+            rec.time("fig9", || trail_bench::fig9(&sys, &opts));
+            rec.time("fig10", || trail_bench::fig10(&sys, &opts, emb));
             // The longitudinal experiments consume systems of their own.
-            trail_bench::case(opts.build_system(), &opts);
-            trail_bench::fig7_fig8(opts.build_system(), &opts);
+            rec.time("case", || trail_bench::case(opts.build_system(), &opts));
+            rec.time("fig7_fig8", || trail_bench::fig7_fig8(opts.build_system(), &opts));
         }
         other => {
             eprintln!("unknown experiment {other:?}");
             usage::<()>();
         }
+    }
+    rec.record("total", total.elapsed().as_secs_f64());
+    match rec.write_json("BENCH_repro.json") {
+        Ok(()) => println!("[bench] stage timings written to BENCH_repro.json"),
+        Err(e) => eprintln!("[bench] could not write BENCH_repro.json: {e}"),
     }
     println!("\n[done] total {:?}", total.elapsed());
 }

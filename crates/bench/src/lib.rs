@@ -97,6 +97,70 @@ impl RunOptions {
     }
 }
 
+/// Per-stage wall-clock recorder for `repro` runs.
+///
+/// Collects `stage -> seconds` pairs plus free-form metadata (thread
+/// count, world scale, graph size) and serialises them as one JSON
+/// object, so perf regressions across commits can be diffed
+/// mechanically instead of scraping stdout.
+#[derive(Debug, Default)]
+pub struct BenchRecorder {
+    stages: Vec<(String, f64)>,
+    meta: Vec<(String, serde_json::Value)>,
+}
+
+impl BenchRecorder {
+    /// Empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach a metadata field (last write for a key wins).
+    pub fn set_meta(&mut self, key: &str, value: impl Into<serde_json::Value>) {
+        let value = value.into();
+        if let Some(slot) = self.meta.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.meta.push((key.to_owned(), value));
+        }
+    }
+
+    /// Record an already-measured stage duration. Repeated stage names
+    /// accumulate (e.g. the per-fold pieces of one experiment).
+    pub fn record(&mut self, stage: &str, seconds: f64) {
+        self.stages.push((stage.to_owned(), seconds));
+    }
+
+    /// Time `f` and record it under `stage`.
+    pub fn time<T>(&mut self, stage: &str, f: impl FnOnce() -> T) -> T {
+        let t = Instant::now();
+        let out = f();
+        self.record(stage, t.elapsed().as_secs_f64());
+        out
+    }
+
+    /// The JSON document `write_json` persists.
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut root = serde_json::Map::new();
+        for (k, v) in &self.meta {
+            root.insert(k.clone(), v.clone());
+        }
+        let mut stages = serde_json::Map::new();
+        for (name, secs) in &self.stages {
+            let prev = stages.get(name).and_then(serde_json::Value::as_f64).unwrap_or(0.0);
+            stages.insert(name.clone(), serde_json::Value::from(prev + secs));
+        }
+        root.insert("stages_seconds".to_owned(), serde_json::Value::Object(stages));
+        serde_json::Value::Object(root)
+    }
+
+    /// Write the report to `path` (pretty-printed JSON).
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        let text = serde_json::to_string_pretty(&self.to_json()).expect("recorder serialises");
+        std::fs::write(path, text)
+    }
+}
+
 fn header(id: &str, title: &str) {
     println!("\n=== {id}: {title} ===");
 }
@@ -217,7 +281,11 @@ pub fn table3(sys: &TrailSystem, opts: &RunOptions) {
 }
 
 /// Table IV — event attribution across all nine approaches.
-pub fn table4(sys: &TrailSystem, opts: &RunOptions, emb: &NodeEmbeddings) {
+///
+/// Per-approach wall-clock lands in `rec` (`table4_ioc_vote_*`,
+/// `table4_lp_*L`, `table4_gnn_*L`) — these are the stages the shared
+/// worker pool accelerates, so they anchor the perf comparison.
+pub fn table4(sys: &TrailSystem, opts: &RunOptions, emb: &NodeEmbeddings, rec: &mut BenchRecorder) {
     header("table4", "event attribution, 5-fold CV (paper Table IV)");
     let mut rng = opts.rng();
     let settings = opts.ioc_settings();
@@ -225,6 +293,7 @@ pub fn table4(sys: &TrailSystem, opts: &RunOptions, emb: &NodeEmbeddings) {
     for (i, model) in ModelKind::ALL.iter().enumerate() {
         let t = Instant::now();
         let scores = attribute::eval_event_ml(&mut rng, &sys.tkg, *model, &settings, opts.folds);
+        rec.record(&format!("table4_ioc_vote_{}", model.name()), t.elapsed().as_secs_f64());
         let (acc, std) = scores.acc_mean_std();
         let (bacc, _) = scores.bacc_mean_std();
         let (_, p_acc, p_bacc) = paper_ml[i];
@@ -238,6 +307,7 @@ pub fn table4(sys: &TrailSystem, opts: &RunOptions, emb: &NodeEmbeddings) {
     for &(layers, p_acc, p_bacc) in &paper_lp {
         let t = Instant::now();
         let scores = attribute::eval_event_lp(&mut rng, &sys.tkg, layers, opts.folds);
+        rec.record(&format!("table4_lp_{layers}L"), t.elapsed().as_secs_f64());
         let (acc, std) = scores.acc_mean_std();
         let (bacc, _) = scores.bacc_mean_std();
         row(
@@ -248,9 +318,11 @@ pub fn table4(sys: &TrailSystem, opts: &RunOptions, emb: &NodeEmbeddings) {
     }
     let paper_gnn = [(2, 0.8338, 0.7793), (3, 0.8396, 0.7860), (4, 0.8405, 0.7922)];
     let gnn_cfg = opts.gnn_settings();
+    let gnn_total = Instant::now();
     for &(layers, p_acc, p_bacc) in &paper_gnn {
         let t = Instant::now();
         let scores = attribute::eval_event_gnn(&mut rng, &sys.tkg, emb, layers, &gnn_cfg, opts.folds);
+        rec.record(&format!("table4_gnn_{layers}L"), t.elapsed().as_secs_f64());
         let (acc, std) = scores.acc_mean_std();
         let (bacc, _) = scores.bacc_mean_std();
         row(
@@ -259,6 +331,7 @@ pub fn table4(sys: &TrailSystem, opts: &RunOptions, emb: &NodeEmbeddings) {
             format!("{acc:.4}±{std:.4}/{bacc:.4}  ({:.0?})", t.elapsed()),
         );
     }
+    rec.record("table4_gnn_total", gnn_total.elapsed().as_secs_f64());
 }
 
 /// Study configuration for the longitudinal experiments.
@@ -508,5 +581,26 @@ pub fn fig10(sys: &TrailSystem, opts: &RunOptions, emb: &NodeEmbeddings) {
             rec.key.chars().take(50).collect::<String>(),
             expl.node_importance[local]
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::BenchRecorder;
+
+    #[test]
+    fn recorder_accumulates_and_serialises() {
+        let mut rec = BenchRecorder::new();
+        rec.set_meta("threads", 4u64);
+        rec.set_meta("threads", 8u64); // last write wins
+        rec.record("stage_a", 1.5);
+        rec.record("stage_a", 0.5); // repeats accumulate
+        let v = rec.time("stage_b", || 7);
+        assert_eq!(v, 7);
+        let json = rec.to_json();
+        assert_eq!(json["threads"], 8);
+        let a = json["stages_seconds"]["stage_a"].as_f64().expect("stage_a");
+        assert!((a - 2.0).abs() < 1e-9);
+        assert!(json["stages_seconds"]["stage_b"].as_f64().expect("stage_b") >= 0.0);
     }
 }

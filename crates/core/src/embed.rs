@@ -63,15 +63,19 @@ impl SparseScaler {
         Self { means, inv_stds }
     }
 
-    /// Standardise a densified batch in place.
+    /// Standardise a densified batch in place (row-parallel over the
+    /// shared pool; per-row arithmetic is unchanged).
     pub fn transform_inplace(&self, x: &mut Matrix) {
         let d = x.cols();
         assert_eq!(d, self.means.len());
-        for row in x.as_mut_slice().chunks_exact_mut(d) {
-            for ((v, &m), &is) in row.iter_mut().zip(&self.means).zip(&self.inv_stds) {
-                *v = (*v - m) * is;
+        let (means, inv_stds) = (&self.means, &self.inv_stds);
+        trail_linalg::pool::parallel_for_rows(x.as_mut_slice(), d, 64, |_, band| {
+            for row in band.chunks_exact_mut(d) {
+                for ((v, &m), &is) in row.iter_mut().zip(means).zip(inv_stds) {
+                    *v = (*v - m) * is;
+                }
             }
-        }
+        });
     }
 }
 
@@ -114,13 +118,22 @@ fn compute_codes_scaled(
     for ((kind, ae), scaler) in IocKind::ALL.iter().zip(encoders).zip(scalers) {
         let dims = Tkg::dims_of(*kind);
         let featured = tkg.featured_nodes(*kind);
-        for chunk in featured.chunks(batch_size.max(1)) {
-            let rows: Vec<&crate::sparse::SparseVec> = chunk.iter().map(|&(_, sv)| sv).collect();
+        // Batches are independent at inference time, so the
+        // densify + scale + encode pipeline fans out across the pool;
+        // only the write-back into the interleaved `codes` rows stays
+        // sequential.
+        let chunks: Vec<&[(NodeId, &crate::sparse::SparseVec)]> =
+            featured.chunks(batch_size.max(1)).collect();
+        let encoded: Vec<Matrix> = trail_linalg::pool::parallel_map(chunks.len(), |ci| {
+            let rows: Vec<&crate::sparse::SparseVec> =
+                chunks[ci].iter().map(|&(_, sv)| sv).collect();
             let mut dense = densify(&rows, dims);
             scaler.transform_inplace(&mut dense);
-            let encoded = ae.encode(&dense);
+            ae.encode(&dense)
+        });
+        for (chunk, enc) in chunks.iter().zip(&encoded) {
             for (i, &(node, _)) in chunk.iter().enumerate() {
-                codes.row_mut(node.index()).copy_from_slice(encoded.row(i));
+                codes.row_mut(node.index()).copy_from_slice(enc.row(i));
             }
         }
     }
@@ -140,6 +153,10 @@ pub fn compute_codes(tkg: &Tkg, encoders: &[Autoencoder], batch_size: usize) -> 
     compute_codes_scaled(tkg, encoders, &scalers, batch_size)
 }
 
+/// Minibatch SGD over the sparse store. Batches update shared weights
+/// and therefore run in sequence, but the per-batch forward/backward
+/// is pool-parallel throughout: `densify`, the scaler, and every
+/// matmul inside `train_batch` submit row bands to the shared pool.
 fn train_on_sparse<R: Rng + ?Sized>(
     rng: &mut R,
     ae: &mut Autoencoder,

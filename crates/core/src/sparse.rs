@@ -60,14 +60,24 @@ impl SparseVec {
 }
 
 /// Gather sparse rows into a dense [`trail_linalg::Matrix`].
+///
+/// Row-parallel over the shared worker pool: each dense row is filled
+/// from exactly one sparse vector, so the result is independent of
+/// the thread count.
 pub fn densify(rows: &[&SparseVec], dims: usize) -> trail_linalg::Matrix {
     let mut m = trail_linalg::Matrix::zeros(rows.len(), dims);
-    for (r, sv) in rows.iter().enumerate() {
-        debug_assert_eq!(sv.dims as usize, dims);
-        for &(i, v) in &sv.entries {
-            m[(r, i as usize)] = v;
-        }
+    if dims == 0 {
+        return m;
     }
+    trail_linalg::pool::parallel_for_rows(m.as_mut_slice(), dims, 64, |row0, band| {
+        for (i, out) in band.chunks_exact_mut(dims).enumerate() {
+            let sv = rows[row0 + i];
+            debug_assert_eq!(sv.dims as usize, dims);
+            for &(j, v) in &sv.entries {
+                out[j as usize] = v;
+            }
+        }
+    });
     m
 }
 

@@ -37,6 +37,23 @@ impl<'g> LabelPropagation<'g> {
     /// `seeds[i] = Some(class)` for labelled nodes. Returns the raw
     /// score matrix flattened row-major (`n x n_classes`).
     pub fn propagate(&self, seeds: &[Option<u16>], layers: usize) -> Vec<f32> {
+        self.propagate_with_threads(seeds, layers, trail_linalg::pool::num_threads())
+    }
+
+    /// [`Self::propagate`] pinned to at most `threads` pool
+    /// participants (1 ⇒ sequential reference).
+    ///
+    /// Each sweep is a gather by destination row — `next[u] =
+    /// Σ_{v∈N(u)} w(u,v)·f[v]`, the same sum the scatter formulation
+    /// produces over the symmetric CSR — so every output row is
+    /// written by exactly one thread and the scores are bitwise
+    /// identical for every thread count.
+    pub fn propagate_with_threads(
+        &self,
+        seeds: &[Option<u16>],
+        layers: usize,
+        threads: usize,
+    ) -> Vec<f32> {
         let n = self.csr.node_count();
         assert_eq!(seeds.len(), n);
         let k = self.n_classes;
@@ -46,26 +63,43 @@ impl<'g> LabelPropagation<'g> {
                 f[i * k + *c as usize] = 1.0;
             }
         }
+        if n == 0 || k == 0 {
+            return f;
+        }
         let mut next = vec![0.0f32; n * k];
+        // Nodes whose score row is still all-zero contribute nothing;
+        // the mask keeps the sparse early iterations cheap (labels
+        // take `layers` hops to cover the graph).
+        let mut live = vec![false; n];
         for _ in 0..layers {
-            next.iter_mut().for_each(|v| *v = 0.0);
-            for v in 0..n {
-                let dv = self.inv_sqrt_deg[v];
-                if dv == 0.0 {
-                    continue;
-                }
-                let row = &f[v * k..(v + 1) * k];
-                if row.iter().all(|&x| x == 0.0) {
-                    continue;
-                }
-                for &u in self.csr.neighbors(NodeId::from(v)) {
-                    let w = dv * self.inv_sqrt_deg[u.index()];
-                    let dst = &mut next[u.index() * k..(u.index() + 1) * k];
-                    for (d, &s) in dst.iter_mut().zip(row) {
-                        *d += w * s;
+            for (v, alive) in live.iter_mut().enumerate() {
+                *alive = self.inv_sqrt_deg[v] != 0.0
+                    && f[v * k..(v + 1) * k].iter().any(|&x| x != 0.0);
+            }
+            let csr = self.csr;
+            let inv_sqrt_deg = &self.inv_sqrt_deg;
+            let (f_ref, live_ref) = (&f, &live);
+            trail_linalg::pool::parallel_for_rows_limit(threads, &mut next, k, 16, |row0, band| {
+                for (i, dst) in band.chunks_exact_mut(k).enumerate() {
+                    let u = row0 + i;
+                    dst.fill(0.0);
+                    let du = inv_sqrt_deg[u];
+                    if du == 0.0 {
+                        continue;
+                    }
+                    for &v in csr.neighbors(NodeId::from(u)) {
+                        let v = v.index();
+                        if !live_ref[v] {
+                            continue;
+                        }
+                        let w = du * inv_sqrt_deg[v];
+                        let src = &f_ref[v * k..(v + 1) * k];
+                        for (d, &s) in dst.iter_mut().zip(src) {
+                            *d += w * s;
+                        }
                     }
                 }
-            }
+            });
             std::mem::swap(&mut f, &mut next);
         }
         f
@@ -181,6 +215,68 @@ mod tests {
         let k = 2;
         assert!(scores[n[1].index() * k] > 0.0);
         assert_eq!(scores[n[2].index() * k], 0.0);
+    }
+
+    /// The pre-pool scatter formulation, kept as the reference the
+    /// row-parallel gather is validated against.
+    fn propagate_scatter_reference(
+        lp: &LabelPropagation<'_>,
+        seeds: &[Option<u16>],
+        layers: usize,
+    ) -> Vec<f32> {
+        let n = lp.csr.node_count();
+        let k = lp.n_classes;
+        let mut f = vec![0.0f32; n * k];
+        for (i, seed) in seeds.iter().enumerate() {
+            if let Some(c) = seed {
+                f[i * k + *c as usize] = 1.0;
+            }
+        }
+        let mut next = vec![0.0f32; n * k];
+        for _ in 0..layers {
+            next.iter_mut().for_each(|v| *v = 0.0);
+            for v in 0..n {
+                let dv = lp.inv_sqrt_deg[v];
+                if dv == 0.0 || f[v * k..(v + 1) * k].iter().all(|&x| x == 0.0) {
+                    continue;
+                }
+                for &u in lp.csr.neighbors(NodeId::from(v)) {
+                    let w = dv * lp.inv_sqrt_deg[u.index()];
+                    for (d, &s) in next[u.index() * k..(u.index() + 1) * k]
+                        .iter_mut()
+                        .zip(&f[v * k..(v + 1) * k])
+                    {
+                        *d += w * s;
+                    }
+                }
+            }
+            std::mem::swap(&mut f, &mut next);
+        }
+        f
+    }
+
+    #[test]
+    fn gather_matches_scatter_reference_across_thread_counts() {
+        let (g, n) = graph();
+        let csr = Csr::from_store(&g);
+        let lp = LabelPropagation::new(&csr, 2);
+        let mut seeds = vec![None; g.node_count()];
+        seeds[n[0].index()] = Some(0);
+        seeds[n[3].index()] = Some(1);
+        for layers in [1usize, 2, 4] {
+            let reference = propagate_scatter_reference(&lp, &seeds, layers);
+            let seq = lp.propagate_with_threads(&seeds, layers, 1);
+            for (a, b) in seq.iter().zip(&reference) {
+                assert!((a - b).abs() < 1e-6, "layers={layers}: {a} vs {b}");
+            }
+            for threads in [2usize, 8] {
+                assert_eq!(
+                    lp.propagate_with_threads(&seeds, layers, threads),
+                    seq,
+                    "layers={layers} threads={threads}"
+                );
+            }
+        }
     }
 
     #[test]

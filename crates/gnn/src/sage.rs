@@ -160,51 +160,90 @@ impl SageLayer {
     }
 }
 
-/// Mean aggregation over `N(v)` (neighbours only; zero for isolates).
-pub fn aggregate_mean(csr: &Csr, h: &Matrix) -> Matrix {
+/// Weighting of the shared forward/backward neighbour-sweep kernel.
+///
+/// Both the forward mean aggregation and its backward adjoint are the
+/// same gather: `out[v] = Σ_{u ∈ N(v)} w · src[u]` over the symmetric
+/// CSR. Only the weight differs — `1/deg(v)` (the mean) forward,
+/// `1/deg(u)` (the transposed mean) backward.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SweepWeight {
+    /// `w = 1/deg(v)`: mean over the output row's neighbourhood.
+    MeanOfNeighbors,
+    /// `w = 1/deg(u)`: adjoint of the mean (gradient scatter, written
+    /// as a gather so output rows stay disjoint).
+    TransposeMean,
+}
+
+/// Row-parallel neighbour sweep over the CSR. Every output row is
+/// produced by exactly one thread and sums its neighbours in CSR
+/// order, so the result is bitwise identical for every thread count.
+fn neighbor_mean_sweep(csr: &Csr, src: &Matrix, weight: SweepWeight, threads: usize) -> Matrix {
     let n = csr.node_count();
-    let d = h.cols();
-    assert_eq!(h.rows(), n);
+    let d = src.cols();
+    assert_eq!(src.rows(), n);
     let mut out = Matrix::zeros(n, d);
-    for v in 0..n {
-        let neighbors = csr.neighbors(NodeId::from(v));
-        if neighbors.is_empty() {
-            continue;
-        }
-        let inv = 1.0 / neighbors.len() as f32;
-        let acc = out.row_mut(v);
-        for &u in neighbors {
-            for (a, &x) in acc.iter_mut().zip(h.row(u.index())) {
-                *a += x;
+    if n == 0 || d == 0 {
+        return out;
+    }
+    trail_linalg::pool::parallel_for_rows_limit(threads, out.as_mut_slice(), d, 16, |row0, band| {
+        for (i, acc) in band.chunks_exact_mut(d).enumerate() {
+            let v = row0 + i;
+            let neighbors = csr.neighbors(NodeId::from(v));
+            if neighbors.is_empty() {
+                continue;
+            }
+            match weight {
+                SweepWeight::MeanOfNeighbors => {
+                    for &u in neighbors {
+                        for (a, &x) in acc.iter_mut().zip(src.row(u.index())) {
+                            *a += x;
+                        }
+                    }
+                    let inv = 1.0 / neighbors.len() as f32;
+                    for a in acc.iter_mut() {
+                        *a *= inv;
+                    }
+                }
+                SweepWeight::TransposeMean => {
+                    for &u in neighbors {
+                        let w = 1.0 / csr.degree(u) as f32;
+                        for (a, &x) in acc.iter_mut().zip(src.row(u.index())) {
+                            *a += w * x;
+                        }
+                    }
+                }
             }
         }
-        for a in acc.iter_mut() {
-            *a *= inv;
-        }
-    }
+    });
     out
 }
 
-/// Transpose of [`aggregate_mean`]: scatter `d_agg` back to inputs.
+/// Mean aggregation over `N(v)` (neighbours only; zero for isolates).
+pub fn aggregate_mean(csr: &Csr, h: &Matrix) -> Matrix {
+    aggregate_mean_with_threads(csr, h, trail_linalg::pool::num_threads())
+}
+
+/// [`aggregate_mean`] pinned to at most `threads` pool participants
+/// (1 ⇒ sequential reference). Exposed for equivalence tests and the
+/// sequential-baseline benches.
+pub fn aggregate_mean_with_threads(csr: &Csr, h: &Matrix, threads: usize) -> Matrix {
+    neighbor_mean_sweep(csr, h, SweepWeight::MeanOfNeighbors, threads)
+}
+
+/// Transpose of [`aggregate_mean`]: route `d_agg` back to the inputs.
+/// Written as a gather over the symmetric CSR (`out[v] = Σ_{u∈N(v)}
+/// d_agg[u]/deg(u)`) so it parallelises by output row like the
+/// forward pass.
 fn scatter_mean_grad(csr: &Csr, d_agg: &Matrix) -> Matrix {
-    let n = csr.node_count();
-    let d = d_agg.cols();
-    let mut out = Matrix::zeros(n, d);
-    for v in 0..n {
-        let neighbors = csr.neighbors(NodeId::from(v));
-        if neighbors.is_empty() {
-            continue;
-        }
-        let inv = 1.0 / neighbors.len() as f32;
-        let src = d_agg.row(v);
-        for &u in neighbors {
-            let dst = out.row_mut(u.index());
-            for (o, &g) in dst.iter_mut().zip(src) {
-                *o += g * inv;
-            }
-        }
-    }
-    out
+    scatter_mean_grad_with_threads(csr, d_agg, trail_linalg::pool::num_threads())
+}
+
+/// [`scatter_mean_grad`] with an explicit thread cap, for tests and
+/// benches.
+#[doc(hidden)]
+pub fn scatter_mean_grad_with_threads(csr: &Csr, d_agg: &Matrix, threads: usize) -> Matrix {
+    neighbor_mean_sweep(csr, d_agg, SweepWeight::TransposeMean, threads)
 }
 
 /// A full GraphSAGE model.

@@ -7,14 +7,20 @@
 //!
 //! * [`Matrix`] — row-major `f32` matrix with blocked, optionally
 //!   multi-threaded multiplication (plain / transposed variants).
+//! * [`pool`] — the workspace-wide persistent worker pool behind every
+//!   parallel kernel (matmul, CSR aggregation, tree ensembles), with
+//!   the `TRAIL_THREADS` thread-count policy.
 //! * [`vector`] — slice-level primitives (dot, axpy, softmax, argmax).
 //! * [`stats`] — column statistics used by the standard scaler.
 //! * [`init`] — Xavier/He random initialisers for network weights.
 //!
-//! Everything is deterministic given a seeded RNG; no global state.
+//! Everything is deterministic given a seeded RNG; parallel kernels
+//! partition work by output row so results do not depend on the
+//! thread count.
 
 pub mod init;
 pub mod matrix;
+pub mod pool;
 pub mod stats;
 pub mod vector;
 

@@ -231,6 +231,14 @@ impl Matrix {
 
     /// `self @ other` — the classic product.
     pub fn matmul(&self, other: &Self) -> Result<Self> {
+        self.matmul_with_threads(other, crate::pool::num_threads())
+    }
+
+    /// [`Self::matmul`] pinned to at most `threads` pool participants
+    /// (1 ⇒ fully sequential). Rows are computed independently, so the
+    /// result is bitwise identical for every thread count; exposed for
+    /// the equivalence tests and sequential-baseline benches.
+    pub fn matmul_with_threads(&self, other: &Self, threads: usize) -> Result<Self> {
         if self.cols != other.rows {
             return Err(ShapeError::new(format!(
                 "matmul {:?} x {:?}",
@@ -246,6 +254,7 @@ impl Matrix {
             &other.data,
             other.cols,
             &mut out.data,
+            threads,
         );
         Ok(out)
     }
@@ -293,13 +302,21 @@ impl Matrix {
             )));
         }
         let mut out = Self::zeros(self.rows, other.rows);
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let out_row = &mut out.data[r * other.rows..(r + 1) * other.rows];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                *o = crate::vector::dot(a_row, other.row(j));
+        let inner = self.cols;
+        let work = self.rows * inner;
+        let min_rows = if work < PARALLEL_THRESHOLD {
+            self.rows.max(1) // below threshold: one band, no pool trip
+        } else {
+            (PARALLEL_THRESHOLD / 8 / inner.max(1)).max(1)
+        };
+        crate::pool::parallel_for_rows(&mut out.data, other.rows, min_rows, |row0, band| {
+            for (i, out_row) in band.chunks_exact_mut(other.rows).enumerate() {
+                let a_row = self.row(row0 + i);
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    *o = crate::vector::dot(a_row, other.row(j));
+                }
             }
-        }
+        });
         Ok(out)
     }
 }
@@ -322,24 +339,30 @@ impl std::ops::IndexMut<(usize, usize)> for Matrix {
     }
 }
 
-/// Blocked `C += A @ B` kernel over raw buffers; parallelises over row
-/// chunks with scoped threads when the problem is large enough.
-fn matmul_into(a: &[f32], a_rows: usize, a_cols: usize, b: &[f32], b_cols: usize, c: &mut [f32]) {
+/// Blocked `C += A @ B` kernel over raw buffers; submits row bands to
+/// the shared worker pool when the problem is large enough. Each
+/// output row is produced by exactly one thread with an unchanged
+/// inner-loop order, so the product is bitwise identical for every
+/// thread count.
+fn matmul_into(
+    a: &[f32],
+    a_rows: usize,
+    a_cols: usize,
+    b: &[f32],
+    b_cols: usize,
+    c: &mut [f32],
+    threads: usize,
+) {
     let work = a_rows * a_cols;
-    let threads = available_threads();
-    if work < PARALLEL_THRESHOLD || threads < 2 || a_rows < 2 * threads {
+    if work < PARALLEL_THRESHOLD || threads < 2 || a_rows < 2 {
         matmul_rows(a, a_cols, b, b_cols, c);
         return;
     }
-    let chunk_rows = a_rows.div_ceil(threads);
-    crossbeam::scope(|scope| {
-        let a_chunks = a.chunks(chunk_rows * a_cols);
-        let c_chunks = c.chunks_mut(chunk_rows * b_cols);
-        for (a_chunk, c_chunk) in a_chunks.zip(c_chunks) {
-            scope.spawn(move |_| matmul_rows(a_chunk, a_cols, b, b_cols, c_chunk));
-        }
-    })
-    .expect("matmul worker panicked");
+    crate::pool::parallel_for_rows_limit(threads, c, b_cols, 1, |row0, c_band| {
+        let band_rows = c_band.len() / b_cols;
+        let a_band = &a[row0 * a_cols..(row0 + band_rows) * a_cols];
+        matmul_rows(a_band, a_cols, b, b_cols, c_band);
+    });
 }
 
 /// Straightforward ikj-order kernel: sequential access on both inputs,
@@ -356,10 +379,6 @@ fn matmul_rows(a: &[f32], a_cols: usize, b: &[f32], b_cols: usize, c: &mut [f32]
             }
         }
     }
-}
-
-fn available_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
 }
 
 #[cfg(test)]
@@ -423,6 +442,19 @@ mod tests {
             let expect: f32 = (0..n).map(|k| a[(r, k)] * b[(k, col)]).sum();
             assert!((c[(r, col)] - expect).abs() < 1e-3, "entry ({r},{col})");
         }
+    }
+
+    #[test]
+    fn matmul_identical_across_thread_counts() {
+        // Row-banded parallelism must be bitwise equal to sequential.
+        let n = 192;
+        let a = Matrix::from_fn(n, n, |r, c| ((r * 31 + c * 17) % 13) as f32 / 7.0 - 0.9);
+        let b = Matrix::from_fn(n, n, |r, c| ((r * 7 + c * 3) % 11) as f32 / 5.0 - 1.1);
+        let seq = a.matmul_with_threads(&b, 1).unwrap();
+        for threads in [2usize, 8] {
+            assert_eq!(a.matmul_with_threads(&b, threads).unwrap(), seq, "threads={threads}");
+        }
+        assert_eq!(a.matmul(&b).unwrap(), seq);
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! Property tests for the shared worker pool's chunking: for any
+//! (length, thread count, chunk size) — including the empty region,
+//! fewer items than threads, and far more items than threads — every
+//! index is dispatched exactly once and row bands tile the buffer.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+use trail_linalg::pool;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_index_visited_exactly_once(
+        len in 0usize..5000,
+        threads in 1usize..16,
+        min_chunk in 1usize..64,
+    ) {
+        let hits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+        pool::parallel_for_limit(threads, len, min_chunk, |r| {
+            for i in r {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn row_bands_tile_the_buffer(
+        rows in 0usize..200,
+        cols in 1usize..16,
+        threads in 1usize..16,
+        min_rows in 1usize..32,
+    ) {
+        let mut data = vec![0u32; rows * cols];
+        pool::parallel_for_rows_limit(threads, &mut data, cols, min_rows, |first, band| {
+            assert_eq!(band.len() % cols, 0, "band covers whole rows");
+            for (j, v) in band.iter_mut().enumerate() {
+                *v = (first * cols + j) as u32 + 1;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            prop_assert_eq!(*v, i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn map_matches_sequential(len in 0usize..600, threads in 1usize..16) {
+        let out = pool::parallel_map_limit(threads, len, |i| i * 3 + 1);
+        prop_assert_eq!(out, (0..len).map(|i| i * 3 + 1).collect::<Vec<_>>());
+    }
+}

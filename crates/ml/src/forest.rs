@@ -59,31 +59,12 @@ impl RandomForest {
         let boot_n = ((n as f32) * cfg.bootstrap_fraction).round().max(1.0) as usize;
         let seeds: Vec<u64> = (0..cfg.n_trees).map(|_| rng.gen()).collect();
 
-        let threads = std::thread::available_parallelism().map_or(1, |v| v.get().min(8));
-        let trees: Vec<DecisionTree> = if cfg.n_trees >= 4 && threads > 1 {
-            let chunk = seeds.len().div_ceil(threads);
-            let mut out: Vec<Vec<DecisionTree>> = Vec::new();
-            crossbeam::scope(|scope| {
-                let handles: Vec<_> = seeds
-                    .chunks(chunk)
-                    .map(|seed_chunk| {
-                        scope.spawn(move |_| {
-                            seed_chunk
-                                .iter()
-                                .map(|&s| fit_one(s, x, y, n_classes, boot_n, &cfg.tree))
-                                .collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    out.push(h.join().expect("forest worker panicked"));
-                }
-            })
-            .expect("forest scope");
-            out.into_iter().flatten().collect()
-        } else {
-            seeds.iter().map(|&s| fit_one(s, x, y, n_classes, boot_n, &cfg.tree)).collect()
-        };
+        // Trees fan out across the shared worker pool; each is grown
+        // from its own pre-drawn seed, so the forest is identical for
+        // every thread count.
+        let trees: Vec<DecisionTree> = trail_linalg::pool::parallel_map(seeds.len(), |i| {
+            fit_one(seeds[i], x, y, n_classes, boot_n, &cfg.tree)
+        });
         Self { trees, n_classes }
     }
 

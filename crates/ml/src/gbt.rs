@@ -382,55 +382,21 @@ impl GradientBoostedTrees {
                 })
                 .collect();
 
-            let round_trees: Vec<RegTree> = {
-                let binned_ref = &binned;
-                let grad_ref = &grad;
-                let hess_ref = &hess;
-                let rows_ref = &rows;
-                let threads = std::thread::available_parallelism().map_or(1, |v| v.get().min(8));
-                if k >= 2 && threads > 1 {
-                    let mut out: Vec<Option<RegTree>> = (0..k).map(|_| None).collect();
-                    crossbeam::scope(|scope| {
-                        let chunk = k.div_ceil(threads);
-                        for (chunk_idx, (out_chunk, cols_chunk)) in
-                            out.chunks_mut(chunk).zip(col_draws.chunks(chunk)).enumerate()
-                        {
-                            scope.spawn(move |_| {
-                                for (j, (slot, cols)) in
-                                    out_chunk.iter_mut().zip(cols_chunk).enumerate()
-                                {
-                                    let c = chunk_idx * chunk + j;
-                                    let ctx = GrowCtx {
-                                        binned: binned_ref,
-                                        grad: &grad_ref[c],
-                                        hess: &hess_ref[c],
-                                        features: cols,
-                                        cfg,
-                                    };
-                                    let mut rows_c = rows_ref.clone();
-                                    *slot = Some(RegTree::fit(&ctx, &mut rows_c));
-                                }
-                            });
-                        }
-                    })
-                    .expect("gbt class workers");
-                    out.into_iter().map(|t| t.expect("tree built")).collect()
-                } else {
-                    (0..k)
-                        .map(|c| {
-                            let ctx = GrowCtx {
-                                binned: binned_ref,
-                                grad: &grad_ref[c],
-                                hess: &hess_ref[c],
-                                features: &col_draws[c],
-                                cfg,
-                            };
-                            let mut rows_c = rows_ref.clone();
-                            RegTree::fit(&ctx, &mut rows_c)
-                        })
-                        .collect()
-                }
-            };
+            // Per-class trees are independent given the margins; they
+            // fan out across the shared worker pool with column draws
+            // fixed up front, so boosting is identical for every
+            // thread count.
+            let round_trees: Vec<RegTree> = trail_linalg::pool::parallel_map(k, |c| {
+                let ctx = GrowCtx {
+                    binned: &binned,
+                    grad: &grad[c],
+                    hess: &hess[c],
+                    features: &col_draws[c],
+                    cfg,
+                };
+                let mut rows_c = rows.clone();
+                RegTree::fit(&ctx, &mut rows_c)
+            });
             for (c, tree) in round_trees.into_iter().enumerate() {
                 for r in 0..n {
                     margins[(r, c)] += tree.predict_row(x.row(r));
