@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the TRAIL paper.
 //!
 //! ```text
-//! repro <experiment> [--scale S] [--seed N] [--folds K] [--quick]
+//! repro <experiment> [--scale S] [--seed N] [--folds K] [--faults P] [--quick]
 //!
 //! experiments:
 //!   table2  table3  table4  fig3  fig4  fig7  fig8  fig9  fig10
@@ -37,6 +37,11 @@ fn main() {
                 i += 1;
                 opts.folds = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(usage);
             }
+            "--faults" => {
+                i += 1;
+                opts.transient_fault_prob =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(usage);
+            }
             "--quick" => opts.quick = true,
             flag if flag.starts_with("--") => usage(),
             name => experiment = name.to_owned(),
@@ -51,6 +56,7 @@ fn main() {
     rec.set_meta("seed", opts.seed);
     rec.set_meta("folds", opts.folds as u64);
     rec.set_meta("quick", opts.quick);
+    rec.set_meta("faults", opts.transient_fault_prob as f64);
 
     let needs_embeddings = matches!(experiment.as_str(), "table4" | "fig10" | "ablations" | "all");
     let total = std::time::Instant::now();
@@ -58,6 +64,7 @@ fn main() {
     rec.set_meta("events", sys.tkg.events.len() as u64);
     rec.set_meta("nodes", sys.tkg.graph.node_count() as u64);
     rec.set_meta("edges", sys.tkg.graph.edge_count() as u64);
+    rec.record_taxonomy("setup_tkg", sys.ingest_stats.to_json());
     let embeddings = if needs_embeddings {
         let t = std::time::Instant::now();
         let mut rng = opts.rng();
@@ -84,7 +91,11 @@ fn main() {
         "fig10" => rec.time("fig10", || {
             trail_bench::fig10(&sys, &opts, embeddings.as_ref().expect("built"))
         }),
-        "fig7" | "fig8" => rec.time("fig7_fig8", || trail_bench::fig7_fig8(sys, &opts)),
+        "fig7" | "fig8" => {
+            let t = std::time::Instant::now();
+            trail_bench::fig7_fig8(sys, &opts, &mut rec);
+            rec.record("fig7_fig8", t.elapsed().as_secs_f64());
+        }
         "case" => rec.time("case", || trail_bench::case(sys, &opts)),
         "all" => {
             let emb = embeddings.as_ref().expect("built");
@@ -98,7 +109,9 @@ fn main() {
             rec.time("fig10", || trail_bench::fig10(&sys, &opts, emb));
             // The longitudinal experiments consume systems of their own.
             rec.time("case", || trail_bench::case(opts.build_system(), &opts));
-            rec.time("fig7_fig8", || trail_bench::fig7_fig8(opts.build_system(), &opts));
+            let t = std::time::Instant::now();
+            trail_bench::fig7_fig8(opts.build_system(), &opts, &mut rec);
+            rec.record("fig7_fig8", t.elapsed().as_secs_f64());
         }
         other => {
             eprintln!("unknown experiment {other:?}");
@@ -116,7 +129,7 @@ fn main() {
 fn usage<T>() -> T {
     eprintln!(
         "usage: repro <table2|table3|table4|fig3|fig4|fig7|fig8|fig9|fig10|sec5|case|ablations|all> \
-         [--scale S] [--seed N] [--folds K] [--quick]"
+         [--scale S] [--seed N] [--folds K] [--faults P] [--quick]"
     );
     std::process::exit(2);
 }

@@ -30,11 +30,16 @@ pub struct RunOptions {
     pub folds: usize,
     /// Quick mode: smaller models, fewer epochs.
     pub quick: bool,
+    /// Transient-fault injection probability for the OSINT client
+    /// (`--faults`; 0.0 = off). Retried ingestion must converge to the
+    /// fault-free graph, so results are unaffected — only the ingest
+    /// taxonomy in `BENCH_repro.json` shows the retries.
+    pub transient_fault_prob: f32,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
-        Self { scale: 1.0, seed: 0x7214_11, folds: 5, quick: false }
+        Self { scale: 1.0, seed: 0x7214_11, folds: 5, quick: false, transient_fault_prob: 0.0 }
     }
 }
 
@@ -43,6 +48,7 @@ impl RunOptions {
     pub fn build_system(&self) -> TrailSystem {
         let mut cfg = WorldConfig::default().scaled(self.scale);
         cfg.seed = self.seed;
+        cfg.transient_fault_prob = self.transient_fault_prob;
         let world = Arc::new(World::generate(cfg));
         let client = OsintClient::new(world);
         let cutoff = client.world().config.cutoff_day;
@@ -107,6 +113,7 @@ impl RunOptions {
 pub struct BenchRecorder {
     stages: Vec<(String, f64)>,
     meta: Vec<(String, serde_json::Value)>,
+    taxonomy: Vec<(String, serde_json::Value)>,
 }
 
 impl BenchRecorder {
@@ -139,6 +146,17 @@ impl BenchRecorder {
         out
     }
 
+    /// Attach a stage's ingest taxonomy (the JSON object
+    /// `trail::enrich::IngestStats::to_json` produces). Last write for
+    /// a stage wins.
+    pub fn record_taxonomy(&mut self, stage: &str, taxonomy: serde_json::Value) {
+        if let Some(slot) = self.taxonomy.iter_mut().find(|(k, _)| k == stage) {
+            slot.1 = taxonomy;
+        } else {
+            self.taxonomy.push((stage.to_owned(), taxonomy));
+        }
+    }
+
     /// The JSON document `write_json` persists.
     pub fn to_json(&self) -> serde_json::Value {
         let mut root = serde_json::Map::new();
@@ -151,6 +169,13 @@ impl BenchRecorder {
             stages.insert(name.clone(), serde_json::Value::from(prev + secs));
         }
         root.insert("stages_seconds".to_owned(), serde_json::Value::Object(stages));
+        if !self.taxonomy.is_empty() {
+            let mut tax = serde_json::Map::new();
+            for (stage, v) in &self.taxonomy {
+                tax.insert(stage.clone(), v.clone());
+            }
+            root.insert("ingest_taxonomy".to_owned(), serde_json::Value::Object(tax));
+        }
         serde_json::Value::Object(root)
     }
 
@@ -345,12 +370,14 @@ pub fn study_config(opts: &RunOptions) -> StudyConfig {
     }
 }
 
-/// Figs. 7 & 8 — the monthly study.
-pub fn fig7_fig8(sys: TrailSystem, opts: &RunOptions) {
+/// Figs. 7 & 8 — the monthly study. The monthly windows' ingest
+/// taxonomy lands in `rec` under `fig7_fig8_windows`.
+pub fn fig7_fig8(sys: TrailSystem, opts: &RunOptions, rec: &mut BenchRecorder) {
     header("fig7+fig8", "months-long study (paper Section VII-C)");
     let mut rng = opts.rng();
     let cfg = study_config(opts);
     let out = longitudinal::run_monthly_study(&mut rng, sys, &cfg);
+    rec.record_taxonomy("fig7_fig8_windows", out.ingest.to_json());
     println!("Fig. 7 — confusion matrix, first unseen month (stale model):");
     let names: Vec<&str> = out.class_names.iter().map(String::as_str).collect();
     println!("{}", out.first_month_confusion.render(&names));
@@ -597,8 +624,11 @@ mod tests {
         rec.record("stage_a", 0.5); // repeats accumulate
         let v = rec.time("stage_b", || 7);
         assert_eq!(v, 7);
+        rec.record_taxonomy("setup_tkg", serde_json::json!({"linked": 3}));
+        rec.record_taxonomy("setup_tkg", serde_json::json!({"linked": 5})); // last wins
         let json = rec.to_json();
         assert_eq!(json["threads"], 8);
+        assert_eq!(json["ingest_taxonomy"]["setup_tkg"]["linked"], 5);
         let a = json["stages_seconds"]["stage_a"].as_f64().expect("stage_a");
         assert!((a - 2.0).abs() < 1e-9);
         assert!(json["stages_seconds"]["stage_b"].as_f64().expect("stage_b") >= 0.0);

@@ -8,26 +8,65 @@
 //! into the graph) but their relational output is not expanded further:
 //! "due to time and space constraints, we limit it to two hops from the
 //! initial event."
+//!
+//! Identity discipline: relational strings arrive in whatever spelling
+//! the feed uses (mixed case, trailing dots, defanged). Every string is
+//! parsed into its canonical [`IocKey`] before it touches the graph —
+//! both for upserts and for the depth-2 "already present?" lookups — so
+//! a noisy spelling can never orphan an edge or split a node.
+//!
+//! Failure discipline: analysis queries distinguish *permanent* gaps
+//! (`Ok(None)` — the exchange has no record) from *transient* faults
+//! (`Err` — rate-limit/timeout; a retry may succeed). The enricher
+//! retries transient faults up to [`RetryPolicy::max_attempts`] with
+//! exponential backoff, and [`IngestStats`] accounts for every outcome.
 
 use trail_graph::{EdgeKind, NodeId, NodeKind};
 use trail_ioc::domain::DomainIoc;
 use trail_ioc::ip::IpIoc;
 use trail_ioc::url::UrlIoc;
-use trail_ioc::Ioc;
-use trail_osint::OsintClient;
+use trail_ioc::{Ioc, IocKey};
+use trail_osint::{OsintClient, OsintError};
 
 use crate::collector::CollectedEvent;
 use crate::sparse::SparseVec;
 use crate::tkg::Tkg;
+
+/// Bounded retry with exponential backoff for transient OSINT faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per analysis query (>= 1; 1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before retry `n` is `base_backoff_ms << (n - 1)`. The
+    /// exchange is in-process, so the delay is accounted, not slept.
+    pub base_backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_attempts: 3, base_backoff_ms: 50 }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff budget charged before retry attempt `attempt` (1-based
+    /// over retries: the first *re*try is attempt 1).
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        self.base_backoff_ms << attempt.saturating_sub(1).min(16)
+    }
+}
 
 /// Enrichment pipeline over an OSINT client.
 pub struct Enricher<'a> {
     client: &'a OsintClient,
     /// Analyses are requested "as of" this day (the TKG build date).
     pub asof_day: u32,
+    /// Retry policy for transient analysis faults.
+    pub retry: RetryPolicy,
 }
 
-/// What one event ingestion touched (sizes for logging/tests).
+/// What one event ingestion touched, with the full outcome taxonomy of
+/// the analysis queries it issued.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct IngestStats {
     /// First-order IOC nodes attached.
@@ -36,14 +75,63 @@ pub struct IngestStats {
     pub secondary: usize,
     /// Edges added.
     pub edges: usize,
-    /// Analyses that returned nothing (gaps).
-    pub misses: usize,
+    /// Depth-2 relational references that resolved (by canonical
+    /// identity) to a node already in the graph and linked to it.
+    pub linked: usize,
+    /// Analyses that returned no record — the exchange answered and the
+    /// answer was "nothing"; retrying cannot help.
+    pub missed_permanent: usize,
+    /// Analyses abandoned because every attempt faulted transiently.
+    pub missed_transient: usize,
+    /// Transient faults that were retried (attempts beyond the first).
+    pub retried: usize,
+    /// Relational strings that failed to parse as any IOC.
+    pub dropped_unparseable: usize,
+    /// Total simulated backoff charged by retries, in milliseconds.
+    pub backoff_ms: u64,
+}
+
+impl IngestStats {
+    /// Accumulate another event's stats into this one.
+    pub fn absorb(&mut self, other: &IngestStats) {
+        self.first_order += other.first_order;
+        self.secondary += other.secondary;
+        self.edges += other.edges;
+        self.linked += other.linked;
+        self.missed_permanent += other.missed_permanent;
+        self.missed_transient += other.missed_transient;
+        self.retried += other.retried;
+        self.dropped_unparseable += other.dropped_unparseable;
+        self.backoff_ms += other.backoff_ms;
+    }
+
+    /// The taxonomy as a JSON object (what `BENCH_repro.json` records
+    /// per stage).
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "first_order": self.first_order,
+            "secondary": self.secondary,
+            "edges": self.edges,
+            "linked": self.linked,
+            "missed_permanent": self.missed_permanent,
+            "missed_transient": self.missed_transient,
+            "retried": self.retried,
+            "dropped_unparseable": self.dropped_unparseable,
+            "backoff_ms": self.backoff_ms,
+        })
+    }
 }
 
 impl<'a> Enricher<'a> {
-    /// New enricher querying analyses as of `asof_day`.
+    /// New enricher querying analyses as of `asof_day`, with the
+    /// default retry policy.
     pub fn new(client: &'a OsintClient, asof_day: u32) -> Self {
-        Self { client, asof_day }
+        Self::with_retry(client, asof_day, RetryPolicy::default())
+    }
+
+    /// New enricher with an explicit retry policy.
+    pub fn with_retry(client: &'a OsintClient, asof_day: u32, retry: RetryPolicy) -> Self {
+        Self { client, asof_day, retry }
     }
 
     /// Ingest one collected event: create the event node, attach
@@ -56,7 +144,7 @@ impl<'a> Enricher<'a> {
         // Pass 1: first-order nodes + InReport edges.
         let mut first_order: Vec<(NodeId, Ioc)> = Vec::with_capacity(event.report.iocs.len());
         for ioc in &event.report.iocs {
-            let node = tkg.graph.upsert_node(Tkg::node_kind(ioc.kind()), ioc.text());
+            let node = tkg.upsert_ioc(&ioc.key());
             tkg.graph.mark_first_order(node);
             if tkg.graph.add_edge(event_node, node, EdgeKind::InReport).expect("schema") {
                 stats.edges += 1;
@@ -89,6 +177,48 @@ impl<'a> Enricher<'a> {
         stats
     }
 
+    /// Run one fallible analysis query under the retry policy,
+    /// accounting every outcome in `stats`.
+    fn with_retries<T>(
+        &self,
+        stats: &mut IngestStats,
+        mut attempt_fn: impl FnMut(u32) -> Result<Option<T>, OsintError>,
+    ) -> Option<T> {
+        let max = self.retry.max_attempts.max(1);
+        for attempt in 0..max {
+            if attempt > 0 {
+                stats.retried += 1;
+                stats.backoff_ms += self.retry.backoff_ms(attempt);
+            }
+            match attempt_fn(attempt) {
+                Ok(Some(t)) => return Some(t),
+                Ok(None) => {
+                    stats.missed_permanent += 1;
+                    return None;
+                }
+                Err(e) => {
+                    debug_assert!(e.is_transient());
+                    if attempt + 1 == max {
+                        stats.missed_transient += 1;
+                        return None;
+                    }
+                }
+            }
+        }
+        unreachable!("loop returns on every path")
+    }
+
+    /// Resolve a depth-2 relational reference against the graph by
+    /// canonical identity. The two-hop cap means a missing node is
+    /// expected (not an error); a found node counts as `linked`.
+    fn find_linked(&self, tkg: &Tkg, key: &IocKey, stats: &mut IngestStats) -> Option<NodeId> {
+        let found = tkg.find_ioc(key);
+        if found.is_some() {
+            stats.linked += 1;
+        }
+        found
+    }
+
     fn enrich_url(
         &self,
         tkg: &mut Tkg,
@@ -100,10 +230,11 @@ impl<'a> Enricher<'a> {
     ) {
         // Lexical relation, no lookup needed: HostedOn.
         if let Some(domain) = url.hosted_domain() {
+            let ioc = Ioc::Domain(domain.clone());
             let d_node = if expand {
-                Some(self.secondary_node(tkg, Ioc::Domain(domain.clone()), secondary))
+                Some(self.secondary_node(tkg, ioc, secondary))
             } else {
-                tkg.graph.find_node(NodeKind::Domain, &domain.text)
+                self.find_linked(tkg, &ioc.key(), stats)
             };
             if let Some(d_node) = d_node {
                 if tkg.graph.add_edge(node, d_node, EdgeKind::HostedOn).expect("schema") {
@@ -111,16 +242,21 @@ impl<'a> Enricher<'a> {
                 }
             }
         }
-        let Some(analysis) = self.client.analyze_url(&url.text, self.asof_day) else {
-            stats.misses += 1;
+        let Some(analysis) = self.with_retries(stats, |attempt| {
+            self.client.try_analyze_url(&url.text, self.asof_day, attempt)
+        }) else {
             return;
         };
         for ip_text in &analysis.resolved_ips {
-            let Ok(ip) = IpIoc::parse(ip_text) else { continue };
+            let Ok(ip) = IpIoc::parse(ip_text) else {
+                stats.dropped_unparseable += 1;
+                continue;
+            };
+            let ioc = Ioc::Ip(ip);
             let ip_node = if expand {
-                Some(self.secondary_node(tkg, Ioc::Ip(ip), secondary))
+                Some(self.secondary_node(tkg, ioc, secondary))
             } else {
-                tkg.graph.find_node(NodeKind::Ip, ip_text)
+                self.find_linked(tkg, &ioc.key(), stats)
             };
             if let Some(ip_node) = ip_node {
                 if tkg.graph.add_edge(node, ip_node, EdgeKind::UrlResolvesTo).expect("schema") {
@@ -143,17 +279,22 @@ impl<'a> Enricher<'a> {
         secondary: &mut Vec<(NodeId, Ioc)>,
         stats: &mut IngestStats,
     ) {
-        let Some(analysis) = self.client.analyze_domain(&domain.text, self.asof_day) else {
-            stats.misses += 1;
+        let Some(analysis) = self.with_retries(stats, |attempt| {
+            self.client.try_analyze_domain(&domain.text, self.asof_day, attempt)
+        }) else {
             return;
         };
         for ip_text in &analysis.resolved_ips {
-            let Ok(ip) = IpIoc::parse(ip_text) else { continue };
+            let Ok(ip) = IpIoc::parse(ip_text) else {
+                stats.dropped_unparseable += 1;
+                continue;
+            };
+            let ioc = Ioc::Ip(ip);
             let ip_node = if expand {
-                Some(self.secondary_node(tkg, Ioc::Ip(ip), secondary))
+                Some(self.secondary_node(tkg, ioc, secondary))
             } else {
                 // Two-hop cap: only link to IPs already in the graph.
-                tkg.graph.find_node(NodeKind::Ip, ip_text)
+                self.find_linked(tkg, &ioc.key(), stats)
             };
             if let Some(ip_node) = ip_node {
                 if tkg.graph.add_edge(node, ip_node, EdgeKind::DomainResolvesTo).expect("schema") {
@@ -164,7 +305,10 @@ impl<'a> Enricher<'a> {
         // Secondary URLs from the domain's url_list (expansion only).
         if expand {
             for u_text in &analysis.hosted_urls {
-                let Ok(u) = UrlIoc::parse(u_text) else { continue };
+                let Ok(u) = UrlIoc::parse(u_text) else {
+                    stats.dropped_unparseable += 1;
+                    continue;
+                };
                 let u_node = self.secondary_node(tkg, Ioc::Url(u), secondary);
                 if tkg.graph.add_edge(u_node, node, EdgeKind::HostedOn).expect("schema") {
                     stats.edges += 1;
@@ -186,8 +330,9 @@ impl<'a> Enricher<'a> {
         secondary: &mut Vec<(NodeId, Ioc)>,
         stats: &mut IngestStats,
     ) {
-        let Some(analysis) = self.client.analyze_ip(&ip.text, self.asof_day) else {
-            stats.misses += 1;
+        let Some(analysis) = self.with_retries(stats, |attempt| {
+            self.client.try_analyze_ip(&ip.text, self.asof_day, attempt)
+        }) else {
             return;
         };
         // ASN node (whois/dig output) — cheap metadata, always linked.
@@ -198,11 +343,15 @@ impl<'a> Enricher<'a> {
             }
         }
         for d_text in &analysis.historic_domains {
-            let Ok(d) = DomainIoc::parse(d_text) else { continue };
+            let Ok(d) = DomainIoc::parse(d_text) else {
+                stats.dropped_unparseable += 1;
+                continue;
+            };
+            let ioc = Ioc::Domain(d);
             let d_node = if expand {
-                Some(self.secondary_node(tkg, Ioc::Domain(d), secondary))
+                Some(self.secondary_node(tkg, ioc, secondary))
             } else {
-                tkg.graph.find_node(NodeKind::Domain, d_text)
+                self.find_linked(tkg, &ioc.key(), stats)
             };
             if let Some(d_node) = d_node {
                 if tkg.graph.add_edge(node, d_node, EdgeKind::ARecord).expect("schema") {
@@ -224,9 +373,9 @@ impl<'a> Enricher<'a> {
         ioc: Ioc,
         secondary: &mut Vec<(NodeId, Ioc)>,
     ) -> NodeId {
-        let kind = Tkg::node_kind(ioc.kind());
-        let existed = tkg.graph.find_node(kind, ioc.text());
-        let node = tkg.graph.upsert_node(kind, ioc.text());
+        let key = ioc.key();
+        let existed = tkg.find_ioc(&key);
+        let node = tkg.upsert_ioc(&key);
         if existed.is_none() {
             secondary.push((node, ioc));
         }
@@ -242,7 +391,13 @@ mod tests {
     use trail_osint::{World, WorldConfig};
 
     fn setup() -> (OsintClient, Vec<CollectedEvent>) {
-        let world = Arc::new(World::generate(WorldConfig::tiny(31)));
+        setup_with(|_| {})
+    }
+
+    fn setup_with(f: impl FnOnce(&mut WorldConfig)) -> (OsintClient, Vec<CollectedEvent>) {
+        let mut cfg = WorldConfig::tiny(31);
+        f(&mut cfg);
+        let world = Arc::new(World::generate(cfg));
         let client = OsintClient::new(world);
         let reports = client.events_before(client.world().config.cutoff_day);
         let registry = AptRegistry::new(client.world().config.n_apts);
@@ -322,5 +477,70 @@ mod tests {
         assert!(hosted > 0, "no HostedOn edges");
         let in_group = tkg.graph.edge_counts_by_kind()[EdgeKind::InGroup.index()];
         assert!(in_group > 0, "no InGroup (ASN) edges");
+    }
+
+    #[test]
+    fn taxonomy_counts_permanent_misses_and_links() {
+        let (client, events) = setup();
+        let mut tkg = Tkg::new(AptRegistry::new(client.world().config.n_apts));
+        let enricher = Enricher::new(&client, client.world().config.cutoff_day);
+        let mut total = IngestStats::default();
+        for e in events.iter().take(20) {
+            total.absorb(&enricher.ingest(&mut tkg, e));
+        }
+        // miss prob is 10% → some analyses gap out permanently; with no
+        // fault injection nothing is transient and nothing retries.
+        assert!(total.missed_permanent > 0, "no permanent misses at p=0.1");
+        assert_eq!(total.missed_transient, 0);
+        assert_eq!(total.retried, 0);
+        assert_eq!(total.backoff_ms, 0);
+        // Depth-2 references do resolve against existing nodes.
+        assert!(total.linked > 0, "no depth-2 links formed");
+        let json = total.to_json();
+        assert_eq!(json["linked"].as_u64().unwrap() as usize, total.linked);
+        assert_eq!(
+            json["missed_permanent"].as_u64().unwrap() as usize,
+            total.missed_permanent
+        );
+    }
+
+    #[test]
+    fn transient_faults_retry_and_converge_to_the_clean_graph() {
+        let build = |fault_prob: f32, max_attempts: u32| {
+            let (client, events) = setup_with(|cfg| cfg.transient_fault_prob = fault_prob);
+            let mut tkg = Tkg::new(AptRegistry::new(client.world().config.n_apts));
+            let retry = RetryPolicy { max_attempts, ..RetryPolicy::default() };
+            let enricher =
+                Enricher::with_retry(&client, client.world().config.cutoff_day, retry);
+            let mut total = IngestStats::default();
+            for e in events.iter().take(20) {
+                total.absorb(&enricher.ingest(&mut tkg, e));
+            }
+            (tkg, total)
+        };
+        let (clean_tkg, clean) = build(0.0, 3);
+        // With faults and generous retries, every transient fault is
+        // eventually retried through and the graph is identical.
+        let (faulty_tkg, faulty) = build(0.3, 12);
+        assert!(faulty.retried > 0, "30% fault rate triggered no retries");
+        assert!(faulty.backoff_ms > 0, "retries charged no backoff");
+        assert_eq!(faulty.missed_transient, 0, "12 attempts did not absorb p=0.3 faults");
+        assert_eq!(faulty.missed_permanent, clean.missed_permanent);
+        assert_eq!(faulty_tkg.graph.node_count(), clean_tkg.graph.node_count());
+        assert_eq!(faulty_tkg.graph.edge_count(), clean_tkg.graph.edge_count());
+        // With retries disabled, persistent fault streams become
+        // transient misses and the graph can only shrink.
+        let (small_tkg, none) = build(0.9, 1);
+        assert_eq!(none.retried, 0);
+        assert!(none.missed_transient > 0, "90% faults with no retries missed nothing");
+        assert!(small_tkg.graph.edge_count() <= clean_tkg.graph.edge_count());
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential() {
+        let retry = RetryPolicy { max_attempts: 4, base_backoff_ms: 50 };
+        assert_eq!(retry.backoff_ms(1), 50);
+        assert_eq!(retry.backoff_ms(2), 100);
+        assert_eq!(retry.backoff_ms(3), 200);
     }
 }

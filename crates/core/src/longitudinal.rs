@@ -17,6 +17,7 @@ use trail_osint::DAYS_PER_MONTH;
 
 use crate::attribute::GnnEvalConfig;
 use crate::embed::{assemble_gnn_input, compute_codes, train_autoencoders};
+use crate::enrich::IngestStats;
 use crate::system::TrailSystem;
 
 /// Study parameters.
@@ -71,6 +72,9 @@ pub struct StudyOutput {
     pub first_month_confusion: ConfusionMatrix,
     /// Class names for rendering the confusion matrix.
     pub class_names: Vec<String>,
+    /// Aggregate enrichment taxonomy over the study's window ingests
+    /// (the monthly updates, not the base build).
+    pub ingest: IngestStats,
 }
 
 /// Run the monthly study. Consumes the system (the TKG grows month by
@@ -110,6 +114,7 @@ pub fn run_monthly_study<R: Rng + ?Sized>(
     let mut fresh_model = train_model(rng, &sys, &encoders);
 
     let mut months = Vec::new();
+    let mut window_ingest = IngestStats::default();
     let mut confusion: Option<ConfusionMatrix> = None;
     // Labels visible to the fresh model: base events + past study months.
     let mut fresh_visible = base_pairs.clone();
@@ -120,6 +125,9 @@ pub fn run_monthly_study<R: Rng + ?Sized>(
         let ingested = sys.ingest_window(lo, hi);
         if ingested.is_empty() {
             continue;
+        }
+        for (_, s) in &ingested {
+            window_ingest.absorb(s);
         }
         let month_events: Vec<(NodeId, u16)> = ingested
             .iter()
@@ -170,6 +178,7 @@ pub fn run_monthly_study<R: Rng + ?Sized>(
         first_month_confusion: confusion
             .unwrap_or_else(|| ConfusionMatrix::from_predictions(&[], &[], sys.tkg.n_classes())),
         class_names: sys.tkg.registry.names().to_vec(),
+        ingest: window_ingest,
     }
 }
 
@@ -335,6 +344,7 @@ mod tests {
             assert!((0.0..=1.0).contains(&m.fresh_acc));
         }
         assert_eq!(out.class_names.len(), 4);
+        assert!(out.ingest.first_order > 0, "study windows ingested no IOCs");
         // The confusion matrix covers the first month's events.
         let total: usize = (0..4)
             .flat_map(|t| (0..4).map(move |p| (t, p)))

@@ -16,6 +16,9 @@ pub struct TrailSystem {
     pub asof_day: u32,
     /// Collection statistics of the initial build.
     pub collect_stats: CollectStats,
+    /// Aggregate enrichment taxonomy across every ingest this system
+    /// has run (initial build plus later windows).
+    pub ingest_stats: IngestStats,
 }
 
 impl TrailSystem {
@@ -25,13 +28,14 @@ impl TrailSystem {
         let reports = client.events_before(until_day);
         let (events, collect_stats) = collect(&reports, &registry);
         let mut tkg = Tkg::new(registry);
+        let mut ingest_stats = IngestStats::default();
         {
             let enricher = Enricher::new(&client, until_day);
             for event in &events {
-                enricher.ingest(&mut tkg, event);
+                ingest_stats.absorb(&enricher.ingest(&mut tkg, event));
             }
         }
-        Self { client, tkg, asof_day: until_day, collect_stats }
+        Self { client, tkg, asof_day: until_day, collect_stats, ingest_stats }
     }
 
     /// Ingest the reports of a later window into the existing TKG
@@ -50,6 +54,7 @@ impl TrailSystem {
             .into_iter()
             .map(|e| {
                 let s = enricher.ingest(&mut self.tkg, &e);
+                self.ingest_stats.absorb(&s);
                 (e, s)
             })
             .collect()
@@ -90,6 +95,22 @@ mod tests {
         assert!(!ingested.is_empty());
         assert_eq!(sys.tkg.events.len(), before + ingested.len());
         assert_eq!(sys.asof_day, horizon);
+    }
+
+    #[test]
+    fn build_aggregates_the_ingest_taxonomy() {
+        let c = client();
+        let cutoff = c.world().config.cutoff_day;
+        let mut sys = TrailSystem::build(c, cutoff);
+        let built = sys.ingest_stats.clone();
+        assert!(built.first_order > 0);
+        assert!(built.linked > 0, "no depth-2 links in a full build");
+        assert!(built.missed_permanent > 0, "default 10% gaps produced no misses");
+        assert_eq!(built.missed_transient, 0, "no faults injected, yet transient misses");
+        // Window ingests keep accumulating into the same aggregate.
+        let horizon = sys.client.world().config.horizon_day();
+        sys.ingest_window(cutoff, horizon);
+        assert!(sys.ingest_stats.first_order > built.first_order);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use trail_graph::ids::LabelId;
 use trail_graph::{Csr, GraphStore, NodeId, NodeKind};
 use trail_ioc::features::{DomainEncoder, IpEncoder, UrlEncoder, DOMAIN_DIMS, IP_DIMS, URL_DIMS};
-use trail_ioc::IocKind;
+use trail_ioc::{IocKey, IocKind};
 
 use crate::collector::AptRegistry;
 use crate::sparse::SparseVec;
@@ -103,6 +103,24 @@ impl Tkg {
             IocKind::Ip => NodeKind::Ip,
             IocKind::Domain => NodeKind::Domain,
         }
+    }
+
+    /// Upsert the node for a canonical IOC identity. All IOC nodes are
+    /// created through here (or with an equivalent key), so one
+    /// indicator can never occupy two nodes under different spellings.
+    pub fn upsert_ioc(&mut self, key: &IocKey) -> NodeId {
+        self.graph.upsert_node(Self::node_kind(key.kind()), key.text())
+    }
+
+    /// Find the node for a canonical IOC identity, if present.
+    pub fn find_ioc(&self, key: &IocKey) -> Option<NodeId> {
+        self.graph.find_node(Self::node_kind(key.kind()), key.text())
+    }
+
+    /// Borrow an IOC's features by canonical identity, if its node
+    /// exists and was enriched.
+    pub fn features_by_key(&self, key: &IocKey) -> Option<&SparseVec> {
+        self.find_ioc(key).and_then(|node| self.features(node))
     }
 
     /// All nodes of an IOC kind that carry features, with the features.
@@ -275,6 +293,32 @@ mod tests {
         for name in ["Events", "IPs", "URLs", "Domains", "ASNs", "Total"] {
             assert!(table.contains(name), "missing {name} in:\n{table}");
         }
+    }
+
+    #[test]
+    fn ioc_key_upsert_and_find_share_one_node() {
+        let mut tkg = tiny_tkg();
+        let key = IocKey::parse(IocKind::Domain, "ThreeBody[.]CN.").unwrap();
+        let node = tkg.upsert_ioc(&key);
+        // Any raw spelling of the same indicator resolves to that node.
+        for raw in ["threebody.cn", "THREEBODY.cn", "threebody[.]cn."] {
+            let k = IocKey::parse(IocKind::Domain, raw).unwrap();
+            assert_eq!(tkg.find_ioc(&k), Some(node), "{raw:?}");
+            assert_eq!(tkg.upsert_ioc(&k), node, "{raw:?} upserted a second node");
+        }
+        assert_eq!(tkg.graph.node(node).key, "threebody.cn");
+    }
+
+    #[test]
+    fn features_by_key_resolves_canonically() {
+        let mut tkg = tiny_tkg();
+        let key = IocKey::parse(IocKind::Ip, "1.1.1.1").unwrap();
+        let node = tkg.find_ioc(&key).expect("seeded in tiny_tkg");
+        tkg.set_features(node, SparseVec::from_dense(&[4.0]));
+        let via_noisy = IocKey::parse(IocKind::Ip, " 1.1.1[.]1 ").unwrap();
+        assert_eq!(tkg.features_by_key(&via_noisy).unwrap().get(0), 4.0);
+        let absent = IocKey::parse(IocKind::Ip, "9.9.9.9").unwrap();
+        assert!(tkg.features_by_key(&absent).is_none());
     }
 
     #[test]

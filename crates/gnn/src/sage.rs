@@ -330,6 +330,28 @@ impl SageModel {
         !self.layers[l].last
     }
 
+    /// Clone of every layer's parameter values `(W_root, W_nbr, b)`.
+    /// The trainers capture this at the best-validation epoch so early
+    /// stopping can return those weights instead of the last epoch's.
+    pub(crate) fn snapshot_params(&self) -> Vec<(Matrix, Matrix, Matrix)> {
+        self.layers
+            .iter()
+            .map(|l| (l.w_root.value.clone(), l.w_nbr.value.clone(), l.b.value.clone()))
+            .collect()
+    }
+
+    /// Restore parameter values captured by [`Self::snapshot_params`].
+    /// Optimiser moments are left as-is — restoration only happens when
+    /// training is about to stop.
+    pub(crate) fn restore_params(&mut self, snap: &[(Matrix, Matrix, Matrix)]) {
+        assert_eq!(snap.len(), self.layers.len(), "snapshot layer count");
+        for (layer, (w_root, w_nbr, b)) in self.layers.iter_mut().zip(snap) {
+            layer.w_root.value = w_root.clone();
+            layer.w_nbr.value = w_nbr.clone();
+            layer.b.value = b.clone();
+        }
+    }
+
     /// Replace layer `l`'s parameters (shape-checked). Used for loading
     /// saved weights and for constructing reference models in tests.
     pub fn set_layer_weights(&mut self, l: usize, w_root: Matrix, w_nbr: Matrix, b: Matrix) {

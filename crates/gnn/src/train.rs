@@ -110,6 +110,7 @@ pub fn train_sage_masked<R: Rng + ?Sized>(
     let mut losses = Vec::with_capacity(cfg.epochs);
     let mut best_val = f64::NEG_INFINITY;
     let mut since_best = 0usize;
+    let mut best_snap = None;
     let mut order: Vec<usize> = (0..train.len()).collect();
     let n_targets =
         ((train.len() as f32) * (1.0 - masking.visible_fraction)).round().max(1.0) as usize;
@@ -136,6 +137,7 @@ pub fn train_sage_masked<R: Rng + ?Sized>(
             if val_acc > best_val + 1e-9 {
                 best_val = val_acc;
                 since_best = 0;
+                best_snap = Some(model.snapshot_params());
             } else {
                 since_best += 1;
                 if since_best >= cfg.patience {
@@ -143,6 +145,11 @@ pub fn train_sage_masked<R: Rng + ?Sized>(
                 }
             }
         }
+    }
+    // Early stopping returns the weights of the best validation epoch,
+    // not whatever the last `patience` epochs drifted to.
+    if let Some(snap) = &best_snap {
+        model.restore_params(snap);
     }
     (model, losses)
 }
@@ -230,6 +237,7 @@ fn continue_training(
     let mut losses = Vec::with_capacity(epochs);
     let mut best_val = f64::NEG_INFINITY;
     let mut since_best = 0usize;
+    let mut best_snap = None;
     for _epoch in 0..epochs {
         let logits = model.forward(csr, x, true);
         let (loss, _train_acc, d_logits) = masked_loss(&logits, train);
@@ -242,6 +250,7 @@ fn continue_training(
             if val_acc > best_val + 1e-9 {
                 best_val = val_acc;
                 since_best = 0;
+                best_snap = Some(model.snapshot_params());
             } else {
                 since_best += 1;
                 if since_best >= patience {
@@ -249,6 +258,10 @@ fn continue_training(
                 }
             }
         }
+    }
+    // Early stopping returns the weights of the best validation epoch.
+    if let Some(snap) = &best_snap {
+        model.restore_params(snap);
     }
     losses
 }
@@ -353,6 +366,53 @@ mod tests {
             &TrainConfig { lr: 0.05, epochs: 500, patience: 5 },
         );
         assert!(losses.len() < 500, "never early-stopped");
+    }
+
+    #[test]
+    fn early_stopping_returns_best_validation_weights() {
+        // `continue_training` consumes no rng after model init, so two
+        // runs from the same seed follow bitwise-identical parameter
+        // trajectories. Train once with patience to get the stop epoch,
+        // then replay exactly that many epochs with patience 0 to
+        // materialise the *last-epoch* model, and check the early-stop
+        // return is at least as good on validation.
+        let (g, events) = clustered(6);
+        let csr = Csr::from_store(&g);
+        let x = features(&g, &events, 6);
+        let cfg = SageConfig::new(3, 8, 2, 2);
+        let train: Vec<_> = events[..6].to_vec();
+        let val: Vec<_> = events[6..9].to_vec();
+        let seed = 2;
+        let (mut stopped, losses) = train_sage(
+            &mut StdRng::seed_from_u64(seed),
+            &csr,
+            &x,
+            cfg,
+            &train,
+            &val,
+            &TrainConfig { lr: 0.05, epochs: 500, patience: 5 },
+        );
+        assert!(losses.len() < 500, "never early-stopped");
+        let (mut last_epoch, replay) = train_sage(
+            &mut StdRng::seed_from_u64(seed),
+            &csr,
+            &x,
+            cfg,
+            &train,
+            &val,
+            &TrainConfig { lr: 0.05, epochs: losses.len(), patience: 0 },
+        );
+        assert_eq!(replay, losses, "replay diverged; epochs are not deterministic");
+        let val_acc = |m: &mut SageModel| {
+            let logits = m.forward(&csr, &x, false);
+            masked_loss(&logits, &val).1
+        };
+        let stopped_acc = val_acc(&mut stopped);
+        let last_acc = val_acc(&mut last_epoch);
+        assert!(
+            stopped_acc >= last_acc,
+            "early-stop model ({stopped_acc}) scores worse on val than last epoch ({last_acc})"
+        );
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Canonical IOC identity.
+//!
+//! Every layer of the pipeline used to round-trip raw strings: the
+//! world indices, the OSINT client queries, the graph upserts and the
+//! depth-2 lookups. Real feeds serve the *same* indicator in many
+//! spellings — mixed case, trailing dots, `hxxp`/`[.]` defanging — and
+//! any layer comparing raw text silently fails to join what another
+//! layer stored canonically. [`IocKey`] is the one identity all layers
+//! agree on: the IOC kind plus the canonical text produced by the
+//! parsers in [`crate::ip`], [`crate::domain`] and [`crate::url`].
+//!
+//! Construction always goes through a parser, so a key in hand is a
+//! proof the text is canonical; the fields are private to keep it that
+//! way.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{Ioc, IocKind};
+use crate::Result;
+
+/// The canonical identity of a network IOC: kind + canonical text.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IocKey {
+    kind: IocKind,
+    text: String,
+}
+
+impl IocKey {
+    /// The identity of an already-parsed IOC (infallible — parsed IOCs
+    /// carry canonical text by construction).
+    pub fn of(ioc: &Ioc) -> Self {
+        Self { kind: ioc.kind(), text: ioc.text().to_owned() }
+    }
+
+    /// Parse raw (possibly defanged / mixed-case / trailing-dot) text
+    /// with a declared kind and canonicalise it.
+    pub fn parse(kind: IocKind, raw: &str) -> Result<Self> {
+        Ioc::parse_as(kind, raw).map(|ioc| Self::of(&ioc))
+    }
+
+    /// Auto-detect the kind of raw text and canonicalise it.
+    pub fn detect(raw: &str) -> Result<Self> {
+        Ioc::detect(raw).map(|ioc| Self::of(&ioc))
+    }
+
+    /// The IOC kind.
+    pub fn kind(&self) -> IocKind {
+        self.kind
+    }
+
+    /// The canonical text — the one spelling every index and graph
+    /// lookup uses.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Consume the key, yielding the canonical text.
+    pub fn into_text(self) -> String {
+        self.text
+    }
+}
+
+impl From<&Ioc> for IocKey {
+    fn from(ioc: &Ioc) -> Self {
+        Self::of(ioc)
+    }
+}
+
+impl std::fmt::Display for IocKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.kind.name(), self.text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_variants_share_one_key() {
+        let canonical = IocKey::parse(IocKind::Domain, "threebody.cn").unwrap();
+        for raw in ["ThreeBody.CN", "threebody.cn.", "threebody[.]cn", " THREEBODY[.]CN. "] {
+            assert_eq!(IocKey::parse(IocKind::Domain, raw).unwrap(), canonical, "{raw:?}");
+        }
+        assert_eq!(canonical.text(), "threebody.cn");
+    }
+
+    #[test]
+    fn ip_and_url_keys_canonicalise() {
+        let ip = IocKey::parse(IocKind::Ip, "1.0.36[.]127").unwrap();
+        assert_eq!(ip.text(), "1.0.36.127");
+        let url = IocKey::parse(IocKind::Url, "hxxp://ThreeBody[.]cn/trisolaris.php").unwrap();
+        assert_eq!(url.text(), "http://threebody.cn/trisolaris.php");
+        assert_eq!(url.kind(), IocKind::Url);
+    }
+
+    #[test]
+    fn detect_routes_by_shape() {
+        assert_eq!(IocKey::detect("198.51.100.7").unwrap().kind(), IocKind::Ip);
+        assert_eq!(IocKey::detect("hxxp://a[.]example/x").unwrap().kind(), IocKind::Url);
+        assert_eq!(IocKey::detect("A.Example.").unwrap().kind(), IocKind::Domain);
+        assert!(IocKey::detect("???").is_err());
+    }
+
+    #[test]
+    fn same_text_different_kind_is_a_different_key() {
+        // A domain key and a URL key never collide even if a raw string
+        // could be read as either.
+        let d = IocKey::parse(IocKind::Domain, "a.example").unwrap();
+        let u = IocKey::parse(IocKind::Url, "http://a.example/").unwrap();
+        assert_ne!(d, u);
+    }
+
+    #[test]
+    fn key_of_parsed_ioc_matches_parse() {
+        let ioc = Ioc::detect("EvIl[.]ExAmPlE.").unwrap();
+        assert_eq!(IocKey::of(&ioc), IocKey::parse(IocKind::Domain, "evil.example").unwrap());
+        assert_eq!(IocKey::from(&ioc).text(), "evil.example");
+    }
+}

@@ -20,12 +20,14 @@ pub mod defang;
 pub mod domain;
 pub mod features;
 pub mod ip;
+pub mod key;
 pub mod report;
 pub mod types;
 pub mod url;
 pub mod vocab;
 
 pub use analysis::{DomainAnalysis, IpAnalysis, UrlAnalysis};
+pub use key::IocKey;
 pub use types::{Ioc, IocKind};
 
 /// Errors raised while parsing IOC text.

@@ -9,7 +9,7 @@ use crate::{IocError, Result};
 
 /// The three network-IOC kinds the paper studies (plus ASN, which only
 /// appears as a derived node, never as a reported IOC).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum IocKind {
     /// IP address.
     Ip,
@@ -86,6 +86,11 @@ impl Ioc {
             Ioc::Url(x) => &x.text,
             Ioc::Domain(x) => &x.text,
         }
+    }
+
+    /// The canonical identity of this IOC (see [`crate::key::IocKey`]).
+    pub fn key(&self) -> crate::key::IocKey {
+        crate::key::IocKey::of(self)
     }
 }
 

@@ -189,7 +189,13 @@ impl DecisionTree {
         };
         // Partition in place.
         let mid = partition(x, indices, feature, threshold);
-        debug_assert!(mid > 0 && mid < indices.len());
+        if mid == 0 || mid == indices.len() {
+            // Degenerate split (can only arise from floating-point edge
+            // cases in the threshold): growing further would recurse
+            // forever, so close the node out as a leaf.
+            self.nodes.push(Node::Leaf { proba });
+            return node_id;
+        }
         // Reserve the split slot, then grow children.
         self.nodes.push(Node::Leaf { proba: proba.clone() }); // placeholder
         let (left_idx, right_idx) = indices.split_at_mut(mid);
@@ -287,7 +293,14 @@ fn best_gini_split(
                 (nl / n as f32) * gini(&left_counts, nl) + (nr / n as f32) * gini(&right_counts, nr);
             let gain = parent_gini - child;
             if gain > 1e-9 && best.map_or(true, |(_, _, g)| gain > g) {
-                let threshold = 0.5 * (sorted[split_at - 1].0 + sorted[split_at].0);
+                // The midpoint of two adjacent f32 values can round up
+                // to the upper value, which would send the upper rows
+                // left under the `<=` partition and empty the right
+                // child. Clamp to the lower value in that case — the
+                // `<=` predicate still realises the same split.
+                let (lo, hi) = (sorted[split_at - 1].0, sorted[split_at].0);
+                let mid_t = 0.5 * (lo + hi);
+                let threshold = if mid_t < hi { mid_t } else { lo };
                 best = Some((f, threshold, gain));
             }
         }
@@ -349,6 +362,23 @@ mod tests {
         // Depth-0 tree outputs the prior everywhere.
         let proba = stump.predict_proba(&x);
         assert!((proba[(0, 0)] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adjacent_float_values_split_without_panicking() {
+        // Two adjacent f32 values whose naive midpoint `0.5*(a+b)`
+        // rounds (ties-to-even in the sum) up to `b`, which used to
+        // produce a one-sided partition and a debug_assert panic
+        // during growth.
+        let a = f32::from_bits(1.0f32.to_bits() + 1);
+        let b = f32::from_bits(1.0f32.to_bits() + 2);
+        assert_eq!(0.5 * (a + b), b, "test premise: midpoint rounds up");
+        let x = Matrix::from_vec(4, 1, vec![a, a, b, b]).unwrap();
+        let y = vec![0, 0, 1, 1];
+        let mut rng = StdRng::seed_from_u64(7);
+        let tree = DecisionTree::fit(&mut rng, &x, &y, &[0, 1, 2, 3], 2, &TreeConfig::default());
+        // The clamped threshold must still separate the two classes.
+        assert_eq!(tree.predict(&x), y);
     }
 
     #[test]

@@ -2,14 +2,29 @@
 //!
 //! Mirrors the paper's data-access pattern (Section IV-A): search for
 //! tagged events, then request per-IOC analyses that return both
-//! features and relational data (secondary IOCs). Analysis gaps are
-//! simulated deterministically per IOC so repeated queries agree.
+//! features and relational data (secondary IOCs). Two kinds of noise
+//! are simulated deterministically so repeated runs agree bit-for-bit:
+//!
+//! * **Permanent gaps** — a fraction of IOCs simply have no analysis
+//!   record (`analysis_miss_prob`), decided per canonical key.
+//! * **Transient faults** — a fraction of *attempts* fail with a
+//!   rate-limit or timeout (`transient_fault_prob`), decided per
+//!   canonical key *and* attempt number, so a retry can succeed.
+//!
+//! Every query is canonicalised through [`trail_ioc::IocKey`] before it
+//! touches an index: `ThreeBody[.]CN.` and `threebody.cn` are the same
+//! indicator and get the same answer, the same gap and the same fault
+//! stream. Relational strings in responses are *presented* the way a
+//! messy feed would print them (`feed_noise`) — mixed case, trailing
+//! dots, defanged — without changing their identity.
 
 use std::sync::Arc;
 
 use trail_ioc::analysis::{DomainAnalysis, IpAnalysis, UrlAnalysis};
+use trail_ioc::defang::defang;
 use trail_ioc::report::RawReport;
 use trail_ioc::vocab::fnv1a;
+use trail_ioc::{IocKey, IocKind};
 
 use crate::world::World;
 
@@ -17,6 +32,36 @@ use crate::world::World;
 /// real services page their responses; the paper's two-hop cap plays
 /// the same role.
 const PDNS_PAGE: usize = 12;
+
+/// A transient query failure. Unlike a permanent gap (`Ok(None)`), the
+/// same query can succeed on a later attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OsintError {
+    /// The exchange throttled this attempt.
+    RateLimited,
+    /// The attempt timed out.
+    Timeout,
+}
+
+impl OsintError {
+    /// Every `OsintError` is transient by construction; permanent
+    /// outcomes are encoded as `Ok(None)`. Kept explicit so callers
+    /// document their retry decision.
+    pub fn is_transient(self) -> bool {
+        true
+    }
+}
+
+impl std::fmt::Display for OsintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OsintError::RateLimited => f.write_str("rate limited"),
+            OsintError::Timeout => f.write_str("timed out"),
+        }
+    }
+}
+
+impl std::error::Error for OsintError {}
 
 /// Read-only client over a generated [`World`].
 #[derive(Clone)]
@@ -50,6 +95,14 @@ impl OsintClient {
             .collect()
     }
 
+    /// Canonicalise raw query text so every spelling of an indicator
+    /// maps to one index key (and one miss/fault stream). Unparseable
+    /// text falls back to its trimmed raw form — it will find nothing,
+    /// which is the right answer for garbage.
+    fn canonical(kind: IocKind, raw: &str) -> String {
+        IocKey::parse(kind, raw).map(IocKey::into_text).unwrap_or_else(|_| raw.trim().to_owned())
+    }
+
     /// Deterministic per-key analysis gap: true when the query "misses".
     fn misses(&self, key: &str) -> bool {
         let p = self.world.config.analysis_miss_prob;
@@ -57,20 +110,120 @@ impl OsintClient {
         ((h % 10_000) as f32) < p * 10_000.0
     }
 
-    /// Analyse an IP as of `asof_day`. `None` when unknown or the
-    /// lookup gaps out.
-    pub fn analyze_ip(&self, ip: &str, asof_day: u32) -> Option<IpAnalysis> {
-        if self.misses(ip) {
+    /// Deterministic per (key, attempt) transient fault.
+    fn fault(&self, key: &str, attempt: u32) -> Option<OsintError> {
+        let p = self.world.config.transient_fault_prob;
+        if p <= 0.0 {
             return None;
         }
-        let &idx = self.world.ip_index.get(ip)?;
+        let h = fnv1a(&format!("{key}#a{attempt}")) ^ self.world.config.seed.rotate_left(17);
+        if ((h % 10_000) as f32) < p * 10_000.0 {
+            Some(if (h >> 16) & 1 == 0 { OsintError::RateLimited } else { OsintError::Timeout })
+        } else {
+            None
+        }
+    }
+
+    /// Present a canonical name the way a messy feed would: sometimes
+    /// mixed-case, trailing-dotted or defanged. Deterministic per
+    /// string; presentation only — refanging/parsing recovers the same
+    /// identity.
+    fn present(&self, kind: IocKind, name: &str) -> String {
+        let p = self.world.config.feed_noise;
+        if p <= 0.0 {
+            return name.to_owned();
+        }
+        let h = fnv1a(name) ^ self.world.config.seed.rotate_left(29);
+        if ((h % 10_000) as f32) >= p * 10_000.0 {
+            return name.to_owned();
+        }
+        match kind {
+            // URL paths are case-sensitive, so URLs and IPs only get
+            // defanged; domains also get case and trailing-dot noise.
+            IocKind::Ip | IocKind::Url => defang(name),
+            IocKind::Domain => match (h >> 20) % 3 {
+                0 => defang(name),
+                1 => format!("{name}."),
+                _ => name
+                    .chars()
+                    .enumerate()
+                    .map(|(i, c)| if i % 2 == 0 { c.to_ascii_uppercase() } else { c })
+                    .collect(),
+            },
+        }
+    }
+
+    /// Analyse an IP as of `asof_day`. `None` when unknown or the
+    /// lookup gaps out. Never faults (the infallible legacy surface).
+    pub fn analyze_ip(&self, ip: &str, asof_day: u32) -> Option<IpAnalysis> {
+        self.lookup_ip(&Self::canonical(IocKind::Ip, ip), asof_day)
+    }
+
+    /// Analyse a domain as of `asof_day`.
+    pub fn analyze_domain(&self, domain: &str, asof_day: u32) -> Option<DomainAnalysis> {
+        self.lookup_domain(&Self::canonical(IocKind::Domain, domain), asof_day)
+    }
+
+    /// Analyse a URL as of `asof_day` (the cached cURL probe).
+    pub fn analyze_url(&self, url: &str, asof_day: u32) -> Option<UrlAnalysis> {
+        self.lookup_url(&Self::canonical(IocKind::Url, url), asof_day)
+    }
+
+    /// Fallible IP analysis: `Err` on an injected transient fault for
+    /// this `attempt`, `Ok(None)` on a permanent gap or unknown IOC.
+    pub fn try_analyze_ip(
+        &self,
+        ip: &str,
+        asof_day: u32,
+        attempt: u32,
+    ) -> Result<Option<IpAnalysis>, OsintError> {
+        let key = Self::canonical(IocKind::Ip, ip);
+        match self.fault(&key, attempt) {
+            Some(e) => Err(e),
+            None => Ok(self.lookup_ip(&key, asof_day)),
+        }
+    }
+
+    /// Fallible domain analysis (see [`Self::try_analyze_ip`]).
+    pub fn try_analyze_domain(
+        &self,
+        domain: &str,
+        asof_day: u32,
+        attempt: u32,
+    ) -> Result<Option<DomainAnalysis>, OsintError> {
+        let key = Self::canonical(IocKind::Domain, domain);
+        match self.fault(&key, attempt) {
+            Some(e) => Err(e),
+            None => Ok(self.lookup_domain(&key, asof_day)),
+        }
+    }
+
+    /// Fallible URL analysis (see [`Self::try_analyze_ip`]).
+    pub fn try_analyze_url(
+        &self,
+        url: &str,
+        asof_day: u32,
+        attempt: u32,
+    ) -> Result<Option<UrlAnalysis>, OsintError> {
+        let key = Self::canonical(IocKind::Url, url);
+        match self.fault(&key, attempt) {
+            Some(e) => Err(e),
+            None => Ok(self.lookup_url(&key, asof_day)),
+        }
+    }
+
+    fn lookup_ip(&self, key: &str, asof_day: u32) -> Option<IpAnalysis> {
+        if self.misses(key) {
+            return None;
+        }
+        let &idx = self.world.ip_index.get(key)?;
         let t = &self.world.ips[idx as usize];
         let asn = &self.world.asns[t.asn as usize];
         let historic: Vec<String> = t
             .domains
             .iter()
             .take(PDNS_PAGE)
-            .map(|&d| self.world.domain_names[d as usize].clone())
+            .map(|&d| self.present(IocKind::Domain, &self.world.domain_names[d as usize]))
             .collect();
         Some(IpAnalysis {
             country: Some(asn.country.clone()),
@@ -87,12 +240,11 @@ impl OsintClient {
         })
     }
 
-    /// Analyse a domain as of `asof_day`.
-    pub fn analyze_domain(&self, domain: &str, asof_day: u32) -> Option<DomainAnalysis> {
-        if self.misses(domain) {
+    fn lookup_domain(&self, key: &str, asof_day: u32) -> Option<DomainAnalysis> {
+        if self.misses(key) {
             return None;
         }
-        let &idx = self.world.domain_index.get(domain)?;
+        let &idx = self.world.domain_index.get(key)?;
         let t = &self.world.domains[idx as usize];
         let mut record_counts = [0u32; 9];
         record_counts[0] = t.ips.len() as u32;
@@ -108,24 +260,23 @@ impl OsintClient {
                 .ips
                 .iter()
                 .take(PDNS_PAGE)
-                .map(|&ip| self.world.ip_names[ip as usize].clone())
+                .map(|&ip| self.present(IocKind::Ip, &self.world.ip_names[ip as usize]))
                 .collect(),
             cname_targets: Vec::new(),
             hosted_urls: t
                 .urls
                 .iter()
                 .take(PDNS_PAGE)
-                .map(|&u| self.world.url_names[u as usize].clone())
+                .map(|&u| self.present(IocKind::Url, &self.world.url_names[u as usize]))
                 .collect(),
         })
     }
 
-    /// Analyse a URL as of `asof_day` (the cached cURL probe).
-    pub fn analyze_url(&self, url: &str, asof_day: u32) -> Option<UrlAnalysis> {
-        if self.misses(url) {
+    fn lookup_url(&self, key: &str, asof_day: u32) -> Option<UrlAnalysis> {
+        if self.misses(key) {
             return None;
         }
-        let &idx = self.world.url_index.get(url)?;
+        let &idx = self.world.url_index.get(key)?;
         let t = &self.world.urls[idx as usize];
         let alive = asof_day.saturating_sub(t.created_day) < 400;
         Some(UrlAnalysis {
@@ -142,7 +293,7 @@ impl OsintClient {
                 .ips
                 .iter()
                 .take(PDNS_PAGE)
-                .map(|&ip| self.world.ip_names[ip as usize].clone())
+                .map(|&ip| self.present(IocKind::Ip, &self.world.ip_names[ip as usize]))
                 .collect(),
         })
     }
@@ -162,9 +313,16 @@ mod tests {
     use super::*;
     use crate::config::WorldConfig;
     use crate::world::World;
+    use trail_ioc::defang::refang;
 
     fn client() -> OsintClient {
         OsintClient::new(Arc::new(World::generate(WorldConfig::tiny(9))))
+    }
+
+    fn client_with(f: impl FnOnce(&mut WorldConfig)) -> OsintClient {
+        let mut cfg = WorldConfig::tiny(9);
+        f(&mut cfg);
+        OsintClient::new(Arc::new(World::generate(cfg)))
     }
 
     #[test]
@@ -190,6 +348,32 @@ mod tests {
             .map(|i| i.indicator.clone())
             .expect("some plain IP indicator");
         assert_eq!(c.analyze_ip(&ip, 500), c.analyze_ip(&ip, 500));
+    }
+
+    #[test]
+    fn queries_are_canonicalised_before_lookup() {
+        let c = client();
+        let domain = c
+            .world()
+            .domain_names
+            .iter()
+            .find(|n| c.analyze_domain(n, 700).is_some())
+            .expect("some analysable domain");
+        let noisy = [
+            format!("{domain}."),
+            domain.to_uppercase(),
+            trail_ioc::defang::defang(domain),
+        ];
+        for raw in &noisy {
+            assert_eq!(
+                c.analyze_domain(raw, 700),
+                c.analyze_domain(domain, 700),
+                "raw spelling {raw:?} answered differently"
+            );
+        }
+        // Defanged IPs and URLs are canonicalised too.
+        let ip = c.world().ip_names.iter().find(|n| c.analyze_ip(n, 700).is_some()).unwrap();
+        assert_eq!(c.analyze_ip(&trail_ioc::defang::defang(ip), 700), c.analyze_ip(ip, 700));
     }
 
     #[test]
@@ -226,7 +410,10 @@ mod tests {
             .find_map(|name| c.analyze_domain(name, 700).map(|a| (name.clone(), a)))
             .expect("some domain analysis");
         let (_, a) = found;
-        assert_eq!(a.record_counts[0] as usize, a.resolved_ips.len().max(a.record_counts[0] as usize).min(a.record_counts[0] as usize));
+        // resolved_ips is the paged view of the A records: never more
+        // than the record count, never more than one page.
+        assert!(a.resolved_ips.len() <= a.record_counts[0] as usize);
+        assert!(a.resolved_ips.len() <= PDNS_PAGE);
         assert!(a.first_seen_days >= a.last_seen_days);
     }
 
@@ -252,9 +439,81 @@ mod tests {
             .world()
             .url_names
             .iter()
-            .find_map(|name| c.analyze_url(name, 100).map(|a| a))
+            .find_map(|name| c.analyze_url(name, 100))
             .expect("some URL analysis");
         assert!(found.server.is_some());
         assert!(found.file_type.is_some());
+    }
+
+    #[test]
+    fn feed_noise_is_presentation_only() {
+        let noisy = client_with(|cfg| cfg.feed_noise = 1.0);
+        let clean = client_with(|cfg| cfg.feed_noise = 0.0);
+        let name = noisy
+            .world()
+            .domain_names
+            .iter()
+            .find(|n| noisy.analyze_domain(n, 700).map(|a| !a.resolved_ips.is_empty()) == Some(true))
+            .expect("domain with resolutions");
+        let a_noisy = noisy.analyze_domain(name, 700).unwrap();
+        let a_clean = clean.analyze_domain(name, 700).unwrap();
+        // Same identities after refanging, and at full noise at least
+        // one string is actually non-canonical.
+        let refanged: Vec<String> = a_noisy
+            .resolved_ips
+            .iter()
+            .map(|s| OsintClient::canonical(IocKind::Ip, s))
+            .collect();
+        assert_eq!(refanged, a_clean.resolved_ips);
+        assert!(
+            a_noisy.resolved_ips.iter().any(|s| s.contains("[.]")),
+            "full feed noise produced no defanged IPs: {:?}",
+            a_noisy.resolved_ips
+        );
+        // Noisy presentation still refangs to a valid indicator.
+        for s in &a_noisy.resolved_ips {
+            assert!(trail_ioc::ip::IpIoc::parse(&refang(s)).is_ok(), "unparseable {s:?}");
+        }
+    }
+
+    #[test]
+    fn transient_faults_are_deterministic_per_attempt() {
+        let c = client_with(|cfg| cfg.transient_fault_prob = 0.5);
+        let name = c.world().domain_names[0].clone();
+        for attempt in 0..4 {
+            assert_eq!(
+                c.try_analyze_domain(&name, 700, attempt),
+                c.try_analyze_domain(&name, 700, attempt),
+                "attempt {attempt} not reproducible"
+            );
+        }
+        // At 50% per attempt, some key+attempt faults and some succeeds.
+        let mut faulted = 0;
+        let mut succeeded = 0;
+        for name in c.world().domain_names.iter().take(40) {
+            match c.try_analyze_domain(name, 700, 0) {
+                Err(e) => {
+                    assert!(e.is_transient());
+                    faulted += 1;
+                }
+                Ok(_) => succeeded += 1,
+            }
+        }
+        assert!(faulted > 0, "no transient faults at p=0.5");
+        assert!(succeeded > 0, "every query faulted at p=0.5");
+    }
+
+    #[test]
+    fn faults_disabled_by_default_and_retries_can_recover() {
+        let c = client();
+        let name = c.world().domain_names[0].clone();
+        assert!(c.try_analyze_domain(&name, 700, 0).is_ok(), "faults injected at p=0");
+        let f = client_with(|cfg| cfg.transient_fault_prob = 0.5);
+        // Some key that faults on attempt 0 succeeds on a later attempt.
+        let recovered = f.world().domain_names.iter().take(60).any(|n| {
+            f.try_analyze_domain(n, 700, 0).is_err()
+                && (1..4).any(|a| f.try_analyze_domain(n, 700, a).is_ok())
+        });
+        assert!(recovered, "no faulting key recovered within 3 retries");
     }
 }

@@ -75,6 +75,17 @@ pub struct WorldConfig {
     pub analysis_miss_prob: f32,
     /// Days after last activity before a domain goes NXDOMAIN.
     pub nxdomain_after_days: f32,
+
+    // --- feed realism / fault injection ----------------------------------
+    /// Probability a relational string in an analysis response is
+    /// *presented* non-canonically (mixed case, trailing dot, defanged),
+    /// like a real feed. Presentation only: refanging/parsing recovers
+    /// the same identity, so consumers that canonicalise see no change.
+    pub feed_noise: f32,
+    /// Probability one analysis *attempt* fails transiently
+    /// (rate-limit/timeout). Deterministic per key + attempt number, so
+    /// retries can succeed and runs reproduce bit-for-bit.
+    pub transient_fault_prob: f32,
 }
 
 impl Default for WorldConfig {
@@ -104,6 +115,8 @@ impl Default for WorldConfig {
             hidden_urls_per_campaign: 2,
             analysis_miss_prob: 0.10,
             nxdomain_after_days: 400.0,
+            feed_noise: 0.25,
+            transient_fault_prob: 0.0,
         }
     }
 }

@@ -26,7 +26,7 @@ pub mod naming;
 pub mod profile;
 pub mod world;
 
-pub use client::OsintClient;
+pub use client::{OsintClient, OsintError};
 pub use config::WorldConfig;
 pub use profile::AptProfile;
 pub use world::{GeneratedEvent, World};

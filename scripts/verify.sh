@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: everything a PR must keep green.
+# Run from the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustfmt =="
+cargo fmt --all -- --check
+
+echo "tier-1 gate: OK"
