@@ -1,12 +1,17 @@
 //! `repro` — regenerate every table and figure of the TRAIL paper.
 //!
 //! ```text
-//! repro <experiment> [--scale S] [--seed N] [--folds K] [--faults P] [--quick]
+//! repro <experiment> [--scale S] [--seed N] [--folds K] [--faults P] [--quick] [--trace]
 //!
 //! experiments:
 //!   table2  table3  table4  fig3  fig4  fig7  fig8  fig9  fig10
 //!   sec5    case    all
 //! ```
+//!
+//! `--trace` pretty-prints the hierarchical span tree (plus counters
+//! and histograms) collected by `trail-obs` after the run. `--quick`
+//! also switches stage reporting to machine-parseable `[stage]` lines
+//! and suppresses the free-form setup banners.
 //!
 //! `fig7` and `fig8` share one longitudinal run (`fig7` is the first
 //! month's confusion matrix of the same study).
@@ -22,6 +27,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = String::from("all");
     let mut opts = RunOptions::default();
+    let mut trace = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -43,6 +49,7 @@ fn main() {
                     args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(usage);
             }
             "--quick" => opts.quick = true,
+            "--trace" => trace = true,
             flag if flag.starts_with("--") => usage(),
             name => experiment = name.to_owned(),
         }
@@ -50,7 +57,9 @@ fn main() {
     }
 
     let mut rec = BenchRecorder::new();
+    rec.set_machine_readable(opts.quick);
     rec.set_meta("experiment", experiment.as_str());
+    rec.set_meta("obs_enabled", trail_obs::enabled());
     rec.set_meta("threads", trail_linalg::pool::num_threads() as u64);
     rec.set_meta("scale", opts.scale as f64);
     rec.set_meta("seed", opts.seed);
@@ -71,7 +80,9 @@ fn main() {
         let (emb, _) = rec.time("autoencoders", || {
             trail::embed::train_autoencoders(&mut rng, &sys.tkg, &opts.ae_settings())
         });
-        println!("[setup] autoencoders trained in {:?}", t.elapsed());
+        if !opts.quick {
+            println!("[setup] autoencoders trained in {:?}", t.elapsed());
+        }
         Some(emb)
     } else {
         None
@@ -123,13 +134,17 @@ fn main() {
         Ok(()) => println!("[bench] stage timings written to BENCH_repro.json"),
         Err(e) => eprintln!("[bench] could not write BENCH_repro.json: {e}"),
     }
+    if trace {
+        println!("\n=== trace: span tree, counters, histograms ===");
+        print!("{}", trail_obs::snapshot().render_tree());
+    }
     println!("\n[done] total {:?}", total.elapsed());
 }
 
 fn usage<T>() -> T {
     eprintln!(
         "usage: repro <table2|table3|table4|fig3|fig4|fig7|fig8|fig9|fig10|sec5|case|ablations|all> \
-         [--scale S] [--seed N] [--folds K] [--faults P] [--quick]"
+         [--scale S] [--seed N] [--folds K] [--faults P] [--quick] [--trace]"
     );
     std::process::exit(2);
 }

@@ -44,23 +44,36 @@ impl Default for RunOptions {
 }
 
 impl RunOptions {
-    /// Build the world + TRAIL system for these options.
+    /// Build the world + TRAIL system for these options. Setup cost is
+    /// tracked by the `setup.build_system` span (world generation and
+    /// the TKG build as children); the human-readable summary line is
+    /// suppressed in `--quick` mode so stage records stay
+    /// machine-parseable.
     pub fn build_system(&self) -> TrailSystem {
+        let _setup = trail_obs::span("setup.build_system");
         let mut cfg = WorldConfig::default().scaled(self.scale);
         cfg.seed = self.seed;
         cfg.transient_fault_prob = self.transient_fault_prob;
-        let world = Arc::new(World::generate(cfg));
+        let world = {
+            let _s = trail_obs::span("world_gen");
+            Arc::new(World::generate(cfg))
+        };
         let client = OsintClient::new(world);
         let cutoff = client.world().config.cutoff_day;
         let t = Instant::now();
-        let sys = TrailSystem::build(client, cutoff);
-        println!(
-            "[setup] TKG built in {:?}: {} events, {} nodes, {} edges",
-            t.elapsed(),
-            sys.tkg.events.len(),
-            sys.tkg.graph.node_count(),
-            sys.tkg.graph.edge_count()
-        );
+        let sys = {
+            let _s = trail_obs::span("tkg_build");
+            TrailSystem::build(client, cutoff)
+        };
+        if !self.quick {
+            println!(
+                "[setup] TKG built in {:?}: {} events, {} nodes, {} edges",
+                t.elapsed(),
+                sys.tkg.events.len(),
+                sys.tkg.graph.node_count(),
+                sys.tkg.graph.edge_count()
+            );
+        }
         sys
     }
 
@@ -108,12 +121,23 @@ impl RunOptions {
 /// Collects `stage -> seconds` pairs plus free-form metadata (thread
 /// count, world scale, graph size) and serialises them as one JSON
 /// object, so perf regressions across commits can be diffed
-/// mechanically instead of scraping stdout.
+/// mechanically instead of scraping stdout. Stages timed through
+/// [`BenchRecorder::time`]/[`BenchRecorder::time_with`] additionally
+/// capture the `trail-obs` metrics *delta* of the stage (spans,
+/// counters, histograms), embedded under `"metrics"` in the JSON.
+///
+/// With [`BenchRecorder::set_machine_readable`] on (`--quick` runs),
+/// every recorded stage also prints one `[stage] <name>
+/// seconds=<secs>` line — a stable, grep-able record stream that never
+/// interleaves with the setup banners (those are suppressed in quick
+/// mode).
 #[derive(Debug, Default)]
 pub struct BenchRecorder {
     stages: Vec<(String, f64)>,
     meta: Vec<(String, serde_json::Value)>,
     taxonomy: Vec<(String, serde_json::Value)>,
+    metrics: Vec<(String, trail_obs::MetricsSnapshot)>,
+    machine_readable: bool,
 }
 
 impl BenchRecorder {
@@ -132,18 +156,54 @@ impl BenchRecorder {
         }
     }
 
+    /// Emit one machine-parseable line per recorded stage (quick mode).
+    pub fn set_machine_readable(&mut self, on: bool) {
+        self.machine_readable = on;
+    }
+
     /// Record an already-measured stage duration. Repeated stage names
     /// accumulate (e.g. the per-fold pieces of one experiment).
     pub fn record(&mut self, stage: &str, seconds: f64) {
+        if self.machine_readable {
+            println!("[stage] {stage} seconds={seconds:.3}");
+        }
         self.stages.push((stage.to_owned(), seconds));
     }
 
     /// Time `f` and record it under `stage`.
     pub fn time<T>(&mut self, stage: &str, f: impl FnOnce() -> T) -> T {
+        self.time_with(stage, f).0
+    }
+
+    /// Time `f` under `stage`, returning `(result, seconds)`. The body
+    /// runs inside a span named after the stage, and the registry's
+    /// metrics delta over the stage is attached via
+    /// [`Self::record_metrics`].
+    pub fn time_with<T>(&mut self, stage: &str, f: impl FnOnce() -> T) -> (T, f64) {
+        let before = trail_obs::snapshot();
         let t = Instant::now();
-        let out = f();
-        self.record(stage, t.elapsed().as_secs_f64());
-        out
+        let out = {
+            let _span = trail_obs::span(stage);
+            f()
+        };
+        let seconds = t.elapsed().as_secs_f64();
+        self.record(stage, seconds);
+        self.record_metrics(stage, trail_obs::snapshot().delta_since(&before));
+        (out, seconds)
+    }
+
+    /// Attach a stage's metrics snapshot. Repeated stage names merge
+    /// via [`trail_obs::MetricsSnapshot::absorb`]; empty snapshots
+    /// (e.g. with the registry disabled) are dropped.
+    pub fn record_metrics(&mut self, stage: &str, snap: trail_obs::MetricsSnapshot) {
+        if snap.is_empty() {
+            return;
+        }
+        if let Some(slot) = self.metrics.iter_mut().find(|(k, _)| k == stage) {
+            slot.1.absorb(&snap);
+        } else {
+            self.metrics.push((stage.to_owned(), snap));
+        }
     }
 
     /// Attach a stage's ingest taxonomy (the JSON object
@@ -169,6 +229,13 @@ impl BenchRecorder {
             stages.insert(name.clone(), serde_json::Value::from(prev + secs));
         }
         root.insert("stages_seconds".to_owned(), serde_json::Value::Object(stages));
+        if !self.metrics.is_empty() {
+            let mut metrics = serde_json::Map::new();
+            for (stage, snap) in &self.metrics {
+                metrics.insert(stage.clone(), snap.to_json());
+            }
+            root.insert("metrics".to_owned(), serde_json::Value::Object(metrics));
+        }
         if !self.taxonomy.is_empty() {
             let mut tax = serde_json::Map::new();
             for (stage, v) in &self.taxonomy {
@@ -316,44 +383,44 @@ pub fn table4(sys: &TrailSystem, opts: &RunOptions, emb: &NodeEmbeddings, rec: &
     let settings = opts.ioc_settings();
     let paper_ml = [("XGB", 0.4663, 0.2911), ("NN", 0.2622, 0.1617), ("RF", 0.6878, 0.5491)];
     for (i, model) in ModelKind::ALL.iter().enumerate() {
-        let t = Instant::now();
-        let scores = attribute::eval_event_ml(&mut rng, &sys.tkg, *model, &settings, opts.folds);
-        rec.record(&format!("table4_ioc_vote_{}", model.name()), t.elapsed().as_secs_f64());
+        let (scores, secs) = rec.time_with(&format!("table4_ioc_vote_{}", model.name()), || {
+            attribute::eval_event_ml(&mut rng, &sys.tkg, *model, &settings, opts.folds)
+        });
         let (acc, std) = scores.acc_mean_std();
         let (bacc, _) = scores.bacc_mean_std();
         let (_, p_acc, p_bacc) = paper_ml[i];
         row(
             &format!("{} (IOC vote)", model.name()),
             &format!("{p_acc:.3}/{p_bacc:.3}"),
-            format!("{acc:.4}±{std:.4}/{bacc:.4}  ({:.0?})", t.elapsed()),
+            format!("{acc:.4}±{std:.4}/{bacc:.4}  ({secs:.1}s)"),
         );
     }
     let paper_lp = [(2, 0.7589, 0.7434), (3, 0.7934, 0.7660), (4, 0.8236, 0.7734)];
     for &(layers, p_acc, p_bacc) in &paper_lp {
-        let t = Instant::now();
-        let scores = attribute::eval_event_lp(&mut rng, &sys.tkg, layers, opts.folds);
-        rec.record(&format!("table4_lp_{layers}L"), t.elapsed().as_secs_f64());
+        let (scores, secs) = rec.time_with(&format!("table4_lp_{layers}L"), || {
+            attribute::eval_event_lp(&mut rng, &sys.tkg, layers, opts.folds)
+        });
         let (acc, std) = scores.acc_mean_std();
         let (bacc, _) = scores.bacc_mean_std();
         row(
             &format!("LP {layers}L"),
             &format!("{p_acc:.3}/{p_bacc:.3}"),
-            format!("{acc:.4}±{std:.4}/{bacc:.4}  ({:.0?})", t.elapsed()),
+            format!("{acc:.4}±{std:.4}/{bacc:.4}  ({secs:.1}s)"),
         );
     }
     let paper_gnn = [(2, 0.8338, 0.7793), (3, 0.8396, 0.7860), (4, 0.8405, 0.7922)];
     let gnn_cfg = opts.gnn_settings();
     let gnn_total = Instant::now();
     for &(layers, p_acc, p_bacc) in &paper_gnn {
-        let t = Instant::now();
-        let scores = attribute::eval_event_gnn(&mut rng, &sys.tkg, emb, layers, &gnn_cfg, opts.folds);
-        rec.record(&format!("table4_gnn_{layers}L"), t.elapsed().as_secs_f64());
+        let (scores, secs) = rec.time_with(&format!("table4_gnn_{layers}L"), || {
+            attribute::eval_event_gnn(&mut rng, &sys.tkg, emb, layers, &gnn_cfg, opts.folds)
+        });
         let (acc, std) = scores.acc_mean_std();
         let (bacc, _) = scores.bacc_mean_std();
         row(
             &format!("GNN {layers}L"),
             &format!("{p_acc:.3}/{p_bacc:.3}"),
-            format!("{acc:.4}±{std:.4}/{bacc:.4}  ({:.0?})", t.elapsed()),
+            format!("{acc:.4}±{std:.4}/{bacc:.4}  ({secs:.1}s)"),
         );
     }
     rec.record("table4_gnn_total", gnn_total.elapsed().as_secs_f64());
@@ -632,5 +699,22 @@ mod tests {
         let a = json["stages_seconds"]["stage_a"].as_f64().expect("stage_a");
         assert!((a - 2.0).abs() < 1e-9);
         assert!(json["stages_seconds"]["stage_b"].as_f64().expect("stage_b") >= 0.0);
+    }
+
+    #[test]
+    fn recorder_embeds_stage_metrics_delta() {
+        trail_obs::set_enabled(true);
+        let mut rec = BenchRecorder::new();
+        let v = rec.time("obs_stage", || {
+            trail_obs::counter_add("bench.test_counter", 3);
+            11
+        });
+        assert_eq!(v, 11);
+        // A second run of the same stage merges into the same snapshot.
+        rec.time("obs_stage", || trail_obs::counter_add("bench.test_counter", 2));
+        let json = rec.to_json();
+        let metrics = &json["metrics"]["obs_stage"];
+        assert_eq!(metrics["counters"]["bench.test_counter"].as_u64(), Some(5));
+        assert_eq!(metrics["spans"]["obs_stage"]["count"].as_u64(), Some(2));
     }
 }

@@ -137,40 +137,50 @@ impl<'a> Enricher<'a> {
     /// Ingest one collected event: create the event node, attach
     /// first-order IOCs, run two-hop enrichment, store features.
     pub fn ingest(&self, tkg: &mut Tkg, event: &CollectedEvent) -> IngestStats {
+        let _ingest = trail_obs::span("enrich.ingest");
         let mut stats = IngestStats::default();
         let event_node = tkg.graph.upsert_node(NodeKind::Event, &event.report.id);
         tkg.add_event(event_node, &event.report.id, event.report.created_day, event.apt);
 
         // Pass 1: first-order nodes + InReport edges.
         let mut first_order: Vec<(NodeId, Ioc)> = Vec::with_capacity(event.report.iocs.len());
-        for ioc in &event.report.iocs {
-            let node = tkg.upsert_ioc(&ioc.key());
-            tkg.graph.mark_first_order(node);
-            if tkg.graph.add_edge(event_node, node, EdgeKind::InReport).expect("schema") {
-                stats.edges += 1;
+        {
+            let _pass = trail_obs::span("attach");
+            for ioc in &event.report.iocs {
+                let node = tkg.upsert_ioc(&ioc.key());
+                tkg.graph.mark_first_order(node);
+                if tkg.graph.add_edge(event_node, node, EdgeKind::InReport).expect("schema") {
+                    stats.edges += 1;
+                }
+                stats.first_order += 1;
+                first_order.push((node, ioc.clone()));
             }
-            stats.first_order += 1;
-            first_order.push((node, ioc.clone()));
         }
 
         // Pass 2: analyse first-order IOCs; collect secondary IOCs.
         let mut secondary: Vec<(NodeId, Ioc)> = Vec::new();
-        for (node, ioc) in &first_order {
-            match ioc {
-                Ioc::Url(url) => self.enrich_url(tkg, *node, url, true, &mut secondary, &mut stats),
-                Ioc::Domain(d) => self.enrich_domain(tkg, *node, d, true, &mut secondary, &mut stats),
-                Ioc::Ip(ip) => self.enrich_ip(tkg, *node, ip, true, &mut secondary, &mut stats),
+        {
+            let _pass = trail_obs::span("depth1");
+            for (node, ioc) in &first_order {
+                match ioc {
+                    Ioc::Url(url) => self.enrich_url(tkg, *node, url, true, &mut secondary, &mut stats),
+                    Ioc::Domain(d) => self.enrich_domain(tkg, *node, d, true, &mut secondary, &mut stats),
+                    Ioc::Ip(ip) => self.enrich_ip(tkg, *node, ip, true, &mut secondary, &mut stats),
+                }
             }
         }
 
         // Pass 3: analyse secondary IOCs — features plus edges to nodes
         // already present; no further expansion.
         let mut sink: Vec<(NodeId, Ioc)> = Vec::new();
-        for (node, ioc) in &secondary {
-            match ioc {
-                Ioc::Domain(d) => self.enrich_domain(tkg, *node, d, false, &mut sink, &mut stats),
-                Ioc::Ip(ip) => self.enrich_ip(tkg, *node, ip, false, &mut sink, &mut stats),
-                Ioc::Url(url) => self.enrich_url(tkg, *node, url, false, &mut sink, &mut stats),
+        {
+            let _pass = trail_obs::span("depth2");
+            for (node, ioc) in &secondary {
+                match ioc {
+                    Ioc::Domain(d) => self.enrich_domain(tkg, *node, d, false, &mut sink, &mut stats),
+                    Ioc::Ip(ip) => self.enrich_ip(tkg, *node, ip, false, &mut sink, &mut stats),
+                    Ioc::Url(url) => self.enrich_url(tkg, *node, url, false, &mut sink, &mut stats),
+                }
             }
         }
         stats.secondary = secondary.len();
@@ -185,27 +195,40 @@ impl<'a> Enricher<'a> {
         mut attempt_fn: impl FnMut(u32) -> Result<Option<T>, OsintError>,
     ) -> Option<T> {
         let max = self.retry.max_attempts.max(1);
-        for attempt in 0..max {
+        let mut outcome = None;
+        let mut attempts: u64 = 0;
+        'attempts: for attempt in 0..max {
             if attempt > 0 {
                 stats.retried += 1;
-                stats.backoff_ms += self.retry.backoff_ms(attempt);
+                let backoff = self.retry.backoff_ms(attempt);
+                stats.backoff_ms += backoff;
+                trail_obs::observe(
+                    "enrich.retry_backoff_ms",
+                    trail_obs::bounds::BACKOFF_MS,
+                    backoff,
+                );
             }
+            attempts += 1;
             match attempt_fn(attempt) {
-                Ok(Some(t)) => return Some(t),
+                Ok(Some(t)) => {
+                    outcome = Some(t);
+                    break 'attempts;
+                }
                 Ok(None) => {
                     stats.missed_permanent += 1;
-                    return None;
+                    break 'attempts;
                 }
                 Err(e) => {
                     debug_assert!(e.is_transient());
                     if attempt + 1 == max {
                         stats.missed_transient += 1;
-                        return None;
+                        break 'attempts;
                     }
                 }
             }
         }
-        unreachable!("loop returns on every path")
+        trail_obs::observe("enrich.attempts_per_query", trail_obs::bounds::ATTEMPTS, attempts);
+        outcome
     }
 
     /// Resolve a depth-2 relational reference against the graph by

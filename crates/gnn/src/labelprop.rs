@@ -54,6 +54,7 @@ impl<'g> LabelPropagation<'g> {
         layers: usize,
         threads: usize,
     ) -> Vec<f32> {
+        let _span = trail_obs::span("gnn.labelprop");
         let n = self.csr.node_count();
         assert_eq!(seeds.len(), n);
         let k = self.n_classes;

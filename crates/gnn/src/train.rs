@@ -115,6 +115,7 @@ pub fn train_sage_masked<R: Rng + ?Sized>(
     let n_targets =
         ((train.len() as f32) * (1.0 - masking.visible_fraction)).round().max(1.0) as usize;
     for _epoch in 0..cfg.epochs {
+        let _span = trail_obs::span("gnn.sage_epoch");
         order.shuffle(rng);
         let targets: Vec<(NodeId, u16)> =
             order[..n_targets].iter().map(|&i| train[i]).collect();
@@ -193,6 +194,7 @@ pub fn fine_tune_masked<R: Rng + ?Sized>(
     let n_targets =
         ((train.len() as f32) * (1.0 - masking.visible_fraction)).round().max(1.0) as usize;
     for _ in 0..ft.epochs {
+        let _span = trail_obs::span("gnn.sage_epoch");
         order.shuffle(rng);
         let targets: Vec<(NodeId, u16)> = order[..n_targets].iter().map(|&i| train[i]).collect();
         for &(node, label) in &targets {
@@ -239,6 +241,7 @@ fn continue_training(
     let mut since_best = 0usize;
     let mut best_snap = None;
     for _epoch in 0..epochs {
+        let _span = trail_obs::span("gnn.sage_epoch");
         let logits = model.forward(csr, x, true);
         let (loss, _train_acc, d_logits) = masked_loss(&logits, train);
         model.backward(csr, &d_logits);

@@ -12,6 +12,7 @@ pub const UNREACHABLE: u32 = u32::MAX;
 /// BFS distances from `source` over the undirected CSR.
 /// Unreachable nodes get [`UNREACHABLE`].
 pub fn bfs_distances(csr: &Csr, source: NodeId) -> Vec<u32> {
+    let _span = trail_obs::span("graph.bfs");
     let mut dist = vec![UNREACHABLE; csr.node_count()];
     let mut queue = VecDeque::new();
     dist[source.index()] = 0;
@@ -32,6 +33,7 @@ pub fn bfs_distances(csr: &Csr, source: NodeId) -> Vec<u32> {
 /// Returns `(node, distance)` pairs in BFS order. This is the paper's
 /// "k-hop neighbourhood of the event" used as GNN input.
 pub fn k_hop(csr: &Csr, roots: &[NodeId], k: u32) -> Vec<(NodeId, u32)> {
+    let _span = trail_obs::span("graph.k_hop");
     let mut dist = vec![UNREACHABLE; csr.node_count()];
     let mut queue = VecDeque::new();
     let mut out = Vec::new();
@@ -63,6 +65,7 @@ pub fn k_hop(csr: &Csr, roots: &[NodeId], k: u32) -> Vec<(NodeId, u32)> {
 /// the standard technique for huge graphs where all-pairs BFS is
 /// infeasible (the paper's diameter-23 figure is of this kind).
 pub fn diameter_double_sweep(csr: &Csr, start: NodeId, sweeps: usize) -> u32 {
+    let _span = trail_obs::span("graph.diameter");
     let mut best = 0;
     let mut from = start;
     for _ in 0..sweeps.max(1) {

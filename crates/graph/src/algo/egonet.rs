@@ -39,6 +39,7 @@ impl EgoNet {
 
 /// Extract the ego-net of `ego` with the given hop radius.
 pub fn ego_net(g: &GraphStore, csr: &Csr, ego: NodeId, radius: u32) -> EgoNet {
+    let _span = trail_obs::span("graph.ego_net");
     let members = super::bfs::k_hop(csr, &[ego], radius);
     let mut in_net = vec![false; g.node_count()];
     for &(id, _) in &members {

@@ -17,6 +17,7 @@ pub struct Csr {
 impl Csr {
     /// Build from a [`GraphStore`], symmetrising all edges.
     pub fn from_store(g: &GraphStore) -> Self {
+        let _span = trail_obs::span("graph.csr_freeze");
         let n = g.node_count();
         let mut degrees = vec![0usize; n];
         for e in g.edges() {

@@ -54,6 +54,7 @@ impl RandomForest {
         n_classes: usize,
         cfg: &ForestConfig,
     ) -> Self {
+        let _span = trail_obs::span("ml.forest_fit");
         assert!(x.rows() > 0, "empty training set");
         let n = x.rows();
         let boot_n = ((n as f32) * cfg.bootstrap_fraction).round().max(1.0) as usize;

@@ -332,6 +332,7 @@ impl GradientBoostedTrees {
         n_classes: usize,
         cfg: &GbtConfig,
     ) -> Self {
+        let _span = trail_obs::span("ml.gbt_fit");
         assert_eq!(x.rows(), y.len());
         let n = x.rows();
         let k = n_classes;

@@ -1,0 +1,109 @@
+//! Fixed-bucket histograms.
+//!
+//! A [`Histogram`] is a set of ascending upper bounds plus an overflow
+//! bucket; observations are recorded lock-free with relaxed atomics.
+//! Bucket `i` (for `i < bounds.len()`) counts observations `v` with
+//! `v <= bounds[i]` and `v > bounds[i - 1]`; the final bucket counts
+//! everything above the last bound. The invariant tested by the
+//! property suite: the bucket counts always sum to the number of
+//! observations, and `sum()` is the exact total of observed values.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-bucket histogram of `u64` observations.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// Create a histogram from strictly ascending upper bounds. An
+    /// extra overflow bucket is appended automatically.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Self { bounds: bounds.to_vec(), counts, sum: AtomicU64::new(0) }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        let i = self.bounds.partition_point(|&b| b < v);
+        self.counts[i].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// The configured upper bounds (without the implicit overflow bucket).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Current bucket counts (`bounds().len() + 1` entries).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Total number of observations across all buckets.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Exact sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Zero every bucket and the running sum in place.
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_upper_bound_inclusive() {
+        let h = Histogram::new(&[10, 100]);
+        h.observe(0);
+        h.observe(10);
+        h.observe(11);
+        h.observe(100);
+        h.observe(101);
+        assert_eq!(h.bucket_counts(), vec![2, 2, 1]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.sum(), 222);
+    }
+
+    #[test]
+    fn empty_bounds_is_a_single_overflow_bucket() {
+        let h = Histogram::new(&[]);
+        h.observe(7);
+        h.observe(0);
+        assert_eq!(h.bucket_counts(), vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn non_ascending_bounds_panic() {
+        Histogram::new(&[5, 5]);
+    }
+
+    #[test]
+    fn reset_zeroes_in_place() {
+        let h = Histogram::new(&[1]);
+        h.observe(3);
+        h.reset();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.bucket_counts(), vec![0, 0]);
+    }
+}

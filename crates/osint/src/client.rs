@@ -156,16 +156,19 @@ impl OsintClient {
     /// Analyse an IP as of `asof_day`. `None` when unknown or the
     /// lookup gaps out. Never faults (the infallible legacy surface).
     pub fn analyze_ip(&self, ip: &str, asof_day: u32) -> Option<IpAnalysis> {
+        trail_obs::counter_add("osint.queries", 1);
         self.lookup_ip(&Self::canonical(IocKind::Ip, ip), asof_day)
     }
 
     /// Analyse a domain as of `asof_day`.
     pub fn analyze_domain(&self, domain: &str, asof_day: u32) -> Option<DomainAnalysis> {
+        trail_obs::counter_add("osint.queries", 1);
         self.lookup_domain(&Self::canonical(IocKind::Domain, domain), asof_day)
     }
 
     /// Analyse a URL as of `asof_day` (the cached cURL probe).
     pub fn analyze_url(&self, url: &str, asof_day: u32) -> Option<UrlAnalysis> {
+        trail_obs::counter_add("osint.queries", 1);
         self.lookup_url(&Self::canonical(IocKind::Url, url), asof_day)
     }
 
@@ -177,9 +180,13 @@ impl OsintClient {
         asof_day: u32,
         attempt: u32,
     ) -> Result<Option<IpAnalysis>, OsintError> {
+        trail_obs::counter_add("osint.queries", 1);
         let key = Self::canonical(IocKind::Ip, ip);
         match self.fault(&key, attempt) {
-            Some(e) => Err(e),
+            Some(e) => {
+                trail_obs::counter_add("osint.faults", 1);
+                Err(e)
+            }
             None => Ok(self.lookup_ip(&key, asof_day)),
         }
     }
@@ -191,9 +198,13 @@ impl OsintClient {
         asof_day: u32,
         attempt: u32,
     ) -> Result<Option<DomainAnalysis>, OsintError> {
+        trail_obs::counter_add("osint.queries", 1);
         let key = Self::canonical(IocKind::Domain, domain);
         match self.fault(&key, attempt) {
-            Some(e) => Err(e),
+            Some(e) => {
+                trail_obs::counter_add("osint.faults", 1);
+                Err(e)
+            }
             None => Ok(self.lookup_domain(&key, asof_day)),
         }
     }
@@ -205,18 +216,26 @@ impl OsintClient {
         asof_day: u32,
         attempt: u32,
     ) -> Result<Option<UrlAnalysis>, OsintError> {
+        trail_obs::counter_add("osint.queries", 1);
         let key = Self::canonical(IocKind::Url, url);
         match self.fault(&key, attempt) {
-            Some(e) => Err(e),
+            Some(e) => {
+                trail_obs::counter_add("osint.faults", 1);
+                Err(e)
+            }
             None => Ok(self.lookup_url(&key, asof_day)),
         }
     }
 
     fn lookup_ip(&self, key: &str, asof_day: u32) -> Option<IpAnalysis> {
         if self.misses(key) {
+            trail_obs::counter_add("osint.misses", 1);
             return None;
         }
-        let &idx = self.world.ip_index.get(key)?;
+        let Some(&idx) = self.world.ip_index.get(key) else {
+            trail_obs::counter_add("osint.misses", 1);
+            return None;
+        };
         let t = &self.world.ips[idx as usize];
         let asn = &self.world.asns[t.asn as usize];
         let historic: Vec<String> = t
@@ -242,9 +261,13 @@ impl OsintClient {
 
     fn lookup_domain(&self, key: &str, asof_day: u32) -> Option<DomainAnalysis> {
         if self.misses(key) {
+            trail_obs::counter_add("osint.misses", 1);
             return None;
         }
-        let &idx = self.world.domain_index.get(key)?;
+        let Some(&idx) = self.world.domain_index.get(key) else {
+            trail_obs::counter_add("osint.misses", 1);
+            return None;
+        };
         let t = &self.world.domains[idx as usize];
         let mut record_counts = [0u32; 9];
         record_counts[0] = t.ips.len() as u32;
@@ -274,9 +297,13 @@ impl OsintClient {
 
     fn lookup_url(&self, key: &str, asof_day: u32) -> Option<UrlAnalysis> {
         if self.misses(key) {
+            trail_obs::counter_add("osint.misses", 1);
             return None;
         }
-        let &idx = self.world.url_index.get(key)?;
+        let Some(&idx) = self.world.url_index.get(key) else {
+            trail_obs::counter_add("osint.misses", 1);
+            return None;
+        };
         let t = &self.world.urls[idx as usize];
         let alive = asof_day.saturating_sub(t.created_day) < 400;
         Some(UrlAnalysis {

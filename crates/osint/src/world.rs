@@ -172,6 +172,276 @@ impl World {
         self.events.iter().find(|e| e.report.id == report_id).map(|e| e.true_apt)
     }
 
+    /// A tiny hand-written world with **no RNG anywhere** in its
+    /// construction: every registry entry, cross-link and report below
+    /// is a literal. The downstream noise channels (analysis gaps,
+    /// feed-noise presentation) are pure fnv1a hashes of this fixed
+    /// content, so the TKG built from this world is bit-identical on
+    /// every toolchain — the anchor for the golden-fingerprint
+    /// regression test. Not suitable for accuracy experiments
+    /// (`profiles` is empty and the event sample is minimal).
+    pub fn fixture() -> Self {
+        let mut config = WorldConfig::tiny(0xF1B5);
+        config.n_apts = 3;
+        config.cutoff_day = 600;
+        config.analysis_miss_prob = 0.1;
+        config.feed_noise = 0.3;
+        config.transient_fault_prob = 0.0;
+
+        let asns = vec![
+            AsnInfo {
+                number: 64496,
+                name: "FIXTURE-NET-1".into(),
+                country: "US".into(),
+                issuer: "arin".into(),
+                prefix: (185, 10),
+                size_log: 12.0,
+            },
+            AsnInfo {
+                number: 64511,
+                name: "FIXTURE-NET-2".into(),
+                country: "DE".into(),
+                issuer: "ripe".into(),
+                prefix: (193, 20),
+                size_log: 10.0,
+            },
+        ];
+
+        let ip_names: Vec<String> = [
+            "185.10.0.1",
+            "185.10.0.2",
+            "185.10.0.3",
+            "193.20.0.1",
+            "193.20.0.2",
+            "193.20.0.3",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let ip = |asn: u32, issuer: &str, lat: f32, lon: f32, domains: Vec<u32>| IpTruth {
+            asn,
+            issuer: issuer.into(),
+            lat,
+            lon,
+            first_day: 10,
+            last_day: 500,
+            domains,
+        };
+        let ips = vec![
+            ip(0, "arin", 38.9, -77.0, vec![0]),
+            ip(0, "arin", 40.7, -74.0, vec![0, 3]),
+            ip(0, "ripe", 34.1, -118.2, vec![1]),
+            ip(1, "ripe", 52.5, 13.4, vec![2]),
+            ip(1, "ripe", 48.1, 11.6, vec![2, 1]),
+            ip(1, "arin", 50.1, 8.7, vec![3]),
+        ];
+
+        let domain_names: Vec<String> =
+            ["alpha-command.net", "bravo-panel.org", "charlie-drop.com", "delta-cdn.io"]
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect();
+        let domains = vec![
+            DomainTruth {
+                ips: vec![0, 1],
+                urls: vec![0],
+                extra_records: [1, 0, 1, 1, 1, 0, 0, 0],
+                first_day: 20,
+                last_day: 450,
+            },
+            DomainTruth {
+                ips: vec![2],
+                urls: vec![1],
+                extra_records: [0, 1, 1, 1, 0, 0, 0, 0],
+                first_day: 60,
+                last_day: 480,
+            },
+            DomainTruth {
+                ips: vec![3, 4],
+                urls: vec![2],
+                extra_records: [2, 0, 1, 1, 1, 1, 0, 0],
+                first_day: 90,
+                last_day: 500,
+            },
+            DomainTruth {
+                ips: vec![5],
+                urls: vec![],
+                extra_records: [0, 0, 1, 1, 0, 0, 0, 0],
+                first_day: 120,
+                last_day: 520,
+            },
+        ];
+
+        let url_names: Vec<String> = [
+            "http://alpha-command.net/gate.php",
+            "http://bravo-panel.org/login",
+            "http://charlie-drop.com/payload.exe",
+            "http://193.20.0.3/beacon",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let urls = vec![
+            UrlTruth {
+                domain: Some(0),
+                ips: vec![0, 1],
+                server: "nginx".into(),
+                server_os: "linux".into(),
+                encoding: "gzip".into(),
+                file_type: "text/html".into(),
+                file_class: "html".into(),
+                http_code: 200,
+                services: vec!["http".into()],
+                header_flags: vec!["hsts".into()],
+                created_day: 50,
+            },
+            UrlTruth {
+                domain: Some(1),
+                ips: vec![2],
+                server: "apache".into(),
+                server_os: "linux".into(),
+                encoding: "identity".into(),
+                file_type: "text/html".into(),
+                file_class: "html".into(),
+                http_code: 200,
+                services: vec!["http".into(), "https".into()],
+                header_flags: vec![],
+                created_day: 80,
+            },
+            UrlTruth {
+                domain: Some(2),
+                ips: vec![3],
+                server: "nginx".into(),
+                server_os: "freebsd".into(),
+                encoding: "gzip".into(),
+                file_type: "application/x-dosexec".into(),
+                file_class: "executable".into(),
+                http_code: 200,
+                services: vec!["http".into()],
+                header_flags: vec!["server-tokens".into()],
+                created_day: 110,
+            },
+            UrlTruth {
+                domain: None,
+                ips: vec![5],
+                server: "python".into(),
+                server_os: "linux".into(),
+                encoding: "identity".into(),
+                file_type: "application/octet-stream".into(),
+                file_class: "binary".into(),
+                http_code: 404,
+                services: vec!["http".into()],
+                header_flags: vec![],
+                created_day: 140,
+            },
+        ];
+
+        let ind = |t: &str, v: &str| RawIndicator {
+            indicator_type: t.into(),
+            indicator: v.into(),
+        };
+        // Six reports, two per APT, with deliberate cross-event IOC
+        // reuse and noisy spellings (defanged, mixed case, trailing
+        // dot) plus one unparseable indicator.
+        let raw_events: Vec<(u32, usize, Vec<&str>, Vec<RawIndicator>)> = vec![
+            (
+                100,
+                0,
+                vec!["sofacy", "APT28"],
+                vec![
+                    ind("URL", "http://alpha-command.net/gate.php"),
+                    ind("domain", "alpha-command[.]net"),
+                    ind("IPv4", "185.10.0.1"),
+                ],
+            ),
+            (
+                150,
+                1,
+                vec!["cozy-bear"],
+                vec![
+                    ind("hostname", "Bravo-Panel.ORG."),
+                    ind("URL", "hxxp://bravo-panel[.]org/login"),
+                    ind("IPv4", "185.10.0.3"),
+                ],
+            ),
+            (
+                200,
+                2,
+                vec!["APT27"],
+                vec![
+                    ind("URL", "http://charlie-drop.com/payload.exe"),
+                    ind("IPv4", "193.20.0[.]1"),
+                    ind("domain", "charlie-drop.com"),
+                ],
+            ),
+            (
+                250,
+                0,
+                vec!["APT28"],
+                vec![
+                    ind("IPv4", "185.10.0[.]1"),
+                    ind("domain", "delta-cdn.io"),
+                    ind("URL", "http://193.20.0.3/beacon"),
+                ],
+            ),
+            (
+                300,
+                1,
+                vec!["APT29"],
+                vec![
+                    ind("domain", "bravo-panel.org"),
+                    ind("IPv4", "193.20.0.2"),
+                    ind("domain", "not a domain!!"),
+                ],
+            ),
+            (
+                350,
+                2,
+                vec!["APT27"],
+                vec![
+                    ind("URL", "hxxp://charlie-drop[.]com/payload.exe"),
+                    ind("IPv4", "193.20.0.3"),
+                    ind("hostname", "charlie-drop.com."),
+                ],
+            ),
+        ];
+        let events: Vec<GeneratedEvent> = raw_events
+            .into_iter()
+            .enumerate()
+            .map(|(i, (day, true_apt, tags, indicators))| GeneratedEvent {
+                report: RawReport {
+                    id: format!("FIX-{i:04}"),
+                    created_day: day,
+                    tags: tags.into_iter().map(str::to_owned).collect(),
+                    indicators,
+                },
+                true_apt,
+                day,
+            })
+            .collect();
+
+        let index = |names: &[String]| -> HashMap<String, u32> {
+            names.iter().enumerate().map(|(i, n)| (n.clone(), i as u32)).collect()
+        };
+        let (ip_index, domain_index, url_index) =
+            (index(&ip_names), index(&domain_names), index(&url_names));
+        World {
+            config,
+            profiles: Vec::new(),
+            asns,
+            ips,
+            ip_names,
+            ip_index,
+            domains,
+            domain_names,
+            domain_index,
+            urls,
+            url_names,
+            url_index,
+            events,
+        }
+    }
+
     /// Registry sizes `(ips, domains, urls, asns)` — world inventory.
     pub fn inventory(&self) -> (usize, usize, usize, usize) {
         (self.ips.len(), self.domains.len(), self.urls.len(), self.asns.len())
@@ -982,5 +1252,45 @@ mod tests {
         let e = &w.events[0];
         assert_eq!(w.truth(&e.report.id), Some(e.true_apt));
         assert_eq!(w.truth("pulse-99999"), None);
+    }
+
+    #[test]
+    fn fixture_is_internally_consistent() {
+        let w = World::fixture();
+        // Index maps resolve every registry name to its position.
+        for (i, n) in w.ip_names.iter().enumerate() {
+            assert_eq!(w.ip_index[n], i as u32);
+        }
+        for (i, n) in w.domain_names.iter().enumerate() {
+            assert_eq!(w.domain_index[n], i as u32);
+        }
+        for (i, n) in w.url_names.iter().enumerate() {
+            assert_eq!(w.url_index[n], i as u32);
+        }
+        // Cross-links stay in bounds.
+        for t in &w.ips {
+            assert!((t.asn as usize) < w.asns.len());
+            assert!(t.domains.iter().all(|&d| (d as usize) < w.domains.len()));
+        }
+        for t in &w.domains {
+            assert!(t.ips.iter().all(|&i| (i as usize) < w.ips.len()));
+            assert!(t.urls.iter().all(|&u| (u as usize) < w.urls.len()));
+        }
+        for t in &w.urls {
+            assert!(t.domain.is_none_or(|d| (d as usize) < w.domains.len()));
+            assert!(t.ips.iter().all(|&i| (i as usize) < w.ips.len()));
+        }
+        // Every event carries a resolvable label and lies pre-cutoff.
+        for e in &w.events {
+            assert!(e.true_apt < w.config.n_apts);
+            assert!(e.day < w.config.cutoff_day);
+            assert_eq!(e.report.created_day, e.day);
+        }
+        // Two fixtures are identical — no hidden randomness.
+        let w2 = World::fixture();
+        assert_eq!(w.events.len(), w2.events.len());
+        for (a, b) in w.events.iter().zip(&w2.events) {
+            assert_eq!(a.report, b.report);
+        }
     }
 }

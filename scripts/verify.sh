@@ -10,6 +10,12 @@ cargo build --release --workspace
 echo "== tests =="
 cargo test -q --workspace
 
+echo "== tests (ignored tier: overhead budget + large-scale reconciliation) =="
+cargo test -q --workspace -- --include-ignored
+
+echo "== quickstart smoke =="
+cargo run --release --example quickstart >/dev/null
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 

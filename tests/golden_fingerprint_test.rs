@@ -1,0 +1,71 @@
+//! Golden-fingerprint regression test for TKG construction.
+//!
+//! Builds the TKG from [`trail_osint::World::fixture`] — a hand-written
+//! world with no RNG anywhere in its construction — and pins the
+//! resulting graph shape as committed constants: node count, edge
+//! count, and an fnv1a hash of the sorted degree sequence. Any change
+//! to collection, canonicalisation, enrichment or graph upserts that
+//! alters the constructed graph trips this test *before* it surfaces
+//! as an accuracy drift in the paper tables.
+//!
+//! If a change intentionally reshapes the graph (new edge kinds, a
+//! deeper enrichment pass), re-derive the constants from the printed
+//! values in the assertion message and say why in the commit.
+
+use std::sync::Arc;
+
+use trail::system::TrailSystem;
+use trail_ioc::vocab::fnv1a;
+use trail_osint::{OsintClient, World};
+
+const GOLDEN_NODES: usize = 22;
+const GOLDEN_EDGES: usize = 43;
+const GOLDEN_DEGREE_HASH: u64 = 0x1dd0_c32f_a8d2_9157;
+
+fn build() -> TrailSystem {
+    let client = OsintClient::new(Arc::new(World::fixture()));
+    let cutoff = client.world().config.cutoff_day;
+    TrailSystem::build(client, cutoff)
+}
+
+fn fingerprint(sys: &TrailSystem) -> (usize, usize, u64) {
+    let mut degrees: Vec<usize> =
+        sys.tkg.graph.iter_nodes().map(|(id, _)| sys.tkg.graph.degree(id)).collect();
+    degrees.sort_unstable();
+    let joined =
+        degrees.iter().map(usize::to_string).collect::<Vec<_>>().join(",");
+    (sys.tkg.graph.node_count(), sys.tkg.graph.edge_count(), fnv1a(&joined))
+}
+
+#[test]
+fn fixture_tkg_matches_committed_fingerprint() {
+    let sys = build();
+    let (nodes, edges, degree_hash) = fingerprint(&sys);
+    assert_eq!(
+        (nodes, edges, degree_hash),
+        (GOLDEN_NODES, GOLDEN_EDGES, GOLDEN_DEGREE_HASH),
+        "TKG fingerprint drifted: nodes={nodes} edges={edges} degree_hash={degree_hash:#018x} \
+         (committed: nodes={GOLDEN_NODES} edges={GOLDEN_EDGES} hash={GOLDEN_DEGREE_HASH:#018x})"
+    );
+}
+
+#[test]
+fn fixture_build_is_reproducible() {
+    let a = fingerprint(&build());
+    let b = fingerprint(&build());
+    assert_eq!(a, b, "two builds of the fixture world disagree");
+}
+
+#[test]
+fn fixture_events_all_collect() {
+    let sys = build();
+    // All six fixture reports resolve (tags are canonical names or
+    // known aliases) and survive collection; the one junk indicator is
+    // rejected without dropping its event.
+    assert_eq!(sys.tkg.events.len(), 6);
+    assert_eq!(sys.collect_stats.kept, 6);
+    assert!(sys.collect_stats.rejected_indicators >= 1, "junk indicator was accepted");
+    // Cross-event reuse in the fixture keeps the graph connected
+    // beyond per-event stars.
+    assert!(sys.ingest_stats.linked > 0, "no depth-2 links in the fixture world");
+}

@@ -6,6 +6,8 @@ use trail_graph::{Csr, EdgeKind, GraphStore, NodeKind};
 use trail_ioc::defang::{defang, refang};
 use trail_ioc::domain::DomainIoc;
 use trail_ioc::ip::IpIoc;
+use trail_ioc::key::IocKey;
+use trail_ioc::types::IocKind;
 use trail_ioc::url::UrlIoc;
 use trail_ioc::vocab::Vocab;
 use trail_linalg::Matrix;
@@ -128,4 +130,87 @@ proptest! {
         prop_assert!((sum - 1.0).abs() < 1e-4);
         prop_assert!(v.iter().all(|&p| (0.0..=1.0).contains(&p)));
     }
+
+    /// Dropping span guards in any order still yields a well-formed
+    /// tree: every recorded path's parent is also recorded, and the
+    /// total recorded count equals the number of guards opened. This is
+    /// the tokened-stack invariant of `trail_obs::span` under non-LIFO
+    /// drops (guards moved into collections, early `drop()` calls).
+    #[test]
+    fn span_drop_order_yields_well_formed_tree(opens in 1usize..10, drop_seed in 0u64..1000) {
+        // The registry is process-global; this is the only registry
+        // user in this binary, serialized against itself by proptest
+        // running cases sequentially within one test.
+        let _guard = obs_registry_lock();
+        trail_obs::set_enabled(true);
+        trail_obs::reset();
+        let mut guards: Vec<_> = (0..opens).map(|i| trail_obs::span(&format!("s{i}"))).collect();
+        let mut state = drop_seed | 1;
+        while !guards.is_empty() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let idx = (state >> 33) as usize % guards.len();
+            drop(guards.swap_remove(idx));
+        }
+        let snap = trail_obs::snapshot();
+        let total: u64 = snap.spans.iter().map(|s| s.count).sum();
+        prop_assert_eq!(total as usize, opens, "every guard records exactly once");
+        for s in &snap.spans {
+            prop_assert!(s.min_ns > 0 && s.min_ns <= s.max_ns && s.max_ns <= s.total_ns);
+            if let Some((parent, _)) = s.path.rsplit_once('/') {
+                prop_assert!(snap.span(parent).is_some(), "orphan span path {}", &s.path);
+            }
+        }
+    }
+
+    /// Histogram bucket counts always sum to the number of
+    /// observations, and the sum field to their exact total, for any
+    /// observation sequence (standalone histogram — no registry).
+    #[test]
+    fn histogram_counts_sum_to_observations(values in proptest::collection::vec(0u64..5000, 0..100)) {
+        let h = trail_obs::Histogram::new(&[10, 100, 1000]);
+        for &v in &values {
+            h.observe(v);
+        }
+        let counts = h.bucket_counts();
+        prop_assert_eq!(counts.len(), 4, "bounds+1 buckets");
+        prop_assert_eq!(counts.iter().sum::<u64>(), values.len() as u64);
+        prop_assert_eq!(h.total(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+        // Each bucket holds exactly the values in its range.
+        let expect_first = values.iter().filter(|&&v| v <= 10).count() as u64;
+        let expect_last = values.iter().filter(|&&v| v > 1000).count() as u64;
+        prop_assert_eq!(counts[0], expect_first);
+        prop_assert_eq!(counts[3], expect_last);
+    }
+
+    /// Canonicalisation is idempotent: re-parsing a key's canonical
+    /// text — under any mix of case, trailing-dot and defang noise on
+    /// the way in — reproduces the identical key.
+    #[test]
+    fn iockey_canonicalisation_idempotent(label in "[a-z][a-z0-9]{1,10}", tld in "(com|net|org|ru)", noise in 0u8..8) {
+        let canonical = format!("{label}.{tld}");
+        let mut raw = canonical.clone();
+        if noise & 1 != 0 { raw = raw.to_uppercase(); }
+        if noise & 2 != 0 { raw.push('.'); }
+        if noise & 4 != 0 { raw = raw.replace('.', "[.]"); }
+        let key = IocKey::parse(IocKind::Domain, &raw).expect("noisy domain parses");
+        prop_assert_eq!(key.text(), canonical.as_str());
+        let again = IocKey::parse(key.kind(), key.text()).expect("canonical text re-parses");
+        prop_assert_eq!(&again, &key, "IocKey::parse is not idempotent for {:?}", &raw);
+        prop_assert_eq!(&IocKey::detect(key.text()).expect("canonical text detects"), &key);
+
+        let mut url_host = canonical.clone();
+        if noise & 1 != 0 { url_host = url_host.to_uppercase(); }
+        if noise & 4 != 0 { url_host = url_host.replace('.', "[.]"); }
+        let url_raw = format!("hxxp://{url_host}/x1");
+        let ukey = IocKey::parse(IocKind::Url, &url_raw).expect("noisy url parses");
+        prop_assert_eq!(ukey.text(), format!("http://{canonical}/x1").as_str());
+        prop_assert_eq!(&IocKey::parse(ukey.kind(), ukey.text()).expect("url re-parses"), &ukey);
+    }
+}
+
+/// Serialize tests that touch the process-global `trail_obs` registry.
+fn obs_registry_lock() -> std::sync::MutexGuard<'static, ()> {
+    static GUARD: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
 }
