@@ -1,11 +1,12 @@
 //! `repro` — regenerate every table and figure of the TRAIL paper.
 //!
 //! ```text
-//! repro <experiment> [--scale S] [--seed N] [--folds K] [--faults P] [--quick] [--trace]
+//! repro <experiment> [--scale S] [--seed N] [--folds K] [--faults P]
+//!       [--resume DIR] [--chaos SEED] [--quick] [--trace]
 //!
 //! experiments:
 //!   table2  table3  table4  fig3  fig4  fig7  fig8  fig9  fig10
-//!   sec5    case    all
+//!   sec5    case    chaos   all
 //! ```
 //!
 //! `--trace` pretty-prints the hierarchical span tree (plus counters
@@ -14,7 +15,16 @@
 //! and suppresses the free-form setup banners.
 //!
 //! `fig7` and `fig8` share one longitudinal run (`fig7` is the first
-//! month's confusion matrix of the same study).
+//! month's confusion matrix of the same study). With `--resume DIR`
+//! they run the crash-safe study instead: a checkpoint is written to
+//! DIR after every window, and an existing checkpoint there resumes
+//! the run — the output is bitwise-identical to an uninterrupted run.
+//!
+//! `--chaos SEED` (or the `chaos` experiment) runs the deterministic
+//! fault drill: a seeded plan injects transient faults and analysis
+//! gaps, arms the OSINT circuit breaker, kills the study at the plan's
+//! window boundaries, resumes it, and verifies checkpoint corruption
+//! is rejected. Exits non-zero if any invariant fails.
 //!
 //! Every run also writes `BENCH_repro.json` into the working
 //! directory: per-stage wall-clock seconds plus run metadata (thread
@@ -28,9 +38,21 @@ fn main() {
     let mut experiment = String::from("all");
     let mut opts = RunOptions::default();
     let mut trace = false;
+    let mut chaos_seed: Option<u64> = None;
+    let mut resume_dir: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--chaos" => {
+                i += 1;
+                chaos_seed =
+                    Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(usage));
+                experiment = String::from("chaos");
+            }
+            "--resume" => {
+                i += 1;
+                resume_dir = Some(args.get(i).cloned().unwrap_or_else(usage));
+            }
             "--scale" => {
                 i += 1;
                 opts.scale = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(usage);
@@ -66,6 +88,24 @@ fn main() {
     rec.set_meta("folds", opts.folds as u64);
     rec.set_meta("quick", opts.quick);
     rec.set_meta("faults", opts.transient_fault_prob as f64);
+
+    // The chaos drill builds its own fault-injected world; dispatch it
+    // before the default (fault-free) system build.
+    if experiment == "chaos" {
+        let total = std::time::Instant::now();
+        let ok = trail_bench::chaos(&opts, chaos_seed.unwrap_or(opts.seed), &mut rec);
+        rec.record("total", total.elapsed().as_secs_f64());
+        match rec.write_json("BENCH_repro.json") {
+            Ok(()) => println!("[bench] stage timings written to BENCH_repro.json"),
+            Err(e) => eprintln!("[bench] could not write BENCH_repro.json: {e}"),
+        }
+        if trace {
+            println!("\n=== trace: span tree, counters, histograms ===");
+            print!("{}", trail_obs::snapshot().render_tree());
+        }
+        println!("\n[done] total {:?}", total.elapsed());
+        std::process::exit(if ok { 0 } else { 1 });
+    }
 
     let needs_embeddings = matches!(experiment.as_str(), "table4" | "fig10" | "ablations" | "all");
     let total = std::time::Instant::now();
@@ -104,7 +144,15 @@ fn main() {
         }),
         "fig7" | "fig8" => {
             let t = std::time::Instant::now();
-            trail_bench::fig7_fig8(sys, &opts, &mut rec);
+            match &resume_dir {
+                Some(dir) => trail_bench::fig7_fig8_resumable(
+                    sys.client,
+                    &opts,
+                    std::path::Path::new(dir),
+                    &mut rec,
+                ),
+                None => trail_bench::fig7_fig8(sys, &opts, &mut rec),
+            }
             rec.record("fig7_fig8", t.elapsed().as_secs_f64());
         }
         "case" => rec.time("case", || trail_bench::case(sys, &opts)),
@@ -143,8 +191,8 @@ fn main() {
 
 fn usage<T>() -> T {
     eprintln!(
-        "usage: repro <table2|table3|table4|fig3|fig4|fig7|fig8|fig9|fig10|sec5|case|ablations|all> \
-         [--scale S] [--seed N] [--folds K] [--faults P] [--quick] [--trace]"
+        "usage: repro <table2|table3|table4|fig3|fig4|fig7|fig8|fig9|fig10|sec5|case|chaos|ablations|all> \
+         [--scale S] [--seed N] [--folds K] [--faults P] [--resume DIR] [--chaos SEED] [--quick] [--trace]"
     );
     std::process::exit(2);
 }

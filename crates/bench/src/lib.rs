@@ -5,6 +5,7 @@
 //! The `repro` binary dispatches to these; the criterion benches reuse
 //! the same builders for micro-benchmarks.
 
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -12,12 +13,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use trail::attribute::{self, GnnEvalConfig, IocModelSettings, ModelKind};
+use trail::checkpoint::StudyCheckpoint;
 use trail::embed::NodeEmbeddings;
-use trail::longitudinal::{self, StudyConfig};
+use trail::longitudinal::{self, run_resumable_study, StudyConfig, StudyOutput};
 use trail::report;
 use trail::system::TrailSystem;
 use trail_ml::nn::autoencoder::AutoencoderConfig;
-use trail_osint::{OsintClient, World, WorldConfig};
+use trail_osint::{ChaosPlan, CircuitBreaker, OsintClient, World, WorldConfig};
 
 /// Harness-wide run options.
 #[derive(Debug, Clone, Copy)]
@@ -437,14 +439,8 @@ pub fn study_config(opts: &RunOptions) -> StudyConfig {
     }
 }
 
-/// Figs. 7 & 8 — the monthly study. The monthly windows' ingest
-/// taxonomy lands in `rec` under `fig7_fig8_windows`.
-pub fn fig7_fig8(sys: TrailSystem, opts: &RunOptions, rec: &mut BenchRecorder) {
-    header("fig7+fig8", "months-long study (paper Section VII-C)");
-    let mut rng = opts.rng();
-    let cfg = study_config(opts);
-    let out = longitudinal::run_monthly_study(&mut rng, sys, &cfg);
-    rec.record_taxonomy("fig7_fig8_windows", out.ingest.to_json());
+/// Print a [`StudyOutput`] as the Fig. 7 + Fig. 8 report.
+fn print_study(out: &StudyOutput) {
     println!("Fig. 7 — confusion matrix, first unseen month (stale model):");
     let names: Vec<&str> = out.class_names.iter().map(String::as_str).collect();
     println!("{}", out.first_month_confusion.render(&names));
@@ -465,6 +461,182 @@ pub fn fig7_fig8(sys: TrailSystem, opts: &RunOptions, rec: &mut BenchRecorder) {
         let last_gap = last.fresh_acc - last.stale_acc;
         println!("gap month0 {first_gap:+.4} -> month{} {last_gap:+.4}", last.month);
     }
+}
+
+/// Figs. 7 & 8 — the monthly study. The monthly windows' ingest
+/// taxonomy lands in `rec` under `fig7_fig8_windows`.
+pub fn fig7_fig8(sys: TrailSystem, opts: &RunOptions, rec: &mut BenchRecorder) {
+    header("fig7+fig8", "months-long study (paper Section VII-C)");
+    let mut rng = opts.rng();
+    let cfg = study_config(opts);
+    let out = longitudinal::run_monthly_study(&mut rng, sys, &cfg);
+    rec.record_taxonomy("fig7_fig8_windows", out.ingest.to_json());
+    print_study(&out);
+}
+
+/// Figs. 7 & 8 via the crash-safe study (`repro fig8 --resume DIR`).
+/// A checkpoint already in `dir` resumes the run from its last
+/// completed window; the output is bitwise-identical to an
+/// uninterrupted run either way.
+pub fn fig7_fig8_resumable(client: OsintClient, opts: &RunOptions, dir: &Path, rec: &mut BenchRecorder) {
+    header("fig7+fig8", "months-long study, crash-safe (checkpoints in --resume dir)");
+    let cutoff = client.world().config.cutoff_day;
+    let cfg = study_config(opts);
+    let had_checkpoint = dir.join("study.ckpt").exists();
+    match run_resumable_study(client, cutoff, &cfg, opts.seed, dir, None) {
+        Ok(Some(out)) => {
+            println!(
+                "[study] {} {} (degradation {:.3})",
+                if had_checkpoint { "resumed from" } else { "checkpointing to" },
+                dir.display(),
+                out.ingest.degradation(),
+            );
+            rec.record_taxonomy("fig7_fig8_windows", out.ingest.to_json());
+            print_study(&out);
+        }
+        Ok(None) => unreachable!("no kill point requested"),
+        Err(e) => {
+            eprintln!("[study] cannot resume from {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The deterministic chaos drill (`repro --chaos SEED`): derive a
+/// fault plan from the seed, run the crash-safe study against the
+/// hostile world with a circuit breaker armed, kill it at the plan's
+/// window boundaries, resume to completion, and verify (a) the
+/// resumed output is bitwise-identical to an uninterrupted run and
+/// (b) corrupted/truncated checkpoints are rejected. Returns `false`
+/// if any invariant failed.
+pub fn chaos(opts: &RunOptions, chaos_seed: u64, rec: &mut BenchRecorder) -> bool {
+    header("chaos", "deterministic fault drill: breaker, kills, corruption");
+    trail_obs::set_enabled(true);
+    let plan = ChaosPlan::from_seed(chaos_seed);
+    println!(
+        "plan {chaos_seed:#x}: fault_prob {:.2}{}, miss_prob {:.2}, kills after windows {:?}",
+        plan.transient_fault_prob,
+        if plan.feed_dead { " (dead feed)" } else { "" },
+        plan.analysis_miss_prob,
+        plan.kill_windows,
+    );
+    let mut wcfg = WorldConfig::default().scaled(opts.scale);
+    wcfg.seed = opts.seed;
+    plan.apply(&mut wcfg);
+    let world = Arc::new(World::generate(wcfg));
+    let cutoff = world.config.cutoff_day;
+    // One client per (re)start: a real process crash loses breaker
+    // state too, so every resume begins with a fresh, closed breaker.
+    let make_client = || {
+        let mut c = OsintClient::new(Arc::clone(&world));
+        c.set_breaker(Arc::new(CircuitBreaker::default()));
+        c
+    };
+    let study = study_config(opts);
+    let base = std::env::temp_dir().join(format!("trail-chaos-{chaos_seed:x}-{}", std::process::id()));
+    let dir_full = base.join("uninterrupted");
+    let dir_kill = base.join("killed");
+
+    let mut ok = true;
+    let before = trail_obs::snapshot();
+    let full = match rec.time("chaos_uninterrupted", || {
+        run_resumable_study(make_client(), cutoff, &study, opts.seed, &dir_full, None)
+    }) {
+        Ok(Some(out)) => out,
+        Ok(None) => unreachable!("no kill point requested"),
+        Err(e) => {
+            println!("[chaos] FAIL: uninterrupted run errored: {e}");
+            return false;
+        }
+    };
+    let delta = trail_obs::snapshot().delta_since(&before);
+    let s = &full.ingest;
+    println!(
+        "degradation {:.3}: {} transient misses + {} breaker rejections over {} enrichment queries \
+         ({} retried, {} permanent gaps); attribution ran on the partial TKG",
+        s.degradation(),
+        s.missed_transient,
+        s.breaker_rejected,
+        s.first_order + s.secondary,
+        s.retried,
+        s.missed_permanent,
+    );
+    println!(
+        "breaker transitions: opened {} half-open {} re-closed {} rejected {}",
+        delta.counter("osint.breaker.opened"),
+        delta.counter("osint.breaker.half_open"),
+        delta.counter("osint.breaker.closed"),
+        delta.counter("osint.breaker.rejected"),
+    );
+    rec.record_taxonomy("chaos_windows", s.to_json());
+
+    // Kill-and-resume drill at the plan's windows.
+    for &k in &plan.kill_windows {
+        match rec.time("chaos_killed_runs", || {
+            run_resumable_study(make_client(), cutoff, &study, opts.seed, &dir_kill, Some(k))
+        }) {
+            Ok(None) => println!("[chaos] killed after window {k}; checkpoint durable"),
+            Ok(Some(_)) => println!("[chaos] study ended before kill point {k}"),
+            Err(e) => {
+                println!("[chaos] FAIL: killed run errored: {e}");
+                ok = false;
+            }
+        }
+    }
+    match rec.time("chaos_resume", || {
+        run_resumable_study(make_client(), cutoff, &study, opts.seed, &dir_kill, None)
+    }) {
+        Ok(Some(resumed)) if resumed == full => {
+            println!("[chaos] resumed output is bitwise-identical to the uninterrupted run");
+        }
+        Ok(Some(_)) => {
+            println!("[chaos] FAIL: resumed study diverged from the uninterrupted run");
+            ok = false;
+        }
+        Ok(None) => unreachable!("no kill point requested"),
+        Err(e) => {
+            println!("[chaos] FAIL: resume errored: {e}");
+            ok = false;
+        }
+    }
+
+    // Corruption drill: the plan's byte flips and a truncation must all
+    // be rejected by the typed loader — never a panic, never a torn read.
+    match std::fs::read(dir_kill.join("study.ckpt")) {
+        Ok(bytes) => {
+            let mut rejected = 0;
+            for &off in &plan.corrupt_offsets {
+                let mut bad = bytes.clone();
+                let p = (off % bytes.len() as u64) as usize;
+                bad[p] ^= 0x20;
+                if StudyCheckpoint::from_bytes(&bad).is_err() {
+                    rejected += 1;
+                } else {
+                    println!("[chaos] FAIL: byte flip at {p} loaded cleanly");
+                    ok = false;
+                }
+            }
+            if StudyCheckpoint::from_bytes(&bytes[..bytes.len() / 2]).is_err() {
+                rejected += 1;
+            } else {
+                println!("[chaos] FAIL: truncated checkpoint loaded cleanly");
+                ok = false;
+            }
+            println!(
+                "[chaos] corruption drill: {rejected}/{} damaged snapshots rejected",
+                plan.corrupt_offsets.len() + 1
+            );
+        }
+        Err(e) => {
+            println!("[chaos] FAIL: checkpoint unreadable: {e}");
+            ok = false;
+        }
+    }
+    std::fs::remove_dir_all(&base).ok();
+    if ok {
+        println!("[chaos] all invariants held for seed {chaos_seed:#x}");
+    }
+    ok
 }
 
 /// Case study (Figs. 5–6).

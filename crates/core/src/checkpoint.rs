@@ -1,0 +1,609 @@
+//! Crash-safe checkpoints for the longitudinal study.
+//!
+//! After every study window the resumable study serialises its entire
+//! mutable state — window index, per-month results, the confusion
+//! matrix, ingest accounting, visible-label sets, GNN weights and
+//! autoencoder weights — into one framed, checksummed binary file,
+//! written with the same temp-file + atomic-rename discipline as the
+//! graph snapshots ([`trail_graph::persist::write_atomic`]). A process
+//! killed at *any* point therefore finds either the previous complete
+//! checkpoint or the new complete checkpoint, never a torn one.
+//!
+//! RNG state is deliberately **not** serialised. The resumable study
+//! derives a fresh RNG per stage from `(study_seed, stage index)`
+//! (see [`crate::longitudinal::stage_rng`]), so resuming window `k`
+//! reconstructs exactly the generator an uninterrupted run would use —
+//! portable across rand implementations, no generator internals on
+//! disk.
+//!
+//! Frame layout (little-endian):
+//!
+//! ```text
+//! "TSC1" | u32 version | u64 payload_len | u64 fnv1a(payload) | payload
+//! ```
+//!
+//! Loading verifies magic, version, length and checksum before any
+//! field is parsed, then bounds-checks every read; corrupt or truncated
+//! files yield a typed [`CheckpointError`], never a panic.
+
+use std::path::Path;
+
+use trail_gnn::SageConfig;
+use trail_graph::persist::{fnv1a_bytes, write_atomic};
+use trail_graph::PersistError;
+use trail_linalg::Matrix;
+use trail_ml::metrics::ConfusionMatrix;
+
+use crate::enrich::IngestStats;
+use crate::longitudinal::MonthResult;
+
+/// Magic bytes: Trail Study Checkpoint.
+const MAGIC: [u8; 4] = *b"TSC1";
+/// Format version.
+const VERSION: u32 = 1;
+/// Frame header length: magic + version + payload len + checksum.
+const HEADER_LEN: usize = 4 + 4 + 8 + 8;
+
+/// Why a checkpoint failed to save or load.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Frame-level failure (I/O, checksum, truncation, malformed field).
+    Persist(PersistError),
+    /// The checkpoint is intact but belongs to a different run
+    /// (seed / config / world mismatch).
+    Mismatch {
+        /// Which guard field disagreed.
+        what: &'static str,
+    },
+}
+
+impl From<PersistError> for CheckpointError {
+    fn from(e: PersistError) -> Self {
+        CheckpointError::Persist(e)
+    }
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Persist(e) => write!(f, "checkpoint frame error: {e}"),
+            CheckpointError::Mismatch { what } => {
+                write!(f, "checkpoint belongs to a different run ({what} mismatch)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Checkpoint result alias.
+pub type Result<T> = std::result::Result<T, CheckpointError>;
+
+fn malformed(offset: usize, what: &'static str) -> CheckpointError {
+    CheckpointError::Persist(PersistError::Malformed { offset, what })
+}
+
+/// The complete mutable state of a resumable study between windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyCheckpoint {
+    /// Study seed every stage RNG derives from.
+    pub seed: u64,
+    /// Fingerprint of the run parameters (world + study config); a
+    /// resume with different parameters is rejected, not silently
+    /// blended.
+    pub fingerprint: u64,
+    /// Next window to run (everything before it is complete).
+    pub next_month: u32,
+    /// Completed per-month results.
+    pub months: Vec<MonthResult>,
+    /// Fig. 7 confusion matrix, once the first non-empty month ran.
+    pub confusion: Option<ConfusionMatrix>,
+    /// Aggregate ingest taxonomy over completed windows.
+    pub window_ingest: IngestStats,
+    /// Base (pre-cutoff) labelled event pairs, as raw node indices.
+    pub base_pairs: Vec<(u32, u16)>,
+    /// Labels visible to the fresh model so far.
+    pub fresh_visible: Vec<(u32, u16)>,
+    /// GNN architecture both models share.
+    pub sage_cfg: SageConfig,
+    /// Stale model parameters, per layer `(W_root, W_nbr, b)`.
+    pub stale: Vec<(Matrix, Matrix, Matrix)>,
+    /// Fresh (fine-tuned) model parameters.
+    pub fresh: Vec<(Matrix, Matrix, Matrix)>,
+    /// Autoencoder parameters: per encoder, the four dense layers'
+    /// `(W, b)` in [`trail_ml::nn::Autoencoder::layer_params`] order.
+    pub encoders: Vec<Vec<(Matrix, Matrix)>>,
+}
+
+// --- encoding ---------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_matrix(out: &mut Vec<u8>, m: &Matrix) {
+    put_u64(out, m.rows() as u64);
+    put_u64(out, m.cols() as u64);
+    for &v in m.as_slice() {
+        put_u32(out, v.to_bits());
+    }
+}
+
+fn put_pairs(out: &mut Vec<u8>, pairs: &[(u32, u16)]) {
+    put_u64(out, pairs.len() as u64);
+    for &(n, c) in pairs {
+        put_u32(out, n);
+        put_u16(out, c);
+    }
+}
+
+// --- decoding ---------------------------------------------------------------
+
+/// Bounds-checked little-endian reader over the verified payload.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or_else(|| malformed(self.pos, what))?;
+        if end > self.data.len() {
+            return Err(malformed(self.pos, what));
+        }
+        let s = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self, what: &'static str) -> Result<f64> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// Read a length prefix that must plausibly fit in the remaining
+    /// payload (each element needs >= `min_elem_bytes`). Rejects
+    /// absurd counts from corrupt length fields before any allocation.
+    fn len(&mut self, min_elem_bytes: usize, what: &'static str) -> Result<usize> {
+        let n = self.u64(what)?;
+        let remaining = (self.data.len() - self.pos) as u64;
+        if n > remaining / min_elem_bytes.max(1) as u64 {
+            return Err(malformed(self.pos, what));
+        }
+        Ok(n as usize)
+    }
+
+    fn matrix(&mut self, what: &'static str) -> Result<Matrix> {
+        let rows = self.u64(what)? as usize;
+        let cols = self.u64(what)? as usize;
+        let n = rows.checked_mul(cols).ok_or_else(|| malformed(self.pos, what))?;
+        if n > (self.data.len() - self.pos) / 4 {
+            return Err(malformed(self.pos, what));
+        }
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(f32::from_bits(self.u32(what)?));
+        }
+        Matrix::from_vec(rows, cols, data).map_err(|_| malformed(self.pos, what))
+    }
+
+    fn pairs(&mut self, what: &'static str) -> Result<Vec<(u32, u16)>> {
+        let n = self.len(6, what)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push((self.u32(what)?, self.u16(what)?));
+        }
+        Ok(out)
+    }
+}
+
+fn put_layers(out: &mut Vec<u8>, layers: &[(Matrix, Matrix, Matrix)]) {
+    put_u64(out, layers.len() as u64);
+    for (w_root, w_nbr, b) in layers {
+        put_matrix(out, w_root);
+        put_matrix(out, w_nbr);
+        put_matrix(out, b);
+    }
+}
+
+fn read_layers(c: &mut Cursor<'_>, what: &'static str) -> Result<Vec<(Matrix, Matrix, Matrix)>> {
+    let n = c.len(48, what)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push((c.matrix(what)?, c.matrix(what)?, c.matrix(what)?));
+    }
+    Ok(out)
+}
+
+impl StudyCheckpoint {
+    /// Serialise to the framed, checksummed binary form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(4096);
+        put_u64(&mut p, self.seed);
+        put_u64(&mut p, self.fingerprint);
+        put_u32(&mut p, self.next_month);
+
+        put_u64(&mut p, self.months.len() as u64);
+        for m in &self.months {
+            put_u32(&mut p, m.month);
+            put_u64(&mut p, m.n_events as u64);
+            put_f64(&mut p, m.stale_acc);
+            put_f64(&mut p, m.stale_bacc);
+            put_f64(&mut p, m.fresh_acc);
+            put_f64(&mut p, m.fresh_bacc);
+        }
+
+        match &self.confusion {
+            None => p.push(0),
+            Some(cm) => {
+                p.push(1);
+                let k = cm.n_classes();
+                put_u64(&mut p, k as u64);
+                for t in 0..k {
+                    for pr in 0..k {
+                        put_u64(&mut p, cm.get(t, pr) as u64);
+                    }
+                }
+            }
+        }
+
+        let s = &self.window_ingest;
+        for v in [
+            s.first_order,
+            s.secondary,
+            s.edges,
+            s.linked,
+            s.missed_permanent,
+            s.missed_transient,
+            s.retried,
+            s.breaker_rejected,
+            s.dropped_unparseable,
+        ] {
+            put_u64(&mut p, v as u64);
+        }
+        put_u64(&mut p, s.backoff_ms);
+
+        put_pairs(&mut p, &self.base_pairs);
+        put_pairs(&mut p, &self.fresh_visible);
+
+        put_u64(&mut p, self.sage_cfg.input_dim as u64);
+        put_u64(&mut p, self.sage_cfg.hidden as u64);
+        put_u64(&mut p, self.sage_cfg.layers as u64);
+        put_u64(&mut p, self.sage_cfg.n_classes as u64);
+        p.push(self.sage_cfg.l2_normalize as u8);
+
+        put_layers(&mut p, &self.stale);
+        put_layers(&mut p, &self.fresh);
+
+        put_u64(&mut p, self.encoders.len() as u64);
+        for enc in &self.encoders {
+            put_u64(&mut p, enc.len() as u64);
+            for (w, b) in enc {
+                put_matrix(&mut p, w);
+                put_matrix(&mut p, b);
+            }
+        }
+
+        let mut out = Vec::with_capacity(HEADER_LEN + p.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(p.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a_bytes(&p).to_le_bytes());
+        out.extend_from_slice(&p);
+        out
+    }
+
+    /// Parse and verify a frame produced by [`Self::to_bytes`].
+    pub fn from_bytes(data: &[u8]) -> Result<Self> {
+        if data.len() < HEADER_LEN {
+            return Err(PersistError::TooShort { have: data.len() }.into());
+        }
+        if data[..4] != MAGIC {
+            let mut found = [0u8; 4];
+            found.copy_from_slice(&data[..4]);
+            return Err(PersistError::BadMagic { found }.into());
+        }
+        let version = u32::from_le_bytes(data[4..8].try_into().unwrap());
+        if version != VERSION {
+            return Err(PersistError::UnsupportedVersion { found: version }.into());
+        }
+        let payload_len = u64::from_le_bytes(data[8..16].try_into().unwrap()) as usize;
+        let expected = u64::from_le_bytes(data[16..24].try_into().unwrap());
+        let payload = &data[HEADER_LEN..];
+        if payload.len() != payload_len {
+            return Err(PersistError::Truncated { want: payload_len, have: payload.len() }.into());
+        }
+        let actual = fnv1a_bytes(payload);
+        if actual != expected {
+            return Err(PersistError::ChecksumMismatch { expected, actual }.into());
+        }
+
+        let mut c = Cursor { data: payload, pos: 0 };
+        let seed = c.u64("seed")?;
+        let fingerprint = c.u64("fingerprint")?;
+        let next_month = c.u32("next_month")?;
+
+        let n_months = c.len(36, "month count")?;
+        let mut months = Vec::with_capacity(n_months);
+        for _ in 0..n_months {
+            months.push(MonthResult {
+                month: c.u32("month index")?,
+                n_events: c.u64("month events")? as usize,
+                stale_acc: c.f64("stale_acc")?,
+                stale_bacc: c.f64("stale_bacc")?,
+                fresh_acc: c.f64("fresh_acc")?,
+                fresh_bacc: c.f64("fresh_bacc")?,
+            });
+        }
+
+        let confusion = match c.u8("confusion flag")? {
+            0 => None,
+            1 => {
+                let k = c.u64("confusion classes")? as usize;
+                if k.checked_mul(k).is_none_or(|n| n > (c.data.len() - c.pos) / 8) {
+                    return Err(malformed(c.pos, "confusion classes"));
+                }
+                let mut counts = vec![vec![0usize; k]; k];
+                for row in counts.iter_mut() {
+                    for cell in row.iter_mut() {
+                        *cell = c.u64("confusion cell")? as usize;
+                    }
+                }
+                Some(ConfusionMatrix::from_counts(counts))
+            }
+            _ => return Err(malformed(c.pos - 1, "confusion flag")),
+        };
+
+        let mut window_ingest = IngestStats {
+            first_order: c.u64("ingest.first_order")? as usize,
+            secondary: c.u64("ingest.secondary")? as usize,
+            edges: c.u64("ingest.edges")? as usize,
+            linked: c.u64("ingest.linked")? as usize,
+            missed_permanent: c.u64("ingest.missed_permanent")? as usize,
+            missed_transient: c.u64("ingest.missed_transient")? as usize,
+            retried: c.u64("ingest.retried")? as usize,
+            breaker_rejected: c.u64("ingest.breaker_rejected")? as usize,
+            dropped_unparseable: c.u64("ingest.dropped_unparseable")? as usize,
+            backoff_ms: 0,
+        };
+        window_ingest.backoff_ms = c.u64("ingest.backoff_ms")?;
+
+        let base_pairs = c.pairs("base_pairs")?;
+        let fresh_visible = c.pairs("fresh_visible")?;
+
+        let sage_cfg = SageConfig {
+            input_dim: c.u64("sage.input_dim")? as usize,
+            hidden: c.u64("sage.hidden")? as usize,
+            layers: c.u64("sage.layers")? as usize,
+            n_classes: c.u64("sage.n_classes")? as usize,
+            l2_normalize: match c.u8("sage.l2_normalize")? {
+                0 => false,
+                1 => true,
+                _ => return Err(malformed(c.pos - 1, "sage.l2_normalize")),
+            },
+        };
+
+        let stale = read_layers(&mut c, "stale layers")?;
+        let fresh = read_layers(&mut c, "fresh layers")?;
+        if stale.len() != sage_cfg.layers || fresh.len() != sage_cfg.layers {
+            return Err(malformed(c.pos, "layer count disagrees with config"));
+        }
+
+        let n_enc = c.len(8, "encoder count")?;
+        let mut encoders = Vec::with_capacity(n_enc);
+        for _ in 0..n_enc {
+            let n_layers = c.len(32, "encoder layer count")?;
+            let mut enc = Vec::with_capacity(n_layers);
+            for _ in 0..n_layers {
+                enc.push((c.matrix("encoder W")?, c.matrix("encoder b")?));
+            }
+            encoders.push(enc);
+        }
+
+        if c.pos != payload.len() {
+            return Err(malformed(c.pos, "trailing bytes"));
+        }
+
+        Ok(Self {
+            seed,
+            fingerprint,
+            next_month,
+            months,
+            confusion,
+            window_ingest,
+            base_pairs,
+            fresh_visible,
+            sage_cfg,
+            stale,
+            fresh,
+            encoders,
+        })
+    }
+
+    /// Write atomically (temp file + fsync + rename).
+    pub fn save(&self, path: &Path) -> Result<()> {
+        write_atomic(path, &self.to_bytes()).map_err(CheckpointError::from)
+    }
+
+    /// Load and verify from disk.
+    pub fn load(path: &Path) -> Result<Self> {
+        let data = std::fs::read(path)
+            .map_err(|e| CheckpointError::Persist(PersistError::Io(e)))?;
+        Self::from_bytes(&data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StudyCheckpoint {
+        let m = |r: usize, c0: usize, s: f32| {
+            Matrix::from_vec(r, c0, (0..r * c0).map(|i| i as f32 * s).collect()).unwrap()
+        };
+        StudyCheckpoint {
+            seed: 0xfeed,
+            fingerprint: 0xabc123,
+            next_month: 2,
+            months: vec![MonthResult {
+                month: 0,
+                n_events: 7,
+                stale_acc: 0.5,
+                stale_bacc: 0.25,
+                fresh_acc: 0.75,
+                fresh_bacc: 0.3125,
+            }],
+            confusion: Some(ConfusionMatrix::from_predictions(&[0, 1, 1], &[0, 1, 0], 2)),
+            window_ingest: IngestStats {
+                first_order: 9,
+                secondary: 4,
+                edges: 11,
+                linked: 2,
+                missed_permanent: 1,
+                missed_transient: 3,
+                retried: 5,
+                breaker_rejected: 2,
+                dropped_unparseable: 0,
+                backoff_ms: 350,
+            },
+            base_pairs: vec![(0, 1), (3, 0)],
+            fresh_visible: vec![(0, 1), (3, 0), (9, 2)],
+            sage_cfg: SageConfig {
+                input_dim: 4,
+                hidden: 3,
+                layers: 2,
+                n_classes: 2,
+                l2_normalize: true,
+            },
+            stale: vec![
+                (m(4, 3, 0.5), m(4, 3, -0.25), m(1, 3, 1.0)),
+                (m(3, 2, 0.125), m(3, 2, 2.0), m(1, 2, -1.0)),
+            ],
+            fresh: vec![
+                (m(4, 3, 0.75), m(4, 3, -0.5), m(1, 3, 0.0)),
+                (m(3, 2, 1.5), m(3, 2, -2.0), m(1, 2, 3.0)),
+            ],
+            encoders: vec![vec![(m(4, 2, 1.0), m(1, 2, 0.5)), (m(2, 4, -1.0), m(1, 4, 0.25))]],
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let ck = sample();
+        let bytes = ck.to_bytes();
+        let back = StudyCheckpoint::from_bytes(&bytes).expect("roundtrip");
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn empty_state_roundtrips() {
+        let ck = StudyCheckpoint {
+            months: Vec::new(),
+            confusion: None,
+            base_pairs: Vec::new(),
+            fresh_visible: Vec::new(),
+            stale: sample().stale,
+            fresh: sample().fresh,
+            encoders: Vec::new(),
+            next_month: 0,
+            ..sample()
+        };
+        let back = StudyCheckpoint::from_bytes(&ck.to_bytes()).expect("roundtrip");
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn every_byte_flip_is_detected() {
+        let bytes = sample().to_bytes();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                StudyCheckpoint::from_bytes(&bad).is_err(),
+                "flip at byte {i}/{} went unnoticed",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        let bytes = sample().to_bytes();
+        for keep in 0..bytes.len() {
+            assert!(
+                StudyCheckpoint::from_bytes(&bytes[..keep]).is_err(),
+                "truncation to {keep} bytes went unnoticed"
+            );
+        }
+    }
+
+    #[test]
+    fn structurally_invalid_payload_with_valid_checksum_is_rejected() {
+        // A payload that passes the checksum but decodes to an absurd
+        // month count must fail on the plausibility guard.
+        let ck = sample();
+        let mut payload = Vec::new();
+        put_u64(&mut payload, ck.seed);
+        put_u64(&mut payload, ck.fingerprint);
+        put_u32(&mut payload, 0);
+        put_u64(&mut payload, u64::MAX); // month count
+        let mut framed = Vec::new();
+        framed.extend_from_slice(&MAGIC);
+        framed.extend_from_slice(&VERSION.to_le_bytes());
+        framed.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        framed.extend_from_slice(&fnv1a_bytes(&payload).to_le_bytes());
+        framed.extend_from_slice(&payload);
+        match StudyCheckpoint::from_bytes(&framed) {
+            Err(CheckpointError::Persist(PersistError::Malformed { what, .. })) => {
+                assert_eq!(what, "month count");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_roundtrip_is_atomic() {
+        let dir = std::env::temp_dir().join(format!("trail-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("study.ckpt");
+        let ck = sample();
+        ck.save(&path).expect("save");
+        // No temp file left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files leaked: {leftovers:?}");
+        let back = StudyCheckpoint::load(&path).expect("load");
+        assert_eq!(back, ck);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

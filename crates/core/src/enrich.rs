@@ -21,6 +21,8 @@
 //! retries transient faults up to [`RetryPolicy::max_attempts`] with
 //! exponential backoff, and [`IngestStats`] accounts for every outcome.
 
+use std::cell::Cell;
+
 use trail_graph::{EdgeKind, NodeId, NodeKind};
 use trail_ioc::domain::DomainIoc;
 use trail_ioc::ip::IpIoc;
@@ -56,6 +58,29 @@ impl RetryPolicy {
     }
 }
 
+/// An enrichment-wide fault budget. When a degraded feed burns through
+/// either limit, the enricher stops retrying (each query gets exactly
+/// one attempt) so a long outage costs O(queries) instead of
+/// O(queries × max_attempts). The pipeline still completes — remaining
+/// failures are accounted as transient misses and surface in
+/// [`IngestStats::degradation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnrichBudget {
+    /// Total analysis attempts (first tries + retries) before the
+    /// enricher degrades to single-attempt mode.
+    pub max_attempts: u64,
+    /// Total simulated backoff (ms) charged before degrading.
+    pub max_backoff_ms: u64,
+}
+
+impl Default for EnrichBudget {
+    fn default() -> Self {
+        // Generous: ~4 attempts per query on the default world before
+        // the budget bites. Chaos runs shrink this deliberately.
+        Self { max_attempts: 2_000_000, max_backoff_ms: 60_000_000 }
+    }
+}
+
 /// Enrichment pipeline over an OSINT client.
 pub struct Enricher<'a> {
     client: &'a OsintClient,
@@ -63,6 +88,12 @@ pub struct Enricher<'a> {
     pub asof_day: u32,
     /// Retry policy for transient analysis faults.
     pub retry: RetryPolicy,
+    /// Optional enrichment-wide budget; `None` = unbounded retries.
+    budget: Option<EnrichBudget>,
+    /// Attempts issued so far (all queries, all events).
+    spent_attempts: Cell<u64>,
+    /// Backoff charged so far (ms).
+    spent_backoff_ms: Cell<u64>,
 }
 
 /// What one event ingestion touched, with the full outcome taxonomy of
@@ -85,6 +116,10 @@ pub struct IngestStats {
     pub missed_transient: usize,
     /// Transient faults that were retried (attempts beyond the first).
     pub retried: usize,
+    /// Analyses rejected by the client's circuit breaker before they
+    /// reached the feed (abandoned without retrying — the breaker must
+    /// cool down first).
+    pub breaker_rejected: usize,
     /// Relational strings that failed to parse as any IOC.
     pub dropped_unparseable: usize,
     /// Total simulated backoff charged by retries, in milliseconds.
@@ -101,8 +136,24 @@ impl IngestStats {
         self.missed_permanent += other.missed_permanent;
         self.missed_transient += other.missed_transient;
         self.retried += other.retried;
+        self.breaker_rejected += other.breaker_rejected;
         self.dropped_unparseable += other.dropped_unparseable;
         self.backoff_ms += other.backoff_ms;
+    }
+
+    /// Fraction of analysis queries that failed for *recoverable*
+    /// reasons (transient outage or breaker rejection) — 0.0 on a
+    /// healthy feed, approaching 1.0 when the feed is fully dead.
+    /// Permanent gaps are excluded: the feed answered, the answer was
+    /// "nothing", and a healthier run would see the same gap. This is
+    /// the score attribution carries alongside results built on a
+    /// partial TKG.
+    pub fn degradation(&self) -> f64 {
+        let queries = self.first_order + self.secondary;
+        if queries == 0 {
+            return 0.0;
+        }
+        (self.missed_transient + self.breaker_rejected) as f64 / queries as f64
     }
 
     /// The taxonomy as a JSON object (what `BENCH_repro.json` records
@@ -116,6 +167,7 @@ impl IngestStats {
             "missed_permanent": self.missed_permanent,
             "missed_transient": self.missed_transient,
             "retried": self.retried,
+            "breaker_rejected": self.breaker_rejected,
             "dropped_unparseable": self.dropped_unparseable,
             "backoff_ms": self.backoff_ms,
         })
@@ -131,7 +183,29 @@ impl<'a> Enricher<'a> {
 
     /// New enricher with an explicit retry policy.
     pub fn with_retry(client: &'a OsintClient, asof_day: u32, retry: RetryPolicy) -> Self {
-        Self { client, asof_day, retry }
+        Self {
+            client,
+            asof_day,
+            retry,
+            budget: None,
+            spent_attempts: Cell::new(0),
+            spent_backoff_ms: Cell::new(0),
+        }
+    }
+
+    /// Attach an enrichment-wide fault budget (builder style).
+    pub fn with_budget(mut self, budget: EnrichBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Whether the fault budget is spent (always `false` without one).
+    /// Once true, every remaining query gets exactly one attempt.
+    pub fn budget_exhausted(&self) -> bool {
+        self.budget.is_some_and(|b| {
+            self.spent_attempts.get() >= b.max_attempts
+                || self.spent_backoff_ms.get() >= b.max_backoff_ms
+        })
     }
 
     /// Ingest one collected event: create the event node, attach
@@ -187,14 +261,24 @@ impl<'a> Enricher<'a> {
         stats
     }
 
-    /// Run one fallible analysis query under the retry policy,
-    /// accounting every outcome in `stats`.
+    /// Run one fallible analysis query under the retry policy and the
+    /// enrichment-wide budget, accounting every outcome in `stats`.
+    ///
+    /// Outcome taxonomy (exactly one per query):
+    /// * `Ok(Some)` — success; stop.
+    /// * `Ok(None)` — permanent gap (`missed_permanent`); retrying
+    ///   cannot help, stop.
+    /// * transient `Err` — retry with backoff until the attempt cap or
+    ///   the budget runs out, then `missed_transient`.
+    /// * non-transient `Err` (breaker rejection) — `breaker_rejected`;
+    ///   abandoned immediately, since retrying against an open breaker
+    ///   is exactly the load it exists to shed.
     fn with_retries<T>(
         &self,
         stats: &mut IngestStats,
         mut attempt_fn: impl FnMut(u32) -> Result<Option<T>, OsintError>,
     ) -> Option<T> {
-        let max = self.retry.max_attempts.max(1);
+        let max = if self.budget_exhausted() { 1 } else { self.retry.max_attempts.max(1) };
         let mut outcome = None;
         let mut attempts: u64 = 0;
         'attempts: for attempt in 0..max {
@@ -202,6 +286,7 @@ impl<'a> Enricher<'a> {
                 stats.retried += 1;
                 let backoff = self.retry.backoff_ms(attempt);
                 stats.backoff_ms += backoff;
+                self.spent_backoff_ms.set(self.spent_backoff_ms.get() + backoff);
                 trail_obs::observe(
                     "enrich.retry_backoff_ms",
                     trail_obs::bounds::BACKOFF_MS,
@@ -209,6 +294,7 @@ impl<'a> Enricher<'a> {
                 );
             }
             attempts += 1;
+            self.spent_attempts.set(self.spent_attempts.get() + 1);
             match attempt_fn(attempt) {
                 Ok(Some(t)) => {
                     outcome = Some(t);
@@ -218,12 +304,15 @@ impl<'a> Enricher<'a> {
                     stats.missed_permanent += 1;
                     break 'attempts;
                 }
-                Err(e) => {
-                    debug_assert!(e.is_transient());
-                    if attempt + 1 == max {
+                Err(e) if e.is_transient() => {
+                    if attempt + 1 == max || self.budget_exhausted() {
                         stats.missed_transient += 1;
                         break 'attempts;
                     }
+                }
+                Err(_) => {
+                    stats.breaker_rejected += 1;
+                    break 'attempts;
                 }
             }
         }
@@ -516,7 +605,10 @@ mod tests {
         assert!(total.missed_permanent > 0, "no permanent misses at p=0.1");
         assert_eq!(total.missed_transient, 0);
         assert_eq!(total.retried, 0);
+        assert_eq!(total.breaker_rejected, 0);
         assert_eq!(total.backoff_ms, 0);
+        // Permanent gaps do not count as degradation: the feed answered.
+        assert_eq!(total.degradation(), 0.0);
         // Depth-2 references do resolve against existing nodes.
         assert!(total.linked > 0, "no depth-2 links formed");
         let json = total.to_json();
@@ -565,5 +657,94 @@ mod tests {
         assert_eq!(retry.backoff_ms(1), 50);
         assert_eq!(retry.backoff_ms(2), 100);
         assert_eq!(retry.backoff_ms(3), 200);
+    }
+
+    #[test]
+    fn dead_feed_with_breaker_yields_partial_graph_and_exact_accounting() {
+        use trail_osint::{BreakerConfig, CircuitBreaker};
+        // Every attempt faults: enrichment must still complete, every
+        // query must land in exactly one recoverable-failure bucket,
+        // and the breaker must shed most of the load.
+        let mut cfg = WorldConfig::tiny(31);
+        cfg.transient_fault_prob = 1.0;
+        let world = Arc::new(World::generate(cfg));
+        let breaker = Arc::new(CircuitBreaker::new(BreakerConfig::default()));
+        let client = OsintClient::with_breaker(world, Arc::clone(&breaker));
+        let reports = client.events_before(client.world().config.cutoff_day);
+        let registry = AptRegistry::new(client.world().config.n_apts);
+        let (events, _) = collect(&reports, &registry);
+
+        let mut tkg = Tkg::new(AptRegistry::new(client.world().config.n_apts));
+        let enricher = Enricher::new(&client, client.world().config.cutoff_day);
+        let mut total = IngestStats::default();
+        for e in events.iter().take(20) {
+            total.absorb(&enricher.ingest(&mut tkg, e));
+        }
+        // The TKG is partial but well-formed: events and first-order
+        // IOCs attached even though no analysis ever succeeded.
+        assert!(total.first_order > 0);
+        assert!(tkg.graph.node_count() > 0);
+        assert!(tkg.graph.edge_count() >= total.first_order);
+        // Exact accounting: every query failed recoverably, none
+        // permanently (the fault fires before the gap check).
+        assert_eq!(total.missed_permanent, 0);
+        assert!(total.breaker_rejected > 0, "breaker never shed load on a dead feed");
+        assert!(total.missed_transient > 0, "no admitted query faulted through");
+        assert_eq!(
+            total.missed_transient + total.breaker_rejected,
+            total.first_order + total.secondary,
+            "some query is unaccounted for"
+        );
+        assert_eq!(total.degradation(), 1.0);
+    }
+
+    #[test]
+    fn exhausted_budget_disables_retries_but_not_the_pipeline() {
+        let build = |budget: Option<EnrichBudget>| {
+            let (client, events) = setup_with(|cfg| cfg.transient_fault_prob = 0.3);
+            let mut tkg = Tkg::new(AptRegistry::new(client.world().config.n_apts));
+            let mut enricher = Enricher::with_retry(
+                &client,
+                client.world().config.cutoff_day,
+                RetryPolicy { max_attempts: 12, ..RetryPolicy::default() },
+            );
+            if let Some(b) = budget {
+                enricher = enricher.with_budget(b);
+            }
+            let mut total = IngestStats::default();
+            for e in events.iter().take(20) {
+                total.absorb(&enricher.ingest(&mut tkg, e));
+            }
+            (tkg, total, enricher.budget_exhausted())
+        };
+        let (full_tkg, full, unexhausted) = build(None);
+        assert!(!unexhausted, "no budget can never exhaust");
+        assert_eq!(full.missed_transient, 0, "12 attempts did not absorb p=0.3");
+        // A one-attempt budget degrades every query after the first to
+        // single-attempt mode: far fewer retries, transient misses
+        // appear, but the pipeline still builds a (smaller) graph.
+        let (tiny_tkg, tiny, exhausted) =
+            build(Some(EnrichBudget { max_attempts: 1, max_backoff_ms: u64::MAX }));
+        assert!(exhausted);
+        assert!(tiny.retried < full.retried);
+        assert!(tiny.missed_transient > 0, "degraded mode missed nothing at p=0.3");
+        assert!(tiny.degradation() > 0.0);
+        assert!(tiny_tkg.graph.node_count() > 0);
+        assert!(tiny_tkg.graph.edge_count() <= full_tkg.graph.edge_count());
+    }
+
+    #[test]
+    fn degradation_score_is_a_query_weighted_ratio() {
+        let s = IngestStats {
+            first_order: 6,
+            secondary: 2,
+            missed_transient: 1,
+            breaker_rejected: 1,
+            ..IngestStats::default()
+        };
+        assert!((s.degradation() - 0.25).abs() < 1e-12);
+        assert_eq!(IngestStats::default().degradation(), 0.0);
+        let json = s.to_json();
+        assert_eq!(json["breaker_rejected"].as_u64(), Some(1));
     }
 }

@@ -34,6 +34,7 @@
 //! * [`system`] — the end-to-end orchestrator.
 
 pub mod attribute;
+pub mod checkpoint;
 pub mod collector;
 pub mod embed;
 pub mod enrich;

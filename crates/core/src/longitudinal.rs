@@ -7,15 +7,21 @@
 //! model that sees previous months' labels and is fine-tuned on them.
 //! The paper observes the gap between the two growing ≈3.5 % per month.
 
-use rand::Rng;
+use std::path::Path;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use trail_gnn::train::predict_events;
 use trail_gnn::{FineTune, SageConfig, SageModel};
+use trail_graph::persist::fnv1a_bytes;
 use trail_graph::NodeId;
+use trail_linalg::Matrix;
 use trail_ml::metrics::{accuracy, balanced_accuracy, ConfusionMatrix};
 use trail_ml::nn::autoencoder::{Autoencoder, AutoencoderConfig};
-use trail_osint::DAYS_PER_MONTH;
+use trail_osint::{OsintClient, DAYS_PER_MONTH};
 
 use crate::attribute::GnnEvalConfig;
+use crate::checkpoint::{self, CheckpointError, StudyCheckpoint};
 use crate::embed::{assemble_gnn_input, compute_codes, train_autoencoders};
 use crate::enrich::IngestStats;
 use crate::system::TrailSystem;
@@ -48,7 +54,7 @@ impl Default for StudyConfig {
 }
 
 /// One month's evaluation (a point on each Fig. 8 series).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MonthResult {
     /// Month index (0 = first month after cutoff).
     pub month: u32,
@@ -65,6 +71,7 @@ pub struct MonthResult {
 }
 
 /// Full study output.
+#[derive(Debug, Clone, PartialEq)]
 pub struct StudyOutput {
     /// Per-month series.
     pub months: Vec<MonthResult>,
@@ -180,6 +187,317 @@ pub fn run_monthly_study<R: Rng + ?Sized>(
         class_names: sys.tkg.registry.names().to_vec(),
         ingest: window_ingest,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe resumable study
+// ---------------------------------------------------------------------------
+
+/// Stage indices for [`stage_rng`]: every training stage of the
+/// resumable study derives its own generator from `(study seed, stage)`
+/// so a resumed run reconstructs exactly the stream an uninterrupted
+/// run would use at that point — no generator state on disk.
+const STAGE_AE: u64 = 0;
+const STAGE_STALE: u64 = 1;
+const STAGE_FRESH: u64 = 2;
+/// Month `m`'s fine-tune uses stage `STAGE_MONTH_BASE + m`.
+const STAGE_MONTH_BASE: u64 = 16;
+
+/// splitmix64 finalizer: decorrelates the per-stage seeds so stage 0
+/// of seed 1 and stage 1 of seed 0 don't collide.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The generator for one training stage of a resumable study.
+pub fn stage_rng(seed: u64, stage: u64) -> StdRng {
+    StdRng::seed_from_u64(mix64(seed ^ stage.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+}
+
+/// Fingerprint of everything that shapes a study run: the world seed,
+/// the build cutoff and every study hyper-parameter. A checkpoint with
+/// a different fingerprint is rejected instead of silently blended
+/// into a differently-configured run.
+fn study_fingerprint(cfg: &StudyConfig, world_seed: u64, cutoff: u32) -> u64 {
+    let mut b = Vec::with_capacity(96);
+    b.extend_from_slice(&world_seed.to_le_bytes());
+    b.extend_from_slice(&cutoff.to_le_bytes());
+    b.extend_from_slice(&cfg.months.to_le_bytes());
+    b.extend_from_slice(&(cfg.gnn_layers as u64).to_le_bytes());
+    b.extend_from_slice(&(cfg.gnn.hidden as u64).to_le_bytes());
+    b.extend_from_slice(&cfg.gnn.train.lr.to_bits().to_le_bytes());
+    b.extend_from_slice(&(cfg.gnn.train.epochs as u64).to_le_bytes());
+    b.extend_from_slice(&(cfg.gnn.train.patience as u64).to_le_bytes());
+    b.extend_from_slice(&cfg.gnn.val_fraction.to_bits().to_le_bytes());
+    b.push(cfg.gnn.l2_normalize as u8);
+    b.extend_from_slice(&cfg.gnn.label_visible_fraction.to_bits().to_le_bytes());
+    b.extend_from_slice(&(cfg.ae.hidden as u64).to_le_bytes());
+    b.extend_from_slice(&(cfg.ae.code as u64).to_le_bytes());
+    b.extend_from_slice(&cfg.ae.lr.to_bits().to_le_bytes());
+    b.extend_from_slice(&(cfg.ae.epochs as u64).to_le_bytes());
+    b.extend_from_slice(&(cfg.ae.batch_size as u64).to_le_bytes());
+    b.extend_from_slice(&cfg.fine_tune.lr.to_bits().to_le_bytes());
+    b.extend_from_slice(&(cfg.fine_tune.epochs as u64).to_le_bytes());
+    fnv1a_bytes(&b)
+}
+
+fn encode_pairs(pairs: &[(NodeId, u16)]) -> Vec<(u32, u16)> {
+    pairs.iter().map(|&(n, c)| (n.index() as u32, c)).collect()
+}
+
+fn decode_pairs(pairs: &[(u32, u16)]) -> Vec<(NodeId, u16)> {
+    pairs.iter().map(|&(n, c)| (NodeId::from(n as usize), c)).collect()
+}
+
+fn clone_sage_layers(model: &SageModel) -> Vec<(Matrix, Matrix, Matrix)> {
+    model.weights().into_iter().map(|(wr, wn, b)| (wr.clone(), wn.clone(), b.clone())).collect()
+}
+
+fn restore_sage(cfg: SageConfig, layers: &[(Matrix, Matrix, Matrix)]) -> SageModel {
+    // The skeleton's random init is immediately overwritten.
+    let mut model = SageModel::new(&mut stage_rng(0, 0), cfg);
+    for (l, (wr, wn, b)) in layers.iter().enumerate() {
+        model.set_layer_weights(l, wr.clone(), wn.clone(), b.clone());
+    }
+    model
+}
+
+fn clone_encoder_layers(encoders: &[Autoencoder]) -> Vec<Vec<(Matrix, Matrix)>> {
+    encoders
+        .iter()
+        .map(|ae| ae.layer_params().into_iter().map(|(w, b)| (w.clone(), b.clone())).collect())
+        .collect()
+}
+
+fn restore_autoencoder(layers: &[(Matrix, Matrix)]) -> checkpoint::Result<Autoencoder> {
+    if layers.len() != 4 {
+        return Err(CheckpointError::Mismatch { what: "autoencoder layer count" });
+    }
+    // Recover the architecture from the weight shapes: enc1 is
+    // (d_in × hidden), enc2 is (hidden × code).
+    let d_in = layers[0].0.rows();
+    let cfg = AutoencoderConfig {
+        hidden: layers[0].0.cols(),
+        code: layers[1].0.cols(),
+        ..Default::default()
+    };
+    let mut ae = Autoencoder::new(&mut stage_rng(0, 0), d_in, &cfg);
+    for (l, (w, b)) in layers.iter().enumerate() {
+        ae.set_layer_params(l, w.clone(), b.clone());
+    }
+    Ok(ae)
+}
+
+/// Run the monthly study with a crash-safe checkpoint after every
+/// window, resuming from `dir` when a checkpoint is already there.
+///
+/// Determinism contract: for a fixed `(client world, cutoff, cfg,
+/// seed)`, any sequence of kills and resumes produces a `StudyOutput`
+/// bitwise-identical to an uninterrupted run. Training stages draw
+/// from [`stage_rng`] rather than one threaded generator, and already
+/// completed windows are replayed into the TKG on resume (the world's
+/// faults and gaps are deterministic per query, so the replayed graph
+/// is exact) while their statistics come from the checkpoint.
+///
+/// `kill_after_window: Some(m)` simulates a crash: the run stops right
+/// after window `m`'s checkpoint is durably on disk and returns
+/// `Ok(None)`. The chaos harness drives this from
+/// [`trail_osint::ChaosPlan::kill_windows`].
+pub fn run_resumable_study(
+    client: OsintClient,
+    cutoff: u32,
+    cfg: &StudyConfig,
+    seed: u64,
+    dir: &Path,
+    kill_after_window: Option<u32>,
+) -> checkpoint::Result<Option<StudyOutput>> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| CheckpointError::Persist(trail_graph::PersistError::Io(e)))?;
+    let ckpt_path = dir.join("study.ckpt");
+    let fingerprint = study_fingerprint(cfg, client.world().config.seed, cutoff);
+
+    let prior = if ckpt_path.exists() { Some(StudyCheckpoint::load(&ckpt_path)?) } else { None };
+
+    // The base build is deterministic, so fresh and resumed runs start
+    // from the identical TKG.
+    let mut sys = TrailSystem::build(client, cutoff);
+    let base_pairs: Vec<(NodeId, u16)> =
+        sys.tkg.events.iter().map(|e| (e.node, e.apt)).collect();
+
+    let encoders: Vec<Autoencoder>;
+    let mut stale_model: SageModel;
+    let mut fresh_model: SageModel;
+    let mut months: Vec<MonthResult>;
+    let mut confusion: Option<ConfusionMatrix>;
+    let mut window_ingest: IngestStats;
+    let mut fresh_visible: Vec<(NodeId, u16)>;
+    let start_month: u32;
+
+    match prior {
+        Some(ck) => {
+            if ck.fingerprint != fingerprint {
+                return Err(CheckpointError::Mismatch { what: "run fingerprint" });
+            }
+            if ck.seed != seed {
+                return Err(CheckpointError::Mismatch { what: "study seed" });
+            }
+            if ck.base_pairs != encode_pairs(&base_pairs) {
+                return Err(CheckpointError::Mismatch { what: "base event labels" });
+            }
+            // Replay completed windows into the TKG; their statistics
+            // are already aggregated in the checkpoint.
+            for m in 0..ck.next_month {
+                let lo = cutoff + m * DAYS_PER_MONTH;
+                sys.ingest_window(lo, lo + DAYS_PER_MONTH);
+            }
+            encoders = ck
+                .encoders
+                .iter()
+                .map(|l| restore_autoencoder(l))
+                .collect::<checkpoint::Result<_>>()?;
+            stale_model = restore_sage(ck.sage_cfg, &ck.stale);
+            fresh_model = restore_sage(ck.sage_cfg, &ck.fresh);
+            months = ck.months;
+            confusion = ck.confusion;
+            window_ingest = ck.window_ingest;
+            fresh_visible = decode_pairs(&ck.fresh_visible);
+            start_month = ck.next_month;
+        }
+        None => {
+            let (_, enc) = train_autoencoders(&mut stage_rng(seed, STAGE_AE), &sys.tkg, &cfg.ae);
+            encoders = enc;
+            let train_model = |rng: &mut StdRng| -> SageModel {
+                let emb = compute_codes(&sys.tkg, &encoders, cfg.ae.batch_size);
+                let mut x = assemble_gnn_input(&sys.tkg, &emb, &base_pairs);
+                let csr = sys.tkg.csr();
+                let sage_cfg = SageConfig {
+                    input_dim: x.cols(),
+                    hidden: cfg.gnn.hidden,
+                    layers: cfg.gnn_layers,
+                    n_classes: sys.tkg.n_classes(),
+                    l2_normalize: cfg.gnn.l2_normalize,
+                };
+                let masking =
+                    trail_gnn::LabelMasking { offset: emb.code_dim + 5, visible_fraction: 0.5 };
+                let (model, _) = trail_gnn::train_sage_masked(
+                    rng, &csr, &mut x, sage_cfg, &base_pairs, &[], &cfg.gnn.train, masking,
+                );
+                model
+            };
+            stale_model = train_model(&mut stage_rng(seed, STAGE_STALE));
+            fresh_model = train_model(&mut stage_rng(seed, STAGE_FRESH));
+            months = Vec::new();
+            confusion = None;
+            window_ingest = IngestStats::default();
+            fresh_visible = base_pairs.clone();
+            start_month = 0;
+            // Checkpoint the trained base state so a crash before the
+            // first window completes doesn't redo the training.
+            StudyCheckpoint {
+                seed,
+                fingerprint,
+                next_month: 0,
+                months: months.clone(),
+                confusion: confusion.clone(),
+                window_ingest: window_ingest.clone(),
+                base_pairs: encode_pairs(&base_pairs),
+                fresh_visible: encode_pairs(&fresh_visible),
+                sage_cfg: *stale_model.config(),
+                stale: clone_sage_layers(&stale_model),
+                fresh: clone_sage_layers(&fresh_model),
+                encoders: clone_encoder_layers(&encoders),
+            }
+            .save(&ckpt_path)?;
+        }
+    }
+
+    for month in start_month..cfg.months {
+        let lo = cutoff + month * DAYS_PER_MONTH;
+        let hi = lo + DAYS_PER_MONTH;
+        let ingested = sys.ingest_window(lo, hi);
+        if !ingested.is_empty() {
+            for (_, s) in &ingested {
+                window_ingest.absorb(s);
+            }
+            let month_events: Vec<(NodeId, u16)> = ingested
+                .iter()
+                .map(|(e, _)| {
+                    let info = sys.tkg.event_by_report(&e.report.id).expect("just ingested");
+                    (info.node, info.apt)
+                })
+                .collect();
+            let truth: Vec<u16> = month_events.iter().map(|&(_, c)| c).collect();
+            let targets: Vec<NodeId> = month_events.iter().map(|&(n, _)| n).collect();
+            let csr = sys.tkg.csr();
+            let emb = compute_codes(&sys.tkg, &encoders, cfg.ae.batch_size);
+
+            let x_stale = assemble_gnn_input(&sys.tkg, &emb, &base_pairs);
+            let stale_preds = predict_events(&mut stale_model, &csr, &x_stale, &targets);
+            let stale_hard: Vec<u16> = stale_preds.iter().map(|&(c, _)| c).collect();
+
+            let x_fresh = assemble_gnn_input(&sys.tkg, &emb, &fresh_visible);
+            let fresh_preds = predict_events(&mut fresh_model, &csr, &x_fresh, &targets);
+            let fresh_hard: Vec<u16> = fresh_preds.iter().map(|&(c, _)| c).collect();
+
+            let k = sys.tkg.n_classes();
+            months.push(MonthResult {
+                month,
+                n_events: truth.len(),
+                stale_acc: accuracy(&truth, &stale_hard),
+                stale_bacc: balanced_accuracy(&truth, &stale_hard, k),
+                fresh_acc: accuracy(&truth, &fresh_hard),
+                fresh_bacc: balanced_accuracy(&truth, &fresh_hard, k),
+            });
+            if confusion.is_none() {
+                confusion = Some(ConfusionMatrix::from_predictions(&truth, &stale_hard, k));
+            }
+
+            fresh_visible.extend(month_events.iter().copied());
+            let mut x_ft = assemble_gnn_input(&sys.tkg, &emb, &fresh_visible);
+            let masking =
+                trail_gnn::LabelMasking { offset: emb.code_dim + 5, visible_fraction: 0.5 };
+            trail_gnn::train::fine_tune_masked(
+                &mut stage_rng(seed, STAGE_MONTH_BASE + month as u64),
+                &mut fresh_model,
+                &csr,
+                &mut x_ft,
+                &month_events,
+                &cfg.fine_tune,
+                masking,
+            );
+        }
+
+        StudyCheckpoint {
+            seed,
+            fingerprint,
+            next_month: month + 1,
+            months: months.clone(),
+            confusion: confusion.clone(),
+            window_ingest: window_ingest.clone(),
+            base_pairs: encode_pairs(&base_pairs),
+            fresh_visible: encode_pairs(&fresh_visible),
+            sage_cfg: *stale_model.config(),
+            stale: clone_sage_layers(&stale_model),
+            fresh: clone_sage_layers(&fresh_model),
+            encoders: clone_encoder_layers(&encoders),
+        }
+        .save(&ckpt_path)?;
+
+        if kill_after_window == Some(month) {
+            return Ok(None);
+        }
+    }
+
+    Ok(Some(StudyOutput {
+        months,
+        first_month_confusion: confusion
+            .unwrap_or_else(|| ConfusionMatrix::from_predictions(&[], &[], sys.tkg.n_classes())),
+        class_names: sys.tkg.registry.names().to_vec(),
+        ingest: window_ingest,
+    }))
 }
 
 // ---------------------------------------------------------------------------
@@ -351,6 +669,82 @@ mod tests {
             .map(|(t, p)| out.first_month_confusion.get(t, p))
             .sum();
         assert_eq!(total, out.months[0].n_events);
+    }
+
+    fn temp_study_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("trail-study-{}-{tag}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn tiny_client() -> OsintClient {
+        OsintClient::new(Arc::new(World::generate(WorldConfig::tiny(123))))
+    }
+
+    #[test]
+    fn kill_and_resume_is_bitwise_identical_to_uninterrupted() {
+        let cfg = tiny_cfg();
+        let cutoff = tiny_client().world().config.cutoff_day;
+        let seed = 77;
+
+        let dir_full = temp_study_dir("full");
+        let full = run_resumable_study(tiny_client(), cutoff, &cfg, seed, &dir_full, None)
+            .expect("uninterrupted run")
+            .expect("ran to completion");
+
+        // Two kill points: after window 0 and (resumed) after window 1.
+        let dir_kill = temp_study_dir("kill");
+        for kill in [0u32, 1] {
+            let out =
+                run_resumable_study(tiny_client(), cutoff, &cfg, seed, &dir_kill, Some(kill))
+                    .expect("killed run");
+            assert!(out.is_none(), "kill after window {kill} should stop the run");
+        }
+        let resumed = run_resumable_study(tiny_client(), cutoff, &cfg, seed, &dir_kill, None)
+            .expect("final resume")
+            .expect("ran to completion");
+
+        assert_eq!(resumed, full, "resumed study diverged from uninterrupted run");
+        assert!(!full.months.is_empty());
+
+        std::fs::remove_dir_all(&dir_full).ok();
+        std::fs::remove_dir_all(&dir_kill).ok();
+    }
+
+    #[test]
+    fn resume_with_different_parameters_is_rejected() {
+        let cfg = tiny_cfg();
+        let cutoff = tiny_client().world().config.cutoff_day;
+        let dir = temp_study_dir("mismatch");
+        run_resumable_study(tiny_client(), cutoff, &cfg, 5, &dir, Some(0))
+            .expect("killed run");
+
+        // Different study seed: refuse.
+        match run_resumable_study(tiny_client(), cutoff, &cfg, 6, &dir, None) {
+            Err(CheckpointError::Mismatch { what }) => assert_eq!(what, "study seed"),
+            other => panic!("expected seed mismatch, got {other:?}"),
+        }
+        // Different hyper-parameters: refuse.
+        let mut other_cfg = cfg.clone();
+        other_cfg.fine_tune.lr *= 2.0;
+        match run_resumable_study(tiny_client(), cutoff, &other_cfg, 5, &dir, None) {
+            Err(CheckpointError::Mismatch { what }) => assert_eq!(what, "run fingerprint"),
+            other => panic!("expected fingerprint mismatch, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stage_rngs_are_decorrelated() {
+        let mut a = stage_rng(1, STAGE_AE);
+        let mut b = stage_rng(1, STAGE_STALE);
+        let mut c = stage_rng(2, STAGE_AE);
+        let (x, y, z) = (a.gen::<u64>(), b.gen::<u64>(), c.gen::<u64>());
+        assert_ne!(x, y);
+        assert_ne!(x, z);
+        // Same (seed, stage) reproduces the stream.
+        assert_eq!(stage_rng(1, STAGE_AE).gen::<u64>(), x);
     }
 
     #[test]

@@ -59,6 +59,13 @@ impl TrailSystem {
             })
             .collect()
     }
+
+    /// Degradation score of everything ingested so far — 0.0 when the
+    /// feed was healthy, approaching 1.0 when enrichment ran against a
+    /// dead feed. Attribution results should be read alongside this.
+    pub fn degradation(&self) -> f64 {
+        self.ingest_stats.degradation()
+    }
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@ use trail_linalg::{init, Matrix};
 use trail_ml::nn::{Adam, Param};
 
 /// GraphSAGE architecture parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SageConfig {
     /// Node-feature input width.
     pub input_dim: usize,
@@ -349,6 +349,23 @@ impl SageModel {
             layer.w_root.value = w_root.clone();
             layer.w_nbr.value = w_nbr.clone();
             layer.b.value = b.clone();
+        }
+    }
+
+    /// Zero every parameter's Adam moments.
+    ///
+    /// Each training pass owns a fresh [`Adam`] whose bias-correction
+    /// timestep starts at zero, so moments from an earlier pass are
+    /// stale under the new timestep. They are also invisible to the
+    /// weight-only checkpoint format: letting them leak across passes
+    /// would make a model's trajectory depend on optimiser history a
+    /// restored checkpoint cannot reproduce.
+    pub fn reset_optimizer_state(&mut self) {
+        for layer in &mut self.layers {
+            for p in [&mut layer.w_root, &mut layer.w_nbr, &mut layer.b] {
+                p.m.as_mut_slice().fill(0.0);
+                p.v.as_mut_slice().fill(0.0);
+            }
         }
     }
 

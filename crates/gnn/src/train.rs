@@ -189,6 +189,7 @@ pub fn fine_tune_masked<R: Rng + ?Sized>(
     use rand::seq::SliceRandom;
     assert!(!train.is_empty());
     let mut adam = Adam::new(ft.lr);
+    model.reset_optimizer_state();
     let mut losses = Vec::with_capacity(ft.epochs);
     let mut order: Vec<usize> = (0..train.len()).collect();
     let n_targets =
@@ -236,6 +237,7 @@ fn continue_training(
 ) -> Vec<f32> {
     assert!(!train.is_empty(), "no labelled training events");
     let mut adam = Adam::new(lr);
+    model.reset_optimizer_state();
     let mut losses = Vec::with_capacity(epochs);
     let mut best_val = f64::NEG_INFINITY;
     let mut since_best = 0usize;
@@ -440,5 +442,60 @@ mod tests {
         let losses = fine_tune(&mut model, &csr, &x, &new_data, &FineTune { lr: 0.01, epochs: 8 });
         assert_eq!(losses.len(), 8);
         assert!(losses.last().unwrap() <= &losses[0]);
+    }
+
+    /// A model rebuilt from saved weights alone must fine-tune along
+    /// the exact trajectory of the original — i.e. optimiser moments
+    /// from earlier training must not leak into the next fine-tune
+    /// pass. This is what makes a weight-only checkpoint sufficient
+    /// for bitwise crash recovery.
+    #[test]
+    fn fine_tuning_a_weight_restored_model_is_bitwise_identical() {
+        let (g, events) = clustered(8);
+        let csr = Csr::from_store(&g);
+        let cfg = SageConfig::new(3, 16, 2, 2);
+        let train: Vec<_> = events[..8].to_vec();
+        let (mut original, _) = train_sage(
+            &mut StdRng::seed_from_u64(4),
+            &csr,
+            &features(&g, &events, 8),
+            cfg,
+            &train,
+            &[],
+            &TrainConfig { lr: 0.03, epochs: 40, patience: 0 },
+        );
+        // Rebuild from weight values only, as checkpoint restore does.
+        let mut restored = SageModel::new(&mut StdRng::seed_from_u64(999), cfg);
+        for (l, (w_root, w_nbr, b)) in original.weights().into_iter().enumerate() {
+            let (w_root, w_nbr, b) = (w_root.clone(), w_nbr.clone(), b.clone());
+            restored.set_layer_weights(l, w_root, w_nbr, b);
+        }
+        let new_data: Vec<_> = events[8..].to_vec();
+        let masking = LabelMasking { offset: 1, visible_fraction: 0.5 };
+        let ft = FineTune { lr: 0.01, epochs: 6 };
+        let mut x_a = features(&g, &events, events.len());
+        let mut x_b = x_a.clone();
+        let losses_a = fine_tune_masked(
+            &mut StdRng::seed_from_u64(7),
+            &mut original,
+            &csr,
+            &mut x_a,
+            &new_data,
+            &ft,
+            masking,
+        );
+        let losses_b = fine_tune_masked(
+            &mut StdRng::seed_from_u64(7),
+            &mut restored,
+            &csr,
+            &mut x_b,
+            &new_data,
+            &ft,
+            masking,
+        );
+        assert_eq!(losses_a, losses_b, "loss trajectories diverged");
+        for (la, lb) in original.weights().into_iter().zip(restored.weights()) {
+            assert_eq!(la, lb, "fine-tuned weights diverged after restore");
+        }
     }
 }

@@ -19,6 +19,7 @@ pub mod store;
 
 pub use csr::Csr;
 pub use ids::NodeId;
+pub use persist::PersistError;
 pub use schema::{EdgeKind, NodeKind};
 pub use store::{GraphStore, NodeRecord};
 
@@ -37,7 +38,7 @@ pub enum GraphError {
     /// A node id was out of range for this graph.
     UnknownNode(NodeId),
     /// Snapshot (de)serialisation failure.
-    Persist(String),
+    Persist(PersistError),
 }
 
 impl std::fmt::Display for GraphError {
@@ -47,7 +48,7 @@ impl std::fmt::Display for GraphError {
                 write!(f, "edge {edge:?} not allowed from {src:?} to {dst:?}")
             }
             GraphError::UnknownNode(id) => write!(f, "unknown node {id:?}"),
-            GraphError::Persist(msg) => write!(f, "persistence error: {msg}"),
+            GraphError::Persist(e) => write!(f, "persistence error: {e}"),
         }
     }
 }

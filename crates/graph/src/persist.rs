@@ -1,59 +1,354 @@
-//! Snapshot persistence: a length-framed JSON encoding of the store.
+//! Crash-safe snapshot persistence for the graph store.
 //!
-//! The frame is `b"TKG1"` + u64-LE payload length + JSON payload, which
-//! lets snapshots be embedded in larger archives and validated cheaply.
+//! Snapshot layout (all integers little-endian):
+//!
+//! ```text
+//! magic    b"TKG2"                       4 bytes
+//! version  u32 (currently 2)             4 bytes
+//! length   u64 payload byte count        8 bytes
+//! checksum u64 FNV-1a over the payload   8 bytes
+//! payload  nodes + edges (see below)
+//! ```
+//!
+//! The payload encodes only the authoritative state — node records and
+//! the edge list; every lookup index is reconstructed on load via
+//! [`GraphStore::rebuild_indices`], which halves the snapshot and
+//! removes a whole class of index/state divergence bugs. Each node is
+//! `kind:u8, key:(u32 len + bytes), label:(u8 flag [+ u16]),
+//! first_order:u8`; each edge is `src:u32, dst:u32, kind:u8`.
+//!
+//! Failure model: a torn or bit-flipped snapshot must never load as a
+//! silently wrong graph. Truncation is caught by the length field,
+//! corruption anywhere in the payload by the checksum, and corruption
+//! of the header fields by the magic/version/length checks themselves —
+//! every failure surfaces as a typed [`PersistError`], never a panic.
+//! [`save`] writes through a temp file in the target directory and
+//! atomically renames it into place, so a crash mid-write leaves the
+//! previous snapshot intact.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::path::Path;
 
+use crate::ids::LabelId;
+use crate::schema::{EdgeKind, NodeKind};
 use crate::store::GraphStore;
-use crate::{GraphError, Result};
+use crate::{GraphError, NodeId, Result};
 
-const MAGIC: &[u8; 4] = b"TKG1";
+const MAGIC: &[u8; 4] = b"TKG2";
+const VERSION: u32 = 2;
+const HEADER_LEN: usize = 24;
 
-/// Serialise a graph into a framed snapshot.
-pub fn to_bytes(g: &GraphStore) -> Result<Bytes> {
-    let payload =
-        serde_json::to_vec(g).map_err(|e| GraphError::Persist(format!("encode: {e}")))?;
-    let mut buf = BytesMut::with_capacity(payload.len() + 12);
-    buf.put_slice(MAGIC);
-    buf.put_u64_le(payload.len() as u64);
-    buf.put_slice(&payload);
-    Ok(buf.freeze())
+/// Why a snapshot could not be written or read back.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Fewer bytes than one header.
+    TooShort {
+        /// Bytes available.
+        have: usize,
+    },
+    /// The first four bytes are not the snapshot magic.
+    BadMagic {
+        /// The bytes found instead.
+        found: [u8; 4],
+    },
+    /// A snapshot from an unknown format version.
+    UnsupportedVersion {
+        /// The version field found.
+        found: u32,
+    },
+    /// The payload is shorter than the header's length field promises.
+    Truncated {
+        /// Payload bytes the header promised.
+        want: usize,
+        /// Payload bytes actually present.
+        have: usize,
+    },
+    /// The payload hash does not match the header checksum.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum of the bytes actually read.
+        actual: u64,
+    },
+    /// The checksum passed but the payload structure is invalid (only
+    /// reachable for snapshots produced by a buggy or hostile writer).
+    Malformed {
+        /// Byte offset into the payload.
+        offset: usize,
+        /// What was wrong there.
+        what: &'static str,
+    },
+    /// Filesystem failure while reading or writing.
+    Io(std::io::Error),
 }
 
-/// Deserialise a framed snapshot, rebuilding lookup indices.
-pub fn from_bytes(mut data: Bytes) -> Result<GraphStore> {
-    if data.len() < 12 {
-        return Err(GraphError::Persist("snapshot too short".into()));
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::TooShort { have } => {
+                write!(f, "snapshot too short: {have} bytes, header needs {HEADER_LEN}")
+            }
+            PersistError::BadMagic { found } => write!(f, "bad magic {found:?}"),
+            PersistError::UnsupportedVersion { found } => {
+                write!(f, "unsupported snapshot version {found}")
+            }
+            PersistError::Truncated { want, have } => {
+                write!(f, "truncated snapshot: payload wants {want} bytes, have {have}")
+            }
+            PersistError::ChecksumMismatch { expected, actual } => {
+                write!(f, "checksum mismatch: header {expected:#018x}, payload {actual:#018x}")
+            }
+            PersistError::Malformed { offset, what } => {
+                write!(f, "malformed payload at byte {offset}: {what}")
+            }
+            PersistError::Io(e) => write!(f, "snapshot io: {e}"),
+        }
     }
-    let mut magic = [0u8; 4];
-    data.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(GraphError::Persist("bad magic".into()));
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
     }
-    let len = data.get_u64_le() as usize;
-    if data.len() < len {
-        return Err(GraphError::Persist(format!(
-            "truncated snapshot: want {len}, have {}",
-            data.len()
-        )));
+}
+
+impl From<PersistError> for GraphError {
+    fn from(e: PersistError) -> Self {
+        GraphError::Persist(e)
     }
-    let mut g: GraphStore = serde_json::from_slice(&data[..len])
-        .map_err(|e| GraphError::Persist(format!("decode: {e}")))?;
-    g.rebuild_indices();
+}
+
+/// 64-bit FNV-1a over raw bytes — the snapshot checksum. Not
+/// cryptographic; it guards against torn writes and bit rot, not
+/// forgery.
+pub fn fnv1a_bytes(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// --- encoding helpers ------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Bounds-checked payload reader.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err(&self, what: &'static str) -> PersistError {
+        PersistError::Malformed { offset: self.pos, what }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> std::result::Result<&'a [u8], PersistError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.data.len());
+        match end {
+            Some(end) => {
+                let slice = &self.data[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(self.err(what)),
+        }
+    }
+
+    fn u8(&mut self, what: &'static str) -> std::result::Result<u8, PersistError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &'static str) -> std::result::Result<u16, PersistError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self, what: &'static str) -> std::result::Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self, what: &'static str) -> std::result::Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
+    }
+
+    fn str(&mut self, what: &'static str) -> std::result::Result<&'a str, PersistError> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        std::str::from_utf8(bytes)
+            .map_err(|_| PersistError::Malformed { offset: self.pos, what: "non-UTF-8 string" })
+    }
+}
+
+/// Serialise a graph into a framed, checksummed snapshot.
+pub fn to_bytes(g: &GraphStore) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(32 * g.node_count() + 9 * g.edge_count() + 16);
+    put_u64(&mut payload, g.node_count() as u64);
+    for (_, rec) in g.iter_nodes() {
+        payload.push(rec.kind.index() as u8);
+        put_str(&mut payload, &rec.key);
+        match rec.label {
+            Some(l) => {
+                payload.push(1);
+                payload.extend_from_slice(&l.0.to_le_bytes());
+            }
+            None => payload.push(0),
+        }
+        payload.push(rec.first_order as u8);
+    }
+    put_u64(&mut payload, g.edge_count() as u64);
+    for e in g.edges() {
+        put_u32(&mut payload, e.src.0);
+        put_u32(&mut payload, e.dst.0);
+        payload.push(e.kind.index() as u8);
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    put_u64(&mut out, payload.len() as u64);
+    put_u64(&mut out, fnv1a_bytes(&payload));
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Deserialise a snapshot, verifying frame, checksum and structure and
+/// rebuilding every lookup index.
+pub fn from_bytes(data: &[u8]) -> Result<GraphStore> {
+    Ok(checked_decode(data)?)
+}
+
+fn checked_decode(data: &[u8]) -> std::result::Result<GraphStore, PersistError> {
+    if data.len() < HEADER_LEN {
+        return Err(PersistError::TooShort { have: data.len() });
+    }
+    let found: [u8; 4] = data[..4].try_into().expect("4 bytes");
+    if &found != MAGIC {
+        return Err(PersistError::BadMagic { found });
+    }
+    let version = u32::from_le_bytes(data[4..8].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(PersistError::UnsupportedVersion { found: version });
+    }
+    let want = u64::from_le_bytes(data[8..16].try_into().expect("8 bytes")) as usize;
+    let expected = u64::from_le_bytes(data[16..24].try_into().expect("8 bytes"));
+    let payload = &data[HEADER_LEN..];
+    if payload.len() != want {
+        return Err(PersistError::Truncated { want, have: payload.len() });
+    }
+    let actual = fnv1a_bytes(payload);
+    if actual != expected {
+        return Err(PersistError::ChecksumMismatch { expected, actual });
+    }
+    decode_payload(payload)
+}
+
+fn decode_payload(payload: &[u8]) -> std::result::Result<GraphStore, PersistError> {
+    let mut c = Cursor { data: payload, pos: 0 };
+    let n_nodes = c.u64("node count")? as usize;
+    // 8 bytes per node minimum keeps hostile counts from reserving RAM.
+    if n_nodes > payload.len() / 8 + 1 {
+        return Err(c.err("implausible node count"));
+    }
+    let mut g = GraphStore::with_capacity(n_nodes, 0);
+    for _ in 0..n_nodes {
+        let kind_idx = c.u8("node kind")? as usize;
+        let kind =
+            *NodeKind::ALL.get(kind_idx).ok_or_else(|| c.err("node kind out of range"))?;
+        let key = c.str("node key")?.to_owned();
+        let id = g.upsert_node(kind, &key);
+        if id.index() != g.node_count() - 1 {
+            return Err(c.err("duplicate node key"));
+        }
+        match c.u8("label flag")? {
+            0 => {}
+            1 => {
+                let label = LabelId(c.u16("label id")?);
+                g.set_label(id, label).map_err(|_| c.err("label on unknown node"))?;
+            }
+            _ => return Err(c.err("invalid label flag")),
+        }
+        match c.u8("first-order flag")? {
+            0 => {}
+            1 => g.mark_first_order(id),
+            _ => return Err(c.err("invalid first-order flag")),
+        }
+    }
+    let n_edges = c.u64("edge count")? as usize;
+    if n_edges > payload.len() / 9 + 1 {
+        return Err(c.err("implausible edge count"));
+    }
+    for _ in 0..n_edges {
+        let src = NodeId(c.u32("edge src")?);
+        let dst = NodeId(c.u32("edge dst")?);
+        let kind_idx = c.u8("edge kind")? as usize;
+        let kind =
+            *EdgeKind::ALL.get(kind_idx).ok_or_else(|| c.err("edge kind out of range"))?;
+        if src.index() >= g.node_count() || dst.index() >= g.node_count() {
+            return Err(c.err("edge endpoint out of range"));
+        }
+        match g.add_edge(src, dst, kind) {
+            Ok(true) => {}
+            Ok(false) => return Err(c.err("duplicate edge")),
+            Err(_) => return Err(c.err("edge violates schema")),
+        }
+    }
+    if c.pos != payload.len() {
+        return Err(c.err("trailing bytes after edges"));
+    }
     Ok(g)
 }
 
-/// Write a snapshot to a file.
-pub fn save(g: &GraphStore, path: &std::path::Path) -> Result<()> {
-    let bytes = to_bytes(g)?;
-    std::fs::write(path, &bytes).map_err(|e| GraphError::Persist(format!("write: {e}")))
+/// Write a snapshot to `path` crash-safely: the bytes go to a temp
+/// file in the same directory, are fsynced, and are renamed into place
+/// — readers see either the old complete snapshot or the new one.
+pub fn save(g: &GraphStore, path: &Path) -> Result<()> {
+    Ok(write_atomic(path, &to_bytes(g))?)
+}
+
+/// Atomically replace `path` with `data` (temp file + rename).
+pub fn write_atomic(path: &Path, data: &[u8]) -> std::result::Result<(), PersistError> {
+    use std::io::Write;
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path.file_name().ok_or_else(|| {
+        PersistError::Io(std::io::Error::new(std::io::ErrorKind::InvalidInput, "no file name"))
+    })?;
+    let mut tmp_name = file_name.to_owned();
+    tmp_name.push(".tmp");
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(data)?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result.map_err(PersistError::Io)
 }
 
 /// Load a snapshot from a file.
-pub fn load(path: &std::path::Path) -> Result<GraphStore> {
-    let data = std::fs::read(path).map_err(|e| GraphError::Persist(format!("read: {e}")))?;
-    from_bytes(Bytes::from(data))
+pub fn load(path: &Path) -> Result<GraphStore> {
+    let data = std::fs::read(path).map_err(|e| GraphError::Persist(PersistError::Io(e)))?;
+    from_bytes(&data)
 }
 
 #[cfg(test)]
@@ -75,8 +370,8 @@ mod tests {
     #[test]
     fn roundtrip_preserves_everything() {
         let g = sample();
-        let bytes = to_bytes(&g).unwrap();
-        let g2 = from_bytes(bytes).unwrap();
+        let bytes = to_bytes(&g);
+        let g2 = from_bytes(&bytes).unwrap();
         assert_eq!(g2.node_count(), 2);
         assert_eq!(g2.edge_count(), 1);
         let e = g2.find_node(NodeKind::Event, "evt").unwrap();
@@ -88,11 +383,61 @@ mod tests {
 
     #[test]
     fn rejects_corrupt_frames() {
-        assert!(from_bytes(Bytes::from_static(b"short")).is_err());
-        assert!(from_bytes(Bytes::from_static(b"XXXX\0\0\0\0\0\0\0\0")).is_err());
-        let mut bytes = to_bytes(&sample()).unwrap().to_vec();
+        assert!(matches!(
+            from_bytes(b"short"),
+            Err(GraphError::Persist(PersistError::TooShort { .. }))
+        ));
+        assert!(matches!(
+            from_bytes(b"XXXX\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0"),
+            Err(GraphError::Persist(PersistError::BadMagic { .. }))
+        ));
+        let mut bytes = to_bytes(&sample());
         bytes.truncate(bytes.len() - 4);
-        assert!(from_bytes(Bytes::from(bytes)).is_err());
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(GraphError::Persist(PersistError::Truncated { .. }))
+        ));
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let bytes = to_bytes(&sample());
+        for offset in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[offset] ^= 0x40;
+            assert!(
+                from_bytes(&corrupt).is_err(),
+                "flip at byte {offset} of {} must be rejected",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut bytes = to_bytes(&sample());
+        bytes[4] = 9;
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(GraphError::Persist(PersistError::UnsupportedVersion { found: 9 }))
+        ));
+    }
+
+    #[test]
+    fn rejects_structurally_invalid_payload_with_valid_checksum() {
+        // A "snapshot" whose checksum is honest but whose payload lies:
+        // one node promised, zero encoded.
+        let payload = 1u64.to_le_bytes().to_vec();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&fnv1a_bytes(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(GraphError::Persist(PersistError::Malformed { .. }))
+        ));
     }
 
     #[test]
@@ -103,6 +448,17 @@ mod tests {
         save(&sample(), &path).unwrap();
         let g2 = load(&path).unwrap();
         assert_eq!(g2.node_count(), 2);
+        // Saving over an existing snapshot leaves no temp file behind.
+        save(&sample(), &path).unwrap();
+        assert!(!dir.join("g.tkg.tmp").exists());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = GraphStore::new();
+        let g2 = from_bytes(&to_bytes(&g)).unwrap();
+        assert_eq!(g2.node_count(), 0);
+        assert_eq!(g2.edge_count(), 0);
     }
 }

@@ -20,6 +20,7 @@ pub mod defang;
 pub mod domain;
 pub mod features;
 pub mod ip;
+pub mod json;
 pub mod key;
 pub mod report;
 pub mod types;

@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::json::{self, JsonValue};
 use crate::types::{Ioc, IocKind};
 
 /// One indicator entry in a raw report.
@@ -48,10 +49,68 @@ pub struct ParsedReport {
     pub rejected: Vec<(String, String)>,
 }
 
+fn required_str(v: &JsonValue, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("missing or non-string field {key:?}"))
+}
+
+fn string_array(v: &JsonValue, key: &str) -> Result<Vec<String>, String> {
+    match v.get(key) {
+        None => Ok(Vec::new()),
+        Some(items) => items
+            .as_array()
+            .ok_or_else(|| format!("field {key:?} is not an array"))?
+            .iter()
+            .map(|t| t.as_str().map(str::to_owned).ok_or_else(|| format!("non-string in {key:?}")))
+            .collect(),
+    }
+}
+
 impl RawReport {
-    /// Parse from JSON text.
-    pub fn from_json(json: &str) -> Result<Self, String> {
-        serde_json::from_str(json).map_err(|e| format!("bad report JSON: {e}"))
+    /// Parse from JSON text (self-contained parser — works without any
+    /// external JSON crate).
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = json::parse(text).map_err(|e| format!("bad report JSON: {e}"))?;
+        let id = required_str(&doc, "id")?;
+        let created_day = doc
+            .get("created_day")
+            .and_then(JsonValue::as_u32)
+            .ok_or("missing or non-numeric field \"created_day\"")?;
+        let tags = string_array(&doc, "tags")?;
+        let mut indicators = Vec::new();
+        if let Some(items) = doc.get("indicators") {
+            let items = items.as_array().ok_or("field \"indicators\" is not an array")?;
+            for item in items {
+                indicators.push(RawIndicator {
+                    indicator_type: required_str(item, "type")?,
+                    indicator: required_str(item, "indicator")?,
+                });
+            }
+        }
+        Ok(Self { id, created_day, tags, indicators })
+    }
+
+    /// Serialise to compact JSON text ([`Self::from_json`]'s inverse).
+    pub fn to_json(&self) -> String {
+        let indicators = self
+            .indicators
+            .iter()
+            .map(|i| {
+                JsonValue::Object(vec![
+                    ("type".to_owned(), JsonValue::String(i.indicator_type.clone())),
+                    ("indicator".to_owned(), JsonValue::String(i.indicator.clone())),
+                ])
+            })
+            .collect();
+        let tags = self.tags.iter().cloned().map(JsonValue::String).collect();
+        json::to_string(&JsonValue::Object(vec![
+            ("id".to_owned(), JsonValue::String(self.id.clone())),
+            ("created_day".to_owned(), JsonValue::Number(self.created_day as f64)),
+            ("tags".to_owned(), JsonValue::Array(tags)),
+            ("indicators".to_owned(), JsonValue::Array(indicators)),
+        ]))
     }
 
     /// Validate and deduplicate every indicator.
@@ -125,16 +184,24 @@ pub struct MispEvent {
 impl MispEvent {
     /// Parse from JSON text (accepts both bare events and the
     /// `{"Event": ...}` wrapper MISP exports use).
-    pub fn from_json(json: &str) -> Result<Self, String> {
-        #[derive(Deserialize)]
-        struct Wrapper {
-            #[serde(rename = "Event")]
-            event: MispEvent,
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = json::parse(text).map_err(|e| format!("bad MISP JSON: {e}"))?;
+        let event = doc.get("Event").unwrap_or(&doc);
+        let uuid = required_str(event, "uuid")?;
+        let info = required_str(event, "info")?;
+        let date_day = event.get("date_day").and_then(JsonValue::as_u32).unwrap_or(0);
+        let tags = string_array(event, "tags")?;
+        let mut attributes = Vec::new();
+        if let Some(items) = event.get("Attribute") {
+            let items = items.as_array().ok_or("field \"Attribute\" is not an array")?;
+            for item in items {
+                attributes.push(MispAttribute {
+                    attr_type: required_str(item, "type")?,
+                    value: required_str(item, "value")?,
+                });
+            }
         }
-        if let Ok(w) = serde_json::from_str::<Wrapper>(json) {
-            return Ok(w.event);
-        }
-        serde_json::from_str(json).map_err(|e| format!("bad MISP JSON: {e}"))
+        Ok(Self { uuid, info, date_day, tags, attributes })
     }
 
     /// Convert to the canonical [`RawReport`] the pipeline ingests.
@@ -268,7 +335,7 @@ mod tests {
     #[test]
     fn json_roundtrip() {
         let raw = RawReport::from_json(SAMPLE).unwrap();
-        let encoded = serde_json::to_string(&raw).unwrap();
+        let encoded = raw.to_json();
         let again = RawReport::from_json(&encoded).unwrap();
         assert_eq!(raw, again);
     }

@@ -33,9 +33,11 @@
 //!   Explicit `_limit` variants let tests pin a region to 1/2/8
 //!   threads regardless of the environment.
 
+use std::any::Any;
 use std::collections::VecDeque;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Average chunks handed to each participating thread; >1 keeps
@@ -97,6 +99,13 @@ struct Task {
     /// Chunks not yet completed; last decrement opens `latch`.
     remaining: AtomicUsize,
     latch: Latch,
+    /// Set by the first chunk whose closure panics. Later claimants
+    /// skip the closure but still decrement `remaining`, so the latch
+    /// always opens and the pool thread survives to serve the next
+    /// task — a panic never poisons the pool or hangs the caller.
+    panicked: AtomicBool,
+    /// First panic payload, re-thrown once on the submitting thread.
+    panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
 // SAFETY: `func` is only dereferenced under the chunk-claim protocol
@@ -112,12 +121,23 @@ impl Task {
                 return;
             }
             let end = (start + self.chunk).min(self.len);
-            // SAFETY: a chunk was claimed, so the caller is still
-            // blocked in `parallel_for_limit` and the closure is live.
-            let f = unsafe { &*self.func };
-            f(start..end);
+            if !self.panicked.load(Ordering::Acquire) {
+                // SAFETY: a chunk was claimed, so the caller is still
+                // blocked in `parallel_for_limit` and the closure is
+                // live.
+                let f = unsafe { &*self.func };
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(start..end))) {
+                    let mut slot = self.panic_payload.lock().expect("panic slot lock");
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                    drop(slot);
+                    self.panicked.store(true, Ordering::Release);
+                }
+            }
             // AcqRel chains every worker's writes into the final
             // decrement; the latch mutex publishes them to the caller.
+            // Runs on the panic path too — the latch must always open.
             if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                 self.latch.signal();
             }
@@ -227,12 +247,23 @@ pub fn parallel_for_limit(
         len,
         remaining: AtomicUsize::new(n_chunks),
         latch: Latch::new(),
+        panicked: AtomicBool::new(false),
+        panic_payload: Mutex::new(None),
     });
     pool.submit(&task, helpers);
     task.run();
     // Block until the last chunk completes; afterwards no thread can
     // dereference `f` again (late workers see `next >= len`).
     task.latch.wait();
+    if task.panicked.load(Ordering::Acquire) {
+        let payload = task
+            .panic_payload
+            .lock()
+            .expect("panic slot lock")
+            .take()
+            .unwrap_or_else(|| Box::new("pool task panicked"));
+        resume_unwind(payload);
+    }
 }
 
 /// Copyable raw-pointer wrapper so disjoint row chunks of one buffer
@@ -374,5 +405,47 @@ mod tests {
     #[test]
     fn num_threads_is_at_least_one() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn panic_in_closure_propagates_once_and_pool_stays_usable() {
+        for threads in [2usize, 8] {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                parallel_for_limit(threads, 1000, 1, |r| {
+                    if r.contains(&457) {
+                        panic!("chunk bomb");
+                    }
+                });
+            }));
+            let payload = caught.expect_err("panic must reach the caller");
+            let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+            assert_eq!(msg, "chunk bomb", "threads={threads}");
+            // The pool must not be poisoned: the very next region on the
+            // same workers completes normally and visits every index.
+            let hits: Vec<AtomicUsize> = (0..300).map(|_| AtomicUsize::new(0)).collect();
+            parallel_for_limit(threads, 300, 1, |r| {
+                for i in r {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn panic_on_caller_thread_chunk_still_propagates() {
+        // Index 0 is claimed early (often by the submitting thread
+        // itself); the panic must still surface exactly once and leave
+        // no queued task holding a dangling closure pointer.
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            parallel_for_limit(4, 64, 1, |r| {
+                if r.start == 0 {
+                    panic!("first chunk bomb");
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        let out = parallel_map_limit(4, 33, |i| i + 1);
+        assert_eq!(out, (1..=33).collect::<Vec<_>>());
     }
 }

@@ -1,0 +1,270 @@
+//! Circuit breaker for the OSINT query path.
+//!
+//! Real enrichment feeds fail in bursts: a rate-limit storm or an
+//! upstream outage makes *every* attempt fail for a while, and naive
+//! per-query retries multiply the load exactly when the feed is least
+//! able to serve it. The standard remedy is a circuit breaker
+//! (Closed → Open → Half-Open) that sheds load after a run of faults
+//! and probes cautiously before trusting the feed again.
+//!
+//! This implementation is **time-free**: the reproduction pipeline is
+//! deterministic end-to-end, so instead of a wall-clock cooldown the
+//! Open state counts *rejected admissions* and transitions to Half-Open
+//! after a fixed number of them. The same query stream therefore drives
+//! the same state trajectory on every run, which is what lets the chaos
+//! harness assert exact fault/degradation accounting.
+//!
+//! State machine:
+//!
+//! * **Closed** — all queries admitted. `failure_threshold` consecutive
+//!   faults trip the breaker to Open (a success resets the run).
+//! * **Open** — every admission is rejected (counted under
+//!   `osint.breaker.rejected`). After `cooldown_rejections` rejections
+//!   the breaker moves to Half-Open; the transitioning call itself is
+//!   still rejected, so the *next* query is the first probe.
+//! * **Half-Open** — queries admitted as probes. `half_open_successes`
+//!   consecutive successes close the breaker; any fault re-opens it.
+
+use std::sync::Mutex;
+
+/// Breaker thresholds. All counts, no clocks — see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive faults (while Closed) that trip the breaker.
+    pub failure_threshold: u32,
+    /// Rejections served while Open before moving to Half-Open.
+    pub cooldown_rejections: u32,
+    /// Consecutive probe successes (while Half-Open) that re-close.
+    pub half_open_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self { failure_threshold: 5, cooldown_rejections: 8, half_open_successes: 2 }
+    }
+}
+
+/// Observable breaker state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; queries flow.
+    Closed,
+    /// Shedding load; queries rejected without touching the feed.
+    Open,
+    /// Probing; queries flow but one fault re-opens.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: BreakerState,
+    /// Consecutive faults observed while Closed.
+    consecutive_faults: u32,
+    /// Rejections served while Open.
+    rejections: u32,
+    /// Consecutive successes observed while Half-Open.
+    probe_successes: u32,
+}
+
+/// A deterministic, thread-safe circuit breaker.
+///
+/// Shared by every clone of an [`crate::OsintClient`] via `Arc`, so
+/// concurrent enrichment workers observe one joint view of feed health.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// Breaker in the Closed state.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Self {
+            cfg,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_faults: 0,
+                rejections: 0,
+                probe_successes: 0,
+            }),
+        }
+    }
+
+    /// The configuration this breaker runs with.
+    pub fn config(&self) -> BreakerConfig {
+        self.cfg
+    }
+
+    /// Current state (diagnostics only — racy by nature under
+    /// concurrency, exact under the deterministic single-threaded
+    /// enrichment loop).
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().expect("breaker lock").state
+    }
+
+    /// Ask to run a query. `true` admits it; `false` means the caller
+    /// must fail fast without touching the feed. While Open, each
+    /// rejection counts toward the cooldown; the call that exhausts the
+    /// cooldown flips to Half-Open but is itself still rejected.
+    pub fn admit(&self) -> bool {
+        let mut g = self.inner.lock().expect("breaker lock");
+        match g.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                g.rejections += 1;
+                trail_obs::counter_add("osint.breaker.rejected", 1);
+                if g.rejections >= self.cfg.cooldown_rejections {
+                    g.state = BreakerState::HalfOpen;
+                    g.probe_successes = 0;
+                    trail_obs::counter_add("osint.breaker.half_open", 1);
+                }
+                false
+            }
+        }
+    }
+
+    /// Report that an admitted query completed without a transient
+    /// fault (a permanent gap still counts: the feed *answered*).
+    pub fn record_success(&self) {
+        let mut g = self.inner.lock().expect("breaker lock");
+        match g.state {
+            BreakerState::Closed => g.consecutive_faults = 0,
+            BreakerState::HalfOpen => {
+                g.probe_successes += 1;
+                if g.probe_successes >= self.cfg.half_open_successes {
+                    g.state = BreakerState::Closed;
+                    g.consecutive_faults = 0;
+                    trail_obs::counter_add("osint.breaker.closed", 1);
+                }
+            }
+            // A success can race in after the breaker opened; ignore.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Report that an admitted query failed transiently.
+    pub fn record_fault(&self) {
+        let mut g = self.inner.lock().expect("breaker lock");
+        match g.state {
+            BreakerState::Closed => {
+                g.consecutive_faults += 1;
+                if g.consecutive_faults >= self.cfg.failure_threshold {
+                    Self::open(&mut g);
+                }
+            }
+            BreakerState::HalfOpen => Self::open(&mut g),
+            BreakerState::Open => {}
+        }
+    }
+
+    fn open(g: &mut Inner) {
+        g.state = BreakerState::Open;
+        g.rejections = 0;
+        g.probe_successes = 0;
+        trail_obs::counter_add("osint.breaker.opened", 1);
+    }
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        Self::new(BreakerConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig { failure_threshold: 3, cooldown_rejections: 4, half_open_successes: 2 }
+    }
+
+    #[test]
+    fn stays_closed_below_threshold() {
+        let b = CircuitBreaker::new(cfg());
+        for _ in 0..2 {
+            assert!(b.admit());
+            b.record_fault();
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        // A success resets the consecutive-fault run.
+        b.record_success();
+        for _ in 0..2 {
+            b.record_fault();
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn trips_open_at_threshold_and_rejects() {
+        let b = CircuitBreaker::new(cfg());
+        for _ in 0..3 {
+            assert!(b.admit());
+            b.record_fault();
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.admit());
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn cooldown_rejections_move_to_half_open() {
+        let b = CircuitBreaker::new(cfg());
+        for _ in 0..3 {
+            b.record_fault();
+        }
+        // 4 rejections serve the cooldown; the 4th flips to Half-Open
+        // but is itself rejected.
+        for _ in 0..4 {
+            assert!(!b.admit());
+        }
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.admit());
+    }
+
+    #[test]
+    fn probe_successes_reclose() {
+        let b = CircuitBreaker::new(cfg());
+        for _ in 0..3 {
+            b.record_fault();
+        }
+        for _ in 0..4 {
+            b.admit();
+        }
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.admit());
+    }
+
+    #[test]
+    fn probe_fault_reopens_and_restarts_cooldown() {
+        let b = CircuitBreaker::new(cfg());
+        for _ in 0..3 {
+            b.record_fault();
+        }
+        for _ in 0..4 {
+            b.admit();
+        }
+        b.record_success();
+        b.record_fault(); // probe fails → back to Open
+        assert_eq!(b.state(), BreakerState::Open);
+        // Cooldown starts over: 4 fresh rejections needed.
+        for _ in 0..3 {
+            assert!(!b.admit());
+            assert_eq!(b.state(), BreakerState::Open);
+        }
+        assert!(!b.admit());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn default_config_matches_docs() {
+        let d = BreakerConfig::default();
+        assert_eq!(d.failure_threshold, 5);
+        assert_eq!(d.cooldown_rejections, 8);
+        assert_eq!(d.half_open_successes, 2);
+    }
+}

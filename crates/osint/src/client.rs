@@ -26,6 +26,7 @@ use trail_ioc::report::RawReport;
 use trail_ioc::vocab::fnv1a;
 use trail_ioc::{IocKey, IocKind};
 
+use crate::breaker::CircuitBreaker;
 use crate::world::World;
 
 /// Maximum historic domains a passive-DNS query returns per IP —
@@ -33,22 +34,30 @@ use crate::world::World;
 /// the same role.
 const PDNS_PAGE: usize = 12;
 
-/// A transient query failure. Unlike a permanent gap (`Ok(None)`), the
-/// same query can succeed on a later attempt.
+/// A query failure. Unlike a permanent gap (`Ok(None)`), transient
+/// variants can succeed on a later attempt; `CircuitOpen` means the
+/// client's breaker rejected the query before it reached the feed, and
+/// retrying immediately would only be rejected again.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OsintError {
     /// The exchange throttled this attempt.
     RateLimited,
     /// The attempt timed out.
     Timeout,
+    /// The client-side circuit breaker is shedding load.
+    CircuitOpen,
 }
 
 impl OsintError {
-    /// Every `OsintError` is transient by construction; permanent
-    /// outcomes are encoded as `Ok(None)`. Kept explicit so callers
-    /// document their retry decision.
+    /// Whether an immediate retry can plausibly succeed. Breaker
+    /// rejections are not transient from the caller's perspective:
+    /// the breaker must cool down first, so retrying in a tight loop
+    /// is exactly the load it exists to shed.
     pub fn is_transient(self) -> bool {
-        true
+        match self {
+            OsintError::RateLimited | OsintError::Timeout => true,
+            OsintError::CircuitOpen => false,
+        }
     }
 }
 
@@ -57,6 +66,7 @@ impl std::fmt::Display for OsintError {
         match self {
             OsintError::RateLimited => f.write_str("rate limited"),
             OsintError::Timeout => f.write_str("timed out"),
+            OsintError::CircuitOpen => f.write_str("circuit breaker open"),
         }
     }
 }
@@ -67,12 +77,32 @@ impl std::error::Error for OsintError {}
 #[derive(Clone)]
 pub struct OsintClient {
     world: Arc<World>,
+    /// Optional shared circuit breaker guarding the fallible query
+    /// surface. `None` (the default) leaves behaviour exactly as before
+    /// the breaker existed. Clones share the breaker, so every worker
+    /// sees one joint view of feed health.
+    breaker: Option<Arc<CircuitBreaker>>,
 }
 
 impl OsintClient {
-    /// Wrap a world.
+    /// Wrap a world. No breaker: queries are never shed client-side.
     pub fn new(world: Arc<World>) -> Self {
-        Self { world }
+        Self { world, breaker: None }
+    }
+
+    /// Wrap a world with a circuit breaker on the fallible query path.
+    pub fn with_breaker(world: Arc<World>, breaker: Arc<CircuitBreaker>) -> Self {
+        Self { world, breaker: Some(breaker) }
+    }
+
+    /// Attach (or replace) the circuit breaker.
+    pub fn set_breaker(&mut self, breaker: Arc<CircuitBreaker>) {
+        self.breaker = Some(breaker);
+    }
+
+    /// The breaker guarding this client, if any.
+    pub fn breaker(&self) -> Option<&Arc<CircuitBreaker>> {
+        self.breaker.as_ref()
     }
 
     /// Borrow the underlying world (ground truth — evaluation only).
@@ -172,8 +202,34 @@ impl OsintClient {
         self.lookup_url(&Self::canonical(IocKind::Url, url), asof_day)
     }
 
+    /// Breaker admission for one fallible query. A rejection counts as
+    /// a fault (under `osint.faults`) but happens *before* any lookup,
+    /// so it can never register a permanent miss.
+    fn gate(&self) -> Result<(), OsintError> {
+        match &self.breaker {
+            Some(b) if !b.admit() => {
+                trail_obs::counter_add("osint.faults", 1);
+                Err(OsintError::CircuitOpen)
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Report an admitted query's outcome to the breaker. A permanent
+    /// gap (`Ok(None)`) is a success here: the feed answered.
+    fn record_outcome(&self, faulted: bool) {
+        if let Some(b) = &self.breaker {
+            if faulted {
+                b.record_fault();
+            } else {
+                b.record_success();
+            }
+        }
+    }
+
     /// Fallible IP analysis: `Err` on an injected transient fault for
-    /// this `attempt`, `Ok(None)` on a permanent gap or unknown IOC.
+    /// this `attempt` or a breaker rejection, `Ok(None)` on a permanent
+    /// gap or unknown IOC.
     pub fn try_analyze_ip(
         &self,
         ip: &str,
@@ -181,13 +237,18 @@ impl OsintClient {
         attempt: u32,
     ) -> Result<Option<IpAnalysis>, OsintError> {
         trail_obs::counter_add("osint.queries", 1);
+        self.gate()?;
         let key = Self::canonical(IocKind::Ip, ip);
         match self.fault(&key, attempt) {
             Some(e) => {
                 trail_obs::counter_add("osint.faults", 1);
+                self.record_outcome(true);
                 Err(e)
             }
-            None => Ok(self.lookup_ip(&key, asof_day)),
+            None => {
+                self.record_outcome(false);
+                Ok(self.lookup_ip(&key, asof_day))
+            }
         }
     }
 
@@ -199,13 +260,18 @@ impl OsintClient {
         attempt: u32,
     ) -> Result<Option<DomainAnalysis>, OsintError> {
         trail_obs::counter_add("osint.queries", 1);
+        self.gate()?;
         let key = Self::canonical(IocKind::Domain, domain);
         match self.fault(&key, attempt) {
             Some(e) => {
                 trail_obs::counter_add("osint.faults", 1);
+                self.record_outcome(true);
                 Err(e)
             }
-            None => Ok(self.lookup_domain(&key, asof_day)),
+            None => {
+                self.record_outcome(false);
+                Ok(self.lookup_domain(&key, asof_day))
+            }
         }
     }
 
@@ -217,13 +283,18 @@ impl OsintClient {
         attempt: u32,
     ) -> Result<Option<UrlAnalysis>, OsintError> {
         trail_obs::counter_add("osint.queries", 1);
+        self.gate()?;
         let key = Self::canonical(IocKind::Url, url);
         match self.fault(&key, attempt) {
             Some(e) => {
                 trail_obs::counter_add("osint.faults", 1);
+                self.record_outcome(true);
                 Err(e)
             }
-            None => Ok(self.lookup_url(&key, asof_day)),
+            None => {
+                self.record_outcome(false);
+                Ok(self.lookup_url(&key, asof_day))
+            }
         }
     }
 
@@ -528,6 +599,79 @@ mod tests {
         }
         assert!(faulted > 0, "no transient faults at p=0.5");
         assert!(succeeded > 0, "every query faulted at p=0.5");
+    }
+
+    #[test]
+    fn breaker_trips_on_dead_feed_and_rejections_fail_fast() {
+        use crate::breaker::{BreakerConfig, BreakerState};
+        let mut cfg = WorldConfig::tiny(9);
+        cfg.transient_fault_prob = 1.0; // every attempt faults
+        let breaker = Arc::new(CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown_rejections: 4,
+            half_open_successes: 2,
+        }));
+        let c = OsintClient::with_breaker(
+            Arc::new(World::generate(cfg)),
+            Arc::clone(&breaker),
+        );
+        let name = c.world().domain_names[0].clone();
+        // Three admitted faults trip the breaker…
+        for a in 0..3 {
+            let e = c.try_analyze_domain(&name, 700, a).unwrap_err();
+            assert!(e.is_transient());
+        }
+        assert_eq!(breaker.state(), BreakerState::Open);
+        // …then queries are shed before reaching the feed.
+        let e = c.try_analyze_domain(&name, 700, 3).unwrap_err();
+        assert_eq!(e, OsintError::CircuitOpen);
+        assert!(!e.is_transient());
+    }
+
+    #[test]
+    fn breaker_recloses_after_feed_recovers() {
+        use crate::breaker::{BreakerConfig, BreakerState};
+        // Healthy feed, but a breaker we trip by hand: the client's
+        // successful queries must walk it Half-Open → Closed.
+        let breaker = Arc::new(CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown_rejections: 2,
+            half_open_successes: 2,
+        }));
+        let c = OsintClient::with_breaker(
+            Arc::new(World::generate(WorldConfig::tiny(9))),
+            Arc::clone(&breaker),
+        );
+        for _ in 0..3 {
+            breaker.record_fault();
+        }
+        let name = c.world().domain_names[0].clone();
+        // Two rejections serve the cooldown.
+        assert_eq!(c.try_analyze_domain(&name, 700, 0), Err(OsintError::CircuitOpen));
+        assert_eq!(c.try_analyze_domain(&name, 700, 0), Err(OsintError::CircuitOpen));
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        // Probes succeed (p=0 faults) and re-close the breaker.
+        assert!(c.try_analyze_domain(&name, 700, 0).is_ok());
+        assert!(c.try_analyze_domain(&name, 700, 0).is_ok());
+        assert_eq!(breaker.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn clones_share_one_breaker() {
+        use crate::breaker::BreakerState;
+        let breaker = Arc::new(CircuitBreaker::default());
+        let a = OsintClient::with_breaker(
+            Arc::new(World::generate(WorldConfig::tiny(9))),
+            Arc::clone(&breaker),
+        );
+        let b = a.clone();
+        for _ in 0..breaker.config().failure_threshold {
+            breaker.record_fault();
+        }
+        let name = a.world().domain_names[0].clone();
+        assert_eq!(a.try_analyze_domain(&name, 700, 0), Err(OsintError::CircuitOpen));
+        assert_eq!(b.try_analyze_domain(&name, 700, 0), Err(OsintError::CircuitOpen));
+        assert_eq!(breaker.state(), BreakerState::Open);
     }
 
     #[test]

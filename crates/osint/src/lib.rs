@@ -20,16 +20,18 @@
 //! weak per-IOC feature signal, heavy intra-APT infrastructure reuse,
 //! and enrichment-only (secondary) connectivity.
 
+pub mod breaker;
 pub mod client;
 pub mod config;
 pub mod naming;
 pub mod profile;
 pub mod world;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use client::{OsintClient, OsintError};
 pub use config::WorldConfig;
 pub use profile::AptProfile;
-pub use world::{GeneratedEvent, World};
+pub use world::{ChaosPlan, GeneratedEvent, World};
 
 /// Days per month in the synthetic timeline (the paper's longitudinal
 /// study is monthly; a fixed 30-day month keeps arithmetic simple).

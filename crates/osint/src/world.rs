@@ -1163,9 +1163,109 @@ impl Generator {
     }
 }
 
+/// A deterministic fault plan for the chaos harness.
+///
+/// Derived entirely from one seed by integer mixing (no RNG crate
+/// involved), so the same `--chaos SEED` produces the same faults, the
+/// same mid-study kill points and the same snapshot-corruption drill on
+/// every machine. The plan stays deliberately coarse: it perturbs the
+/// *world's* fault knobs and names where to crash/corrupt; the harness
+/// decides what to assert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosPlan {
+    /// The seed this plan was derived from.
+    pub seed: u64,
+    /// Transient-fault probability injected into the world.
+    pub transient_fault_prob: f32,
+    /// Analysis-gap probability injected into the world.
+    pub analysis_miss_prob: f32,
+    /// One plan in three simulates a fully dead feed: every attempt
+    /// faults, so enrichment must degrade rather than converge.
+    pub feed_dead: bool,
+    /// Study-window indices after which the run is killed and resumed
+    /// from the latest checkpoint (always non-empty, strictly
+    /// increasing).
+    pub kill_windows: Vec<u32>,
+    /// Byte offsets (modulo snapshot length at use time) to flip in the
+    /// snapshot-corruption drill.
+    pub corrupt_offsets: Vec<u64>,
+}
+
+/// splitmix64 finalizer — the standard 64-bit mixer; good avalanche,
+/// no state, perfect for deriving independent plan fields from a seed.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl ChaosPlan {
+    /// Derive the plan for `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        let feed_dead = mix64(seed ^ 0xdead) % 3 == 0;
+        let transient_fault_prob = if feed_dead {
+            1.0
+        } else {
+            // 0.30 ..= 0.90 in steps of 0.05: hostile but survivable.
+            0.30 + (mix64(seed ^ 0xfa01) % 13) as f32 * 0.05
+        };
+        let analysis_miss_prob = 0.05 + (mix64(seed ^ 0x9155) % 4) as f32 * 0.05;
+        // Two distinct kill points inside a study of >= 2 windows.
+        let k1 = (mix64(seed ^ 0x0111) % 2) as u32; // window 0 or 1
+        let k2 = k1 + 1 + (mix64(seed ^ 0x0222) % 2) as u32;
+        let corrupt_offsets =
+            (0..4).map(|i| mix64(seed ^ (0xc0_44 + i))).collect();
+        Self {
+            seed,
+            transient_fault_prob,
+            analysis_miss_prob,
+            feed_dead,
+            kill_windows: vec![k1, k2],
+            corrupt_offsets,
+        }
+    }
+
+    /// Apply the plan's fault knobs to a world configuration.
+    pub fn apply(&self, cfg: &mut WorldConfig) {
+        cfg.transient_fault_prob = self.transient_fault_prob;
+        cfg.analysis_miss_prob = self.analysis_miss_prob;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn chaos_plan_is_deterministic_and_well_formed() {
+        for seed in [0u64, 1, 2, 3, 0xfeed, u64::MAX] {
+            let a = ChaosPlan::from_seed(seed);
+            let b = ChaosPlan::from_seed(seed);
+            assert_eq!(a, b, "plan for seed {seed} not reproducible");
+            assert!(a.transient_fault_prob > 0.0 && a.transient_fault_prob <= 1.0);
+            assert!(a.analysis_miss_prob > 0.0 && a.analysis_miss_prob < 0.5);
+            if a.feed_dead {
+                assert_eq!(a.transient_fault_prob, 1.0);
+            }
+            assert_eq!(a.kill_windows.len(), 2);
+            assert!(a.kill_windows[0] < a.kill_windows[1]);
+            assert_eq!(a.corrupt_offsets.len(), 4);
+        }
+        // Some seed in a small range exercises the dead-feed branch and
+        // some seed does not.
+        let dead = (0..8u64).filter(|&s| ChaosPlan::from_seed(s).feed_dead).count();
+        assert!(dead > 0 && dead < 8, "{dead}/8 dead-feed plans");
+    }
+
+    #[test]
+    fn chaos_plan_applies_to_config() {
+        let plan = ChaosPlan::from_seed(7);
+        let mut cfg = WorldConfig::tiny(7);
+        plan.apply(&mut cfg);
+        assert_eq!(cfg.transient_fault_prob, plan.transient_fault_prob);
+        assert_eq!(cfg.analysis_miss_prob, plan.analysis_miss_prob);
+    }
 
     #[test]
     fn generation_is_deterministic() {

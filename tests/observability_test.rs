@@ -9,7 +9,7 @@
 //! exactly once):
 //!
 //! * `osint.queries == first_order + secondary + retried`
-//! * `osint.faults  == retried + missed_transient`
+//! * `osint.faults  == retried + missed_transient + breaker_rejected`
 //! * `osint.misses  == missed_permanent`
 //! * `enrich.retry_backoff_ms`: total == retried, sum == backoff_ms
 //! * `enrich.attempts_per_query`: total == first_order + secondary,
@@ -38,10 +38,23 @@ fn obs_lock() -> MutexGuard<'static, ()> {
 /// Ingest every pre-cutoff event of a fault-injected world and return
 /// (events ingested, pipeline stats, registry snapshot).
 fn faulty_ingest(n_events: usize, fault_prob: f32) -> (usize, IngestStats, trail_obs::MetricsSnapshot) {
+    faulty_ingest_with(n_events, fault_prob, false)
+}
+
+/// [`faulty_ingest`] with an optional circuit breaker armed on the
+/// client (default breaker thresholds).
+fn faulty_ingest_with(
+    n_events: usize,
+    fault_prob: f32,
+    breaker: bool,
+) -> (usize, IngestStats, trail_obs::MetricsSnapshot) {
     let mut cfg = WorldConfig::tiny(77);
     cfg.n_events = n_events;
     cfg.transient_fault_prob = fault_prob;
-    let client = OsintClient::new(Arc::new(World::generate(cfg)));
+    let mut client = OsintClient::new(Arc::new(World::generate(cfg)));
+    if breaker {
+        client.set_breaker(Arc::new(trail_osint::CircuitBreaker::default()));
+    }
     let registry = AptRegistry::new(client.world().config.n_apts);
     let cutoff = client.world().config.cutoff_day;
     let reports = client.events_before(cutoff);
@@ -66,8 +79,8 @@ fn assert_reconciles(n_events: usize, stats: &IngestStats, snap: &trail_obs::Met
     );
     assert_eq!(
         snap.counter("osint.faults"),
-        (stats.retried + stats.missed_transient) as u64,
-        "every injected fault is either retried or abandoned"
+        (stats.retried + stats.missed_transient + stats.breaker_rejected) as u64,
+        "every fault is retried, abandoned, or a breaker rejection"
     );
     assert_eq!(snap.counter("osint.misses"), stats.missed_permanent as u64);
 
@@ -103,6 +116,20 @@ fn counters_reconcile_without_faults() {
     assert_eq!(stats.retried, 0);
     assert_eq!(snap.counter("osint.faults"), 0);
     assert!(snap.histogram("enrich.retry_backoff_ms").map_or(0, |h| h.total()) == 0);
+    assert_reconciles(n_events, &stats, &snap);
+}
+
+#[test]
+fn counters_reconcile_with_a_breaker_on_a_dead_feed() {
+    let _g = obs_lock();
+    let (n_events, stats, snap) = faulty_ingest_with(48, 1.0, true);
+    assert!(stats.breaker_rejected > 0, "dead feed never tripped the breaker");
+    assert_eq!(
+        stats.missed_permanent, 0,
+        "breaker rejections happen before any lookup, so they must never count as permanent gaps"
+    );
+    assert!(snap.counter("osint.breaker.opened") >= 1);
+    assert_eq!(snap.counter("osint.breaker.rejected"), stats.breaker_rejected as u64);
     assert_reconciles(n_events, &stats, &snap);
 }
 

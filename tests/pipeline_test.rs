@@ -112,8 +112,8 @@ fn reuse_histogram_totals_match_first_order_population() {
 #[test]
 fn graph_snapshot_roundtrips_through_persistence() {
     let sys = build(410);
-    let bytes = trail_graph::persist::to_bytes(&sys.tkg.graph).expect("serialise");
-    let restored = trail_graph::persist::from_bytes(bytes).expect("deserialise");
+    let bytes = trail_graph::persist::to_bytes(&sys.tkg.graph);
+    let restored = trail_graph::persist::from_bytes(&bytes).expect("deserialise");
     assert_eq!(restored.node_count(), sys.tkg.graph.node_count());
     assert_eq!(restored.edge_count(), sys.tkg.graph.edge_count());
     // Spot-check an event label and a first-order flag.

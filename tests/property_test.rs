@@ -1,8 +1,14 @@
 //! Property-based tests over the core data structures and parsers.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 
+use trail::collector::{collect, AptRegistry};
+use trail::enrich::{Enricher, IngestStats};
+use trail::tkg::Tkg;
 use trail_graph::{Csr, EdgeKind, GraphStore, NodeKind};
+use trail_osint::{BreakerConfig, BreakerState, CircuitBreaker, OsintClient, World, WorldConfig};
 use trail_ioc::defang::{defang, refang};
 use trail_ioc::domain::DomainIoc;
 use trail_ioc::ip::IpIoc;
@@ -206,6 +212,84 @@ proptest! {
         let ukey = IocKey::parse(IocKind::Url, &url_raw).expect("noisy url parses");
         prop_assert_eq!(ukey.text(), format!("http://{canonical}/x1").as_str());
         prop_assert_eq!(&IocKey::parse(ukey.kind(), ukey.text()).expect("url re-parses"), &ukey);
+    }
+
+    /// Liveness: from *any* interleaving of faults and successes, a
+    /// breaker re-closes once the feed heals, within the bounded number
+    /// of healthy calls implied by its thresholds. An outage can slow
+    /// the pipeline down but never wedge it permanently.
+    #[test]
+    fn breaker_recloses_after_any_fault_sequence(
+        outcomes in proptest::collection::vec(any::<bool>(), 0..200),
+        threshold in 1u32..6,
+        cooldown in 1u32..10,
+        probes in 1u32..4,
+    ) {
+        let b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown_rejections: cooldown,
+            half_open_successes: probes,
+        });
+        for fault in outcomes {
+            if b.admit() {
+                if fault { b.record_fault() } else { b.record_success() }
+            }
+        }
+        // Heal the feed. Worst case the breaker sits freshly Open:
+        // `cooldown` rejected admissions to reach Half-Open, then
+        // `probes` successful probes to close.
+        let bound = cooldown + probes + 1;
+        for _ in 0..bound {
+            if b.state() == BreakerState::Closed {
+                break;
+            }
+            if b.admit() {
+                b.record_success();
+            }
+        }
+        prop_assert_eq!(b.state(), BreakerState::Closed, "breaker wedged after healing");
+    }
+
+    /// A fully dead feed can starve enrichment but never lie about it:
+    /// whatever the breaker thresholds, every analysis ends as a
+    /// retried-then-abandoned transient miss or a breaker rejection.
+    /// `missed_permanent` is reserved for feeds that *answered* with a
+    /// gap, and rejections happen before any lookup.
+    #[test]
+    fn dead_feed_never_reports_permanent_gaps(
+        threshold in 1u32..6,
+        cooldown in 1u32..10,
+        probes in 1u32..4,
+    ) {
+        // The enrichment path emits `trail_obs` metrics as a side
+        // effect; serialize with the other registry users.
+        let _guard = obs_registry_lock();
+        let mut cfg = WorldConfig::tiny(7);
+        cfg.transient_fault_prob = 1.0;
+        let mut client = OsintClient::new(Arc::new(World::generate(cfg)));
+        client.set_breaker(Arc::new(CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown_rejections: cooldown,
+            half_open_successes: probes,
+        })));
+        let registry = AptRegistry::new(client.world().config.n_apts);
+        let cutoff = client.world().config.cutoff_day;
+        let (events, _) = collect(&client.events_before(cutoff), &registry);
+        prop_assert!(!events.is_empty());
+        let mut tkg = Tkg::new(registry);
+        let enricher = Enricher::new(&client, cutoff);
+        let mut stats = IngestStats::default();
+        for e in &events {
+            stats.absorb(&enricher.ingest(&mut tkg, e));
+        }
+        prop_assert_eq!(stats.missed_permanent, 0, "dead feed misreported a permanent gap: {:?}", &stats);
+        prop_assert!(stats.breaker_rejected > 0, "breaker never tripped on a dead feed: {:?}", &stats);
+        prop_assert_eq!(
+            stats.missed_transient + stats.breaker_rejected,
+            stats.first_order + stats.secondary,
+            "an analysis escaped the transient-or-rejected dichotomy: {:?}", &stats
+        );
+        prop_assert_eq!(stats.linked, 0, "a dead feed linked an indicator: {:?}", &stats);
     }
 }
 
