@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro <experiment> [--scale S] [--seed N] [--folds K] [--faults P]
-//!       [--resume DIR] [--chaos SEED] [--quick] [--trace]
+//!       [--resume DIR] [--chaos SEED] [--incremental] [--quick] [--trace]
 //!
 //! experiments:
 //!   table2  table3  table4  fig3  fig4  fig7  fig8  fig9  fig10
@@ -15,10 +15,15 @@
 //! and suppresses the free-form setup banners.
 //!
 //! `fig7` and `fig8` share one longitudinal run (`fig7` is the first
-//! month's confusion matrix of the same study). With `--resume DIR`
-//! they run the crash-safe study instead: a checkpoint is written to
-//! DIR after every window, and an existing checkpoint there resumes
-//! the run — the output is bitwise-identical to an uninterrupted run.
+//! month's confusion matrix of the same study). With `--incremental`
+//! the study's per-window inputs come from the cached path (CSR
+//! delta-merge, per-node code cache, one reusable input matrix) —
+//! same figures bit for bit, cheaper window preparation; per-window
+//! prep/total seconds land in `BENCH_repro.json` either way. With
+//! `--resume DIR` they run the crash-safe study instead: a checkpoint
+//! is written to DIR after every window, and an existing checkpoint
+//! there resumes the run — the output is bitwise-identical to an
+//! uninterrupted run.
 //!
 //! `--chaos SEED` (or the `chaos` experiment) runs the deterministic
 //! fault drill: a seeded plan injects transient faults and analysis
@@ -32,6 +37,13 @@
 //! commits.
 
 use trail_bench::{BenchRecorder, RunOptions};
+
+/// Every allocation in the run bumps a relaxed counter (one atomic
+/// add over the system allocator — noise-level overhead), so the
+/// `allocations` field the longitudinal study records in
+/// `BENCH_repro.json` is a real measurement rather than 0.
+#[global_allocator]
+static ALLOC: trail_obs::alloc::CountingAllocator = trail_obs::alloc::CountingAllocator;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -70,6 +82,7 @@ fn main() {
                 opts.transient_fault_prob =
                     args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(usage);
             }
+            "--incremental" => opts.incremental = true,
             "--quick" => opts.quick = true,
             "--trace" => trace = true,
             flag if flag.starts_with("--") => usage(),
@@ -145,12 +158,20 @@ fn main() {
         "fig7" | "fig8" => {
             let t = std::time::Instant::now();
             match &resume_dir {
-                Some(dir) => trail_bench::fig7_fig8_resumable(
-                    sys.client,
-                    &opts,
-                    std::path::Path::new(dir),
-                    &mut rec,
-                ),
+                Some(dir) => {
+                    if opts.incremental {
+                        eprintln!(
+                            "[study] --incremental is ignored with --resume \
+                             (checkpointed runs rebuild each window)"
+                        );
+                    }
+                    trail_bench::fig7_fig8_resumable(
+                        sys.client,
+                        &opts,
+                        std::path::Path::new(dir),
+                        &mut rec,
+                    )
+                }
                 None => trail_bench::fig7_fig8(sys, &opts, &mut rec),
             }
             rec.record("fig7_fig8", t.elapsed().as_secs_f64());
@@ -192,7 +213,7 @@ fn main() {
 fn usage<T>() -> T {
     eprintln!(
         "usage: repro <table2|table3|table4|fig3|fig4|fig7|fig8|fig9|fig10|sec5|case|chaos|ablations|all> \
-         [--scale S] [--seed N] [--folds K] [--faults P] [--resume DIR] [--chaos SEED] [--quick] [--trace]"
+         [--scale S] [--seed N] [--folds K] [--faults P] [--resume DIR] [--chaos SEED] [--incremental] [--quick] [--trace]"
     );
     std::process::exit(2);
 }

@@ -37,11 +37,23 @@ pub struct RunOptions {
     /// fault-free graph, so results are unaffected — only the ingest
     /// taxonomy in `BENCH_repro.json` shows the retries.
     pub transient_fault_prob: f32,
+    /// Run the longitudinal study on the incremental path
+    /// (`--incremental`): delta-merged CSR, cached node codes, one
+    /// reusable input matrix. Bitwise-identical output, cheaper
+    /// per-window preparation.
+    pub incremental: bool,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
-        Self { scale: 1.0, seed: 0x7214_11, folds: 5, quick: false, transient_fault_prob: 0.0 }
+        Self {
+            scale: 1.0,
+            seed: 0x7214_11,
+            folds: 5,
+            quick: false,
+            transient_fault_prob: 0.0,
+            incremental: false,
+        }
     }
 }
 
@@ -464,13 +476,50 @@ fn print_study(out: &StudyOutput) {
 }
 
 /// Figs. 7 & 8 — the monthly study. The monthly windows' ingest
-/// taxonomy lands in `rec` under `fig7_fig8_windows`.
+/// taxonomy lands in `rec` under `fig7_fig8_windows`; per-window
+/// wall clock (input preparation vs whole window) is recorded as the
+/// `fig7_fig8_window_prep` / `fig7_fig8_window_total` stages plus a
+/// per-month breakdown under the `fig7_fig8_windows` taxonomy, and
+/// the study's heap-allocation-event delta is attached as the
+/// `allocations` meta field (0 unless the binary installs
+/// [`trail_obs::alloc::CountingAllocator`], as `repro` does).
+/// `opts.incremental` switches the window preparation to the cached
+/// path — the printed study is bitwise-identical either way.
 pub fn fig7_fig8(sys: TrailSystem, opts: &RunOptions, rec: &mut BenchRecorder) {
-    header("fig7+fig8", "months-long study (paper Section VII-C)");
+    header(
+        "fig7+fig8",
+        if opts.incremental {
+            "months-long study (paper Section VII-C), incremental windows"
+        } else {
+            "months-long study (paper Section VII-C)"
+        },
+    );
     let mut rng = opts.rng();
     let cfg = study_config(opts);
-    let out = longitudinal::run_monthly_study(&mut rng, sys, &cfg);
-    rec.record_taxonomy("fig7_fig8_windows", out.ingest.to_json());
+    let allocs_before = trail_obs::alloc::allocation_count();
+    let (out, timings) =
+        longitudinal::run_monthly_study_mode(&mut rng, sys, &cfg, opts.incremental);
+    let allocs = trail_obs::alloc::allocation_count() - allocs_before;
+    rec.set_meta("incremental", opts.incremental);
+    rec.set_meta("allocations", allocs);
+    let mut windows = serde_json::Map::new();
+    windows.insert("ingest".to_owned(), out.ingest.to_json());
+    let per_month: Vec<serde_json::Value> = timings
+        .iter()
+        .map(|t| {
+            serde_json::json!({
+                "month": t.month,
+                "prep_seconds": t.prep_seconds,
+                "total_seconds": t.total_seconds,
+            })
+        })
+        .collect();
+    windows.insert("timings".to_owned(), serde_json::Value::Array(per_month));
+    rec.record_taxonomy("fig7_fig8_windows", serde_json::Value::Object(windows));
+    for t in &timings {
+        rec.record("fig7_fig8_window_prep", t.prep_seconds);
+        rec.record("fig7_fig8_window_total", t.total_seconds);
+    }
     print_study(&out);
 }
 
@@ -844,7 +893,7 @@ pub fn fig10(sys: &TrailSystem, opts: &RunOptions, emb: &NodeEmbeddings) {
         println!(
             "  {:<8} {:<50} importance {:.3}",
             format!("{:?}", rec.kind),
-            rec.key.chars().take(50).collect::<String>(),
+            sys.tkg.graph.key(node).chars().take(50).collect::<String>(),
             expl.node_importance[local]
         );
     }

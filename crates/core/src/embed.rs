@@ -35,20 +35,46 @@ pub struct SparseScaler {
     inv_stds: Vec<f32>,
 }
 
-impl SparseScaler {
-    /// Fit over the featured rows of one kind.
-    pub fn fit(featured: &[(NodeId, &crate::sparse::SparseVec)], dims: usize) -> Self {
-        let n = featured.len().max(1) as f64;
-        let mut sums = vec![0.0f64; dims];
-        let mut sumsq = vec![0.0f64; dims];
+/// Running moments for [`SparseScaler`] fitting, accumulated row by
+/// row. `extend`-ing stats with rows `A` and then rows `B` performs the
+/// exact f64 additions of a single [`SparseScaler::fit`] over `A ++ B`,
+/// so a scaler finalised from incrementally-extended stats is bitwise
+/// identical to one refit from scratch — the property the incremental
+/// study leans on when new nodes only ever append to the featured set.
+pub struct ScalerStats {
+    count: u64,
+    sums: Vec<f64>,
+    sumsq: Vec<f64>,
+}
+
+impl ScalerStats {
+    /// Empty stats over `dims` columns.
+    pub fn new(dims: usize) -> Self {
+        Self { count: 0, sums: vec![0.0; dims], sumsq: vec![0.0; dims] }
+    }
+
+    /// Rows accumulated so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Accumulate featured rows in the given order.
+    pub fn extend(&mut self, featured: &[(NodeId, &crate::sparse::SparseVec)]) {
         for (_, sv) in featured {
             for &(i, v) in &sv.entries {
-                sums[i as usize] += v as f64;
-                sumsq[i as usize] += (v as f64) * (v as f64);
+                self.sums[i as usize] += v as f64;
+                self.sumsq[i as usize] += (v as f64) * (v as f64);
             }
         }
-        let means: Vec<f32> = sums.iter().map(|&s| (s / n) as f32).collect();
-        let inv_stds: Vec<f32> = sumsq
+        self.count += featured.len() as u64;
+    }
+
+    /// Finalise into a scaler with [`SparseScaler::fit`]'s arithmetic.
+    pub fn finalize(&self) -> SparseScaler {
+        let n = self.count.max(1) as f64;
+        let means: Vec<f32> = self.sums.iter().map(|&s| (s / n) as f32).collect();
+        let inv_stds: Vec<f32> = self
+            .sumsq
             .iter()
             .zip(&means)
             .map(|(&sq, &m)| {
@@ -60,7 +86,30 @@ impl SparseScaler {
                 }
             })
             .collect();
-        Self { means, inv_stds }
+        SparseScaler { means, inv_stds }
+    }
+}
+
+impl SparseScaler {
+    /// Fit over the featured rows of one kind.
+    pub fn fit(featured: &[(NodeId, &crate::sparse::SparseVec)], dims: usize) -> Self {
+        let mut stats = ScalerStats::new(dims);
+        stats.extend(featured);
+        stats.finalize()
+    }
+
+    /// Fingerprint of the fitted transform. Two scalers with the same
+    /// fingerprint standardise every input identically; the code cache
+    /// keys rows on it so a changed transform invalidates everything.
+    pub fn fingerprint(&self) -> u64 {
+        let mut b = Vec::with_capacity((self.means.len() + self.inv_stds.len()) * 4);
+        for &m in &self.means {
+            b.extend_from_slice(&m.to_bits().to_le_bytes());
+        }
+        for &s in &self.inv_stds {
+            b.extend_from_slice(&s.to_bits().to_le_bytes());
+        }
+        trail_graph::persist::fnv1a_bytes(&b)
     }
 
     /// Standardise a densified batch in place (row-parallel over the
@@ -88,6 +137,19 @@ pub fn train_autoencoders<R: Rng + ?Sized>(
     tkg: &Tkg,
     cfg: &AutoencoderConfig,
 ) -> (NodeEmbeddings, Vec<Autoencoder>) {
+    let (emb, encoders, _) = train_autoencoders_with_scalers(rng, tkg, cfg);
+    (emb, encoders)
+}
+
+/// [`train_autoencoders`], additionally returning the per-kind scalers
+/// fitted on the training snapshot. The longitudinal study freezes
+/// these so later windows standardise (and therefore encode) existing
+/// nodes identically, which is what lets cached code rows be reused.
+pub fn train_autoencoders_with_scalers<R: Rng + ?Sized>(
+    rng: &mut R,
+    tkg: &Tkg,
+    cfg: &AutoencoderConfig,
+) -> (NodeEmbeddings, Vec<Autoencoder>, Vec<SparseScaler>) {
     let mut encoders = Vec::with_capacity(3);
     let mut scalers = Vec::with_capacity(3);
     for kind in IocKind::ALL {
@@ -101,12 +163,12 @@ pub fn train_autoencoders<R: Rng + ?Sized>(
         encoders.push(ae);
         scalers.push(scaler);
     }
-    let embeddings = compute_codes_scaled(tkg, &encoders, &scalers, cfg.batch_size);
-    (embeddings, encoders)
+    let embeddings = compute_codes_with(tkg, &encoders, &scalers, cfg.batch_size);
+    (embeddings, encoders, scalers)
 }
 
-/// [`compute_codes`] with explicit scalers (used right after training).
-fn compute_codes_scaled(
+/// [`compute_codes`] with explicit (typically frozen) scalers.
+pub fn compute_codes_with(
     tkg: &Tkg,
     encoders: &[Autoencoder],
     scalers: &[SparseScaler],
@@ -150,7 +212,142 @@ pub fn compute_codes(tkg: &Tkg, encoders: &[Autoencoder], batch_size: usize) -> 
         .iter()
         .map(|&kind| SparseScaler::fit(&tkg.featured_nodes(kind), Tkg::dims_of(kind)))
         .collect();
-    compute_codes_scaled(tkg, encoders, &scalers, batch_size)
+    compute_codes_with(tkg, encoders, &scalers, batch_size)
+}
+
+/// Incrementally maintained node codes, keyed per row on the feature
+/// content fingerprint.
+///
+/// Feature writes are first-write-wins and the study freezes the base
+/// scalers, so a node's code is immutable once computed: each refresh
+/// only encodes rows whose fingerprint is missing or changed (new
+/// nodes, or the rare defensive re-write). Any change the cache cannot
+/// absorb — different code width, different scaler transform, a
+/// shrinking graph — triggers a transparent full rebuild, so a refresh
+/// is always bitwise-identical to [`compute_codes_with`] on the same
+/// inputs.
+pub struct CodeCache {
+    codes: Matrix,
+    code_dim: usize,
+    row_fp: Vec<u64>,
+    cached: Vec<bool>,
+    scaler_fp: u64,
+    /// Times the cache threw everything away and rebuilt.
+    pub full_rebuilds: u64,
+    /// Featured rows served from cache across all refreshes.
+    pub rows_reused: u64,
+    /// Featured rows (re-)encoded across all refreshes.
+    pub rows_recomputed: u64,
+}
+
+impl Default for CodeCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CodeCache {
+    /// An empty cache; the first refresh performs a full build.
+    pub fn new() -> Self {
+        Self {
+            codes: Matrix::zeros(0, 0),
+            code_dim: 0,
+            row_fp: Vec::new(),
+            cached: Vec::new(),
+            scaler_fp: 0,
+            full_rebuilds: 0,
+            rows_reused: 0,
+            rows_recomputed: 0,
+        }
+    }
+
+    /// The cached per-node code matrix (one row per graph node).
+    pub fn codes(&self) -> &Matrix {
+        &self.codes
+    }
+
+    /// Code width.
+    pub fn code_dim(&self) -> usize {
+        self.code_dim
+    }
+
+    /// Bring the cache up to date with the TKG. After this returns,
+    /// `codes()` equals `compute_codes_with(tkg, encoders, scalers,
+    /// batch_size).codes` bit for bit. Returns the row indices written
+    /// this refresh so callers maintaining derived matrices (the
+    /// study's reusable GNN input) know which rows to resync.
+    pub fn refresh(
+        &mut self,
+        tkg: &Tkg,
+        encoders: &[Autoencoder],
+        scalers: &[SparseScaler],
+        batch_size: usize,
+    ) -> Vec<usize> {
+        let mut written = Vec::new();
+        let code_dim = encoders.first().map_or(0, |ae| ae.code_dim());
+        let n = tkg.graph.node_count();
+        let mut scaler_fp = 0xcbf2_9ce4_8422_2325u64;
+        for s in scalers {
+            scaler_fp ^= s.fingerprint();
+            scaler_fp = scaler_fp.wrapping_mul(0x0100_0000_01b3);
+        }
+        if code_dim != self.code_dim || scaler_fp != self.scaler_fp || n < self.row_fp.len() {
+            // The transform changed or nodes vanished: cached rows are
+            // unusable, start over.
+            self.codes = Matrix::zeros(n, code_dim);
+            self.row_fp = vec![0; n];
+            self.cached = vec![false; n];
+            self.code_dim = code_dim;
+            self.scaler_fp = scaler_fp;
+            self.full_rebuilds += 1;
+        } else if n > self.row_fp.len() {
+            let mut grown = Matrix::zeros(n, code_dim);
+            for i in 0..self.codes.rows() {
+                grown.row_mut(i).copy_from_slice(self.codes.row(i));
+            }
+            self.codes = grown;
+            self.row_fp.resize(n, 0);
+            self.cached.resize(n, false);
+        }
+        for ((kind, ae), scaler) in IocKind::ALL.iter().zip(encoders).zip(scalers) {
+            let dims = Tkg::dims_of(*kind);
+            let featured = tkg.featured_nodes(*kind);
+            let mut dirty: Vec<(NodeId, &crate::sparse::SparseVec, u64)> = Vec::new();
+            for &(node, sv) in &featured {
+                let fp = sv.fingerprint();
+                let i = node.index();
+                if !self.cached[i] || self.row_fp[i] != fp {
+                    dirty.push((node, sv, fp));
+                }
+            }
+            self.rows_reused += (featured.len() - dirty.len()) as u64;
+            self.rows_recomputed += dirty.len() as u64;
+            if dirty.is_empty() {
+                continue;
+            }
+            // Same densify + scale + encode pipeline as the full build;
+            // every step is row-local, so encoding only the dirty rows
+            // (in whatever chunking) reproduces the full-batch bits.
+            let chunks: Vec<&[(NodeId, &crate::sparse::SparseVec, u64)]> =
+                dirty.chunks(batch_size.max(1)).collect();
+            let encoded: Vec<Matrix> = trail_linalg::pool::parallel_map(chunks.len(), |ci| {
+                let rows: Vec<&crate::sparse::SparseVec> =
+                    chunks[ci].iter().map(|&(_, sv, _)| sv).collect();
+                let mut dense = densify(&rows, dims);
+                scaler.transform_inplace(&mut dense);
+                ae.encode(&dense)
+            });
+            for (chunk, enc) in chunks.iter().zip(&encoded) {
+                for (i, &(node, _, fp)) in chunk.iter().enumerate() {
+                    self.codes.row_mut(node.index()).copy_from_slice(enc.row(i));
+                    self.row_fp[node.index()] = fp;
+                    self.cached[node.index()] = true;
+                    written.push(node.index());
+                }
+            }
+        }
+        written
+    }
 }
 
 /// Minibatch SGD over the sparse store. Batches update shared weights
@@ -195,13 +392,23 @@ pub fn assemble_gnn_input(
     embeddings: &NodeEmbeddings,
     visible: &[(NodeId, u16)],
 ) -> Matrix {
+    assemble_gnn_input_from(tkg, &embeddings.codes, embeddings.code_dim, visible)
+}
+
+/// [`assemble_gnn_input`] over a borrowed code matrix (the incremental
+/// study assembles from its [`CodeCache`] without cloning the codes).
+pub fn assemble_gnn_input_from(
+    tkg: &Tkg,
+    codes: &Matrix,
+    code: usize,
+    visible: &[(NodeId, u16)],
+) -> Matrix {
     let n = tkg.graph.node_count();
     let k = tkg.n_classes();
-    let code = embeddings.code_dim;
     let mut x = Matrix::zeros(n, gnn_input_dim(code, k));
     for (id, rec) in tkg.graph.iter_nodes() {
         let row = x.row_mut(id.index());
-        row[..code].copy_from_slice(embeddings.codes.row(id.index()));
+        row[..code].copy_from_slice(codes.row(id.index()));
         row[code + rec.kind.index()] = 1.0;
     }
     for &(node, label) in visible {
@@ -235,6 +442,62 @@ mod tests {
             tkg.set_features(node, SparseVec::from_dense(&dense));
         }
         tkg
+    }
+
+    #[test]
+    fn scaler_stats_extend_matches_one_shot_fit() {
+        let tkg = tkg_with_features();
+        let featured = tkg.featured_nodes(IocKind::Ip);
+        let dims = Tkg::dims_of(IocKind::Ip);
+        assert_eq!(featured.len(), 2);
+        let full = SparseScaler::fit(&featured, dims);
+        let mut stats = ScalerStats::new(dims);
+        stats.extend(&featured[..1]);
+        stats.extend(&featured[1..]);
+        assert_eq!(stats.count(), 2);
+        let incremental = stats.finalize();
+        assert_eq!(full.fingerprint(), incremental.fingerprint());
+        assert_eq!(full.means, incremental.means);
+        assert_eq!(full.inv_stds, incremental.inv_stds);
+    }
+
+    #[test]
+    fn code_cache_refresh_matches_full_compute() {
+        let mut tkg = tkg_with_features();
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+        let cfg = AutoencoderConfig { hidden: 8, code: 4, epochs: 2, batch_size: 4, lr: 1e-3 };
+        let (_, encoders, scalers) = train_autoencoders_with_scalers(&mut rng, &tkg, &cfg);
+
+        let mut cache = CodeCache::new();
+        cache.refresh(&tkg, &encoders, &scalers, cfg.batch_size);
+        let full = compute_codes_with(&tkg, &encoders, &scalers, cfg.batch_size);
+        assert_eq!(cache.codes().as_slice(), full.codes.as_slice());
+        assert_eq!(cache.full_rebuilds, 1);
+
+        // Grow the graph: a new featured IP appears. Only that row may
+        // be encoded; existing rows come from cache, and the result
+        // still matches a from-scratch build bit for bit.
+        let ip3 = tkg.graph.upsert_node(NodeKind::Ip, "3.3.3.3");
+        let mut dense = vec![0.0f32; Tkg::dims_of(IocKind::Ip)];
+        dense[7] = 2.0;
+        dense[506] = 9.5;
+        tkg.set_features(ip3, SparseVec::from_dense(&dense));
+        let reused_before = cache.rows_reused;
+        cache.refresh(&tkg, &encoders, &scalers, cfg.batch_size);
+        let full2 = compute_codes_with(&tkg, &encoders, &scalers, cfg.batch_size);
+        assert_eq!(cache.codes().as_slice(), full2.codes.as_slice());
+        assert_eq!(cache.full_rebuilds, 1, "growth must not trigger a rebuild");
+        assert!(cache.rows_reused > reused_before);
+
+        // A different scaler transform invalidates everything.
+        let refit: Vec<SparseScaler> = IocKind::ALL
+            .iter()
+            .map(|&k| SparseScaler::fit(&tkg.featured_nodes(k), Tkg::dims_of(k)))
+            .collect();
+        cache.refresh(&tkg, &encoders, &refit, cfg.batch_size);
+        let full3 = compute_codes_with(&tkg, &encoders, &refit, cfg.batch_size);
+        assert_eq!(cache.codes().as_slice(), full3.codes.as_slice());
+        assert_eq!(cache.full_rebuilds, 2);
     }
 
     #[test]

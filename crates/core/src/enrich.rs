@@ -27,7 +27,7 @@ use trail_graph::{EdgeKind, NodeId, NodeKind};
 use trail_ioc::domain::DomainIoc;
 use trail_ioc::ip::IpIoc;
 use trail_ioc::url::UrlIoc;
-use trail_ioc::{Ioc, IocKey};
+use trail_ioc::{Ioc, IocKeyRef};
 use trail_osint::{OsintClient, OsintError};
 
 use crate::collector::CollectedEvent;
@@ -221,7 +221,7 @@ impl<'a> Enricher<'a> {
         {
             let _pass = trail_obs::span("attach");
             for ioc in &event.report.iocs {
-                let node = tkg.upsert_ioc(&ioc.key());
+                let node = tkg.upsert_ioc_ref(ioc.key_ref());
                 tkg.graph.mark_first_order(node);
                 if tkg.graph.add_edge(event_node, node, EdgeKind::InReport).expect("schema") {
                     stats.edges += 1;
@@ -323,8 +323,8 @@ impl<'a> Enricher<'a> {
     /// Resolve a depth-2 relational reference against the graph by
     /// canonical identity. The two-hop cap means a missing node is
     /// expected (not an error); a found node counts as `linked`.
-    fn find_linked(&self, tkg: &Tkg, key: &IocKey, stats: &mut IngestStats) -> Option<NodeId> {
-        let found = tkg.find_ioc(key);
+    fn find_linked(&self, tkg: &Tkg, key: IocKeyRef<'_>, stats: &mut IngestStats) -> Option<NodeId> {
+        let found = tkg.find_ioc_ref(key);
         if found.is_some() {
             stats.linked += 1;
         }
@@ -346,7 +346,7 @@ impl<'a> Enricher<'a> {
             let d_node = if expand {
                 Some(self.secondary_node(tkg, ioc, secondary))
             } else {
-                self.find_linked(tkg, &ioc.key(), stats)
+                self.find_linked(tkg, ioc.key_ref(), stats)
             };
             if let Some(d_node) = d_node {
                 if tkg.graph.add_edge(node, d_node, EdgeKind::HostedOn).expect("schema") {
@@ -368,7 +368,7 @@ impl<'a> Enricher<'a> {
             let ip_node = if expand {
                 Some(self.secondary_node(tkg, ioc, secondary))
             } else {
-                self.find_linked(tkg, &ioc.key(), stats)
+                self.find_linked(tkg, ioc.key_ref(), stats)
             };
             if let Some(ip_node) = ip_node {
                 if tkg.graph.add_edge(node, ip_node, EdgeKind::UrlResolvesTo).expect("schema") {
@@ -406,7 +406,7 @@ impl<'a> Enricher<'a> {
                 Some(self.secondary_node(tkg, ioc, secondary))
             } else {
                 // Two-hop cap: only link to IPs already in the graph.
-                self.find_linked(tkg, &ioc.key(), stats)
+                self.find_linked(tkg, ioc.key_ref(), stats)
             };
             if let Some(ip_node) = ip_node {
                 if tkg.graph.add_edge(node, ip_node, EdgeKind::DomainResolvesTo).expect("schema") {
@@ -463,7 +463,7 @@ impl<'a> Enricher<'a> {
             let d_node = if expand {
                 Some(self.secondary_node(tkg, ioc, secondary))
             } else {
-                self.find_linked(tkg, &ioc.key(), stats)
+                self.find_linked(tkg, ioc.key_ref(), stats)
             };
             if let Some(d_node) = d_node {
                 if tkg.graph.add_edge(node, d_node, EdgeKind::ARecord).expect("schema") {
@@ -485,10 +485,8 @@ impl<'a> Enricher<'a> {
         ioc: Ioc,
         secondary: &mut Vec<(NodeId, Ioc)>,
     ) -> NodeId {
-        let key = ioc.key();
-        let existed = tkg.find_ioc(&key);
-        let node = tkg.upsert_ioc(&key);
-        if existed.is_none() {
+        let (node, is_new) = tkg.upsert_ioc_full(ioc.key_ref());
+        if is_new {
             secondary.push((node, ioc));
         }
         node

@@ -8,13 +8,15 @@
 //! The paper observes the gap between the two growing ≈3.5 % per month.
 
 use std::path::Path;
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use trail_gnn::train::predict_events;
 use trail_gnn::{FineTune, SageConfig, SageModel};
 use trail_graph::persist::fnv1a_bytes;
-use trail_graph::NodeId;
+use trail_graph::{Csr, NodeId};
+use trail_ioc::IocKind;
 use trail_linalg::Matrix;
 use trail_ml::metrics::{accuracy, balanced_accuracy, ConfusionMatrix};
 use trail_ml::nn::autoencoder::{Autoencoder, AutoencoderConfig};
@@ -22,9 +24,13 @@ use trail_osint::{OsintClient, DAYS_PER_MONTH};
 
 use crate::attribute::GnnEvalConfig;
 use crate::checkpoint::{self, CheckpointError, StudyCheckpoint};
-use crate::embed::{assemble_gnn_input, compute_codes, train_autoencoders};
+use crate::embed::{
+    assemble_gnn_input, assemble_gnn_input_from, compute_codes, compute_codes_with,
+    train_autoencoders, train_autoencoders_with_scalers, CodeCache, NodeEmbeddings, SparseScaler,
+};
 use crate::enrich::IngestStats;
 use crate::system::TrailSystem;
+use crate::tkg::Tkg;
 
 /// Study parameters.
 #[derive(Debug, Clone)]
@@ -84,21 +90,71 @@ pub struct StudyOutput {
     pub ingest: IngestStats,
 }
 
+/// Per-window wall clock of one study run. Reported alongside the
+/// output (never inside [`StudyOutput`], which is compared bit for bit
+/// across modes) so the benchmark can contrast full rebuilds with the
+/// cached path.
+#[derive(Debug, Clone)]
+pub struct WindowTiming {
+    /// Month index.
+    pub month: u32,
+    /// Seconds spent preparing GNN inputs: CSR freeze or delta-merge,
+    /// code computation, input-matrix assembly or maintenance.
+    pub prep_seconds: f64,
+    /// Seconds for the whole window including predictions and the
+    /// fine-tune epochs.
+    pub total_seconds: f64,
+}
+
 /// Run the monthly study. Consumes the system (the TKG grows month by
 /// month).
 pub fn run_monthly_study<R: Rng + ?Sized>(
     rng: &mut R,
-    mut sys: TrailSystem,
+    sys: TrailSystem,
     cfg: &StudyConfig,
 ) -> StudyOutput {
+    run_monthly_study_mode(rng, sys, cfg, false).0
+}
+
+/// [`run_monthly_study`] on the incremental path: per window, the CSR
+/// is delta-merged instead of refrozen, node codes come from a
+/// fingerprint-keyed row cache instead of a full re-encode, and one
+/// reusable GNN input matrix is grown and label-flipped instead of
+/// being assembled three times. The [`StudyOutput`] is bitwise
+/// identical to the full-rebuild path.
+pub fn run_monthly_study_incremental<R: Rng + ?Sized>(
+    rng: &mut R,
+    sys: TrailSystem,
+    cfg: &StudyConfig,
+) -> (StudyOutput, Vec<WindowTiming>) {
+    run_monthly_study_mode(rng, sys, cfg, true)
+}
+
+/// Shared study driver; `incremental` switches the per-window input
+/// preparation between full rebuilds and the cached path.
+///
+/// Both modes freeze the scalers fitted on the base TKG for the whole
+/// study, so an existing node's code never changes as the graph grows
+/// (features are first-write-wins). That stability is what the
+/// incremental mode's row cache and reusable input matrix rely on; the
+/// full mode uses the same frozen scalers so the two paths stay
+/// comparable bit for bit.
+pub fn run_monthly_study_mode<R: Rng + ?Sized>(
+    rng: &mut R,
+    mut sys: TrailSystem,
+    cfg: &StudyConfig,
+    incremental: bool,
+) -> (StudyOutput, Vec<WindowTiming>) {
     let cutoff = sys.asof_day;
     // Base embeddings + base model trained on everything before cutoff.
-    let (_, encoders) = train_autoencoders(rng, &sys.tkg, &cfg.ae);
+    let (_, encoders, scalers) = train_autoencoders_with_scalers(rng, &sys.tkg, &cfg.ae);
+    let code_dim = encoders.first().map_or(0, |ae| ae.code_dim());
     let base_pairs: Vec<(NodeId, u16)> =
         sys.tkg.events.iter().map(|e| (e.node, e.apt)).collect();
+    let masking = trail_gnn::LabelMasking { offset: code_dim + 5, visible_fraction: 0.5 };
 
-    let train_model = |rng: &mut R, sys: &TrailSystem, encoders: &[Autoencoder]| -> SageModel {
-        let emb = compute_codes(&sys.tkg, encoders, cfg.ae.batch_size);
+    let train_model = |rng: &mut R, sys: &TrailSystem| -> SageModel {
+        let emb = compute_codes_with(&sys.tkg, &encoders, &scalers, cfg.ae.batch_size);
         let mut x = assemble_gnn_input(&sys.tkg, &emb, &base_pairs);
         let csr = sys.tkg.csr();
         let sage_cfg = SageConfig {
@@ -108,25 +164,39 @@ pub fn run_monthly_study<R: Rng + ?Sized>(
             n_classes: sys.tkg.n_classes(),
             l2_normalize: cfg.gnn.l2_normalize,
         };
-        let masking = trail_gnn::LabelMasking { offset: emb.code_dim + 5, visible_fraction: 0.5 };
         let (model, _) = trail_gnn::train_sage_masked(
             rng, &csr, &mut x, sage_cfg, &base_pairs, &[], &cfg.gnn.train, masking,
         );
         model
     };
-    let mut stale_model = train_model(rng, &sys, &encoders);
+    let mut stale_model = train_model(rng, &sys);
     // The fresh model starts as a copy of the same training procedure;
     // cloning weights via retraining with the same seed stream is
     // unnecessary — fine-tuning evolves it from the same starting point.
-    let mut fresh_model = train_model(rng, &sys, &encoders);
+    let mut fresh_model = train_model(rng, &sys);
 
     let mut months = Vec::new();
+    let mut timings = Vec::new();
     let mut window_ingest = IngestStats::default();
     let mut confusion: Option<ConfusionMatrix> = None;
     // Labels visible to the fresh model: base events + past study months.
     let mut fresh_visible = base_pairs.clone();
 
+    // Incremental state: the frozen CSR the next window delta-merges
+    // from, the code row cache, and the one reusable input matrix whose
+    // label block always equals `fresh_visible` between windows.
+    let mut inc_csr = if incremental { Some(sys.tkg.csr()) } else { None };
+    let mut code_cache = CodeCache::new();
+    let mut inc_x: Option<Matrix> = None;
+    if incremental {
+        code_cache.refresh(&sys.tkg, &encoders, &scalers, cfg.ae.batch_size);
+        inc_x =
+            Some(assemble_gnn_input_from(&sys.tkg, code_cache.codes(), code_dim, &fresh_visible));
+    }
+    let label_col = |label: u16| code_dim + 5 + label as usize;
+
     for month in 0..cfg.months {
+        let t_window = Instant::now();
         let lo = cutoff + month * DAYS_PER_MONTH;
         let hi = lo + DAYS_PER_MONTH;
         let ingested = sys.ingest_window(lo, hi);
@@ -145,18 +215,79 @@ pub fn run_monthly_study<R: Rng + ?Sized>(
             .collect();
         let truth: Vec<u16> = month_events.iter().map(|&(_, c)| c).collect();
         let targets: Vec<NodeId> = month_events.iter().map(|&(n, _)| n).collect();
-        let csr = sys.tkg.csr();
-        let emb = compute_codes(&sys.tkg, &encoders, cfg.ae.batch_size);
 
-        // Stale model: only the base labels are visible; no fine-tuning.
-        let x_stale = assemble_gnn_input(&sys.tkg, &emb, &base_pairs);
-        let stale_preds = predict_events(&mut stale_model, &csr, &x_stale, &targets);
-        let stale_hard: Vec<u16> = stale_preds.iter().map(|&(c, _)| c).collect();
+        let mut prep = 0.0f64;
+        let csr: Csr;
+        let mut full_emb: Option<NodeEmbeddings> = None;
+        let stale_hard: Vec<u16>;
+        let fresh_hard: Vec<u16>;
+        if incremental {
+            let t = Instant::now();
+            csr = inc_csr.take().expect("seeded before the loop").merge_appended(&sys.tkg.graph);
+            let recomputed = code_cache.refresh(&sys.tkg, &encoders, &scalers, cfg.ae.batch_size);
+            let x = inc_x.as_mut().expect("seeded before the loop");
+            // Grow the input matrix: new rows get their code + kind
+            // blocks, and any recomputed cache row is resynced (with
+            // frozen scalers that only ever means brand-new nodes).
+            let old_rows = x.rows();
+            let n = sys.tkg.graph.node_count();
+            if n > old_rows {
+                let mut grown = Matrix::zeros(n, x.cols());
+                for i in 0..old_rows {
+                    grown.row_mut(i).copy_from_slice(x.row(i));
+                }
+                *x = grown;
+            }
+            for i in old_rows..n {
+                let row = x.row_mut(i);
+                row[..code_dim].copy_from_slice(code_cache.codes().row(i));
+                row[code_dim + sys.tkg.graph.node(NodeId::from(i)).kind.index()] = 1.0;
+            }
+            for i in recomputed {
+                if i < old_rows {
+                    x.row_mut(i)[..code_dim].copy_from_slice(code_cache.codes().row(i));
+                }
+            }
+            prep += t.elapsed().as_secs_f64();
 
-        // Fresh model: past months' labels visible.
-        let x_fresh = assemble_gnn_input(&sys.tkg, &emb, &fresh_visible);
-        let fresh_preds = predict_events(&mut fresh_model, &csr, &x_fresh, &targets);
-        let fresh_hard: Vec<u16> = fresh_preds.iter().map(|&(c, _)| c).collect();
+            // Fresh model first: the label block already equals
+            // `fresh_visible`. (Both predictions are rng-free, so the
+            // order swap relative to the full path changes nothing.)
+            let fresh_preds = predict_events(&mut fresh_model, &csr, x, &targets);
+            fresh_hard = fresh_preds.iter().map(|&(c, _)| c).collect();
+
+            // Stale view: hide the post-base labels, predict, restore.
+            let t = Instant::now();
+            for &(node, label) in &fresh_visible[base_pairs.len()..] {
+                x[(node.index(), label_col(label))] = 0.0;
+            }
+            prep += t.elapsed().as_secs_f64();
+            let stale_preds = predict_events(&mut stale_model, &csr, x, &targets);
+            stale_hard = stale_preds.iter().map(|&(c, _)| c).collect();
+            let t = Instant::now();
+            for &(node, label) in &fresh_visible[base_pairs.len()..] {
+                x[(node.index(), label_col(label))] = 1.0;
+            }
+            prep += t.elapsed().as_secs_f64();
+        } else {
+            let t = Instant::now();
+            csr = sys.tkg.csr();
+            let emb = compute_codes_with(&sys.tkg, &encoders, &scalers, cfg.ae.batch_size);
+
+            // Stale model: only the base labels are visible.
+            let x_stale = assemble_gnn_input(&sys.tkg, &emb, &base_pairs);
+            prep += t.elapsed().as_secs_f64();
+            let stale_preds = predict_events(&mut stale_model, &csr, &x_stale, &targets);
+            stale_hard = stale_preds.iter().map(|&(c, _)| c).collect();
+
+            // Fresh model: past months' labels visible.
+            let t = Instant::now();
+            let x_fresh = assemble_gnn_input(&sys.tkg, &emb, &fresh_visible);
+            prep += t.elapsed().as_secs_f64();
+            let fresh_preds = predict_events(&mut fresh_model, &csr, &x_fresh, &targets);
+            fresh_hard = fresh_preds.iter().map(|&(c, _)| c).collect();
+            full_emb = Some(emb);
+        }
 
         let k = sys.tkg.n_classes();
         months.push(MonthResult {
@@ -173,20 +304,45 @@ pub fn run_monthly_study<R: Rng + ?Sized>(
 
         // Month end: the fresh model learns this month's labels.
         fresh_visible.extend(month_events.iter().copied());
-        let mut x_ft = assemble_gnn_input(&sys.tkg, &emb, &fresh_visible);
-        let masking = trail_gnn::LabelMasking { offset: emb.code_dim + 5, visible_fraction: 0.5 };
-        trail_gnn::train::fine_tune_masked(
-            rng, &mut fresh_model, &csr, &mut x_ft, &month_events, &cfg.fine_tune, masking,
-        );
+        if incremental {
+            let x = inc_x.as_mut().expect("seeded before the loop");
+            let t = Instant::now();
+            for &(node, label) in &month_events {
+                x[(node.index(), label_col(label))] = 1.0;
+            }
+            prep += t.elapsed().as_secs_f64();
+            // `fine_tune_masked` hides and restores target labels per
+            // epoch, so the matrix leaves the window with its label
+            // block equal to the extended `fresh_visible` — the loop
+            // invariant the next window's flips depend on.
+            trail_gnn::train::fine_tune_masked(
+                rng, &mut fresh_model, &csr, x, &month_events, &cfg.fine_tune, masking,
+            );
+            inc_csr = Some(csr);
+        } else {
+            let emb = full_emb.take().expect("set in the full branch");
+            let t = Instant::now();
+            let mut x_ft = assemble_gnn_input(&sys.tkg, &emb, &fresh_visible);
+            prep += t.elapsed().as_secs_f64();
+            trail_gnn::train::fine_tune_masked(
+                rng, &mut fresh_model, &csr, &mut x_ft, &month_events, &cfg.fine_tune, masking,
+            );
+        }
+        timings.push(WindowTiming {
+            month,
+            prep_seconds: prep,
+            total_seconds: t_window.elapsed().as_secs_f64(),
+        });
     }
 
-    StudyOutput {
+    let output = StudyOutput {
         months,
         first_month_confusion: confusion
             .unwrap_or_else(|| ConfusionMatrix::from_predictions(&[], &[], sys.tkg.n_classes())),
         class_names: sys.tkg.registry.names().to_vec(),
         ingest: window_ingest,
-    }
+    };
+    (output, timings)
 }
 
 // ---------------------------------------------------------------------------
@@ -326,6 +482,14 @@ pub fn run_resumable_study(
     let mut sys = TrailSystem::build(client, cutoff);
     let base_pairs: Vec<(NodeId, u16)> =
         sys.tkg.events.iter().map(|e| (e.node, e.apt)).collect();
+    // Scalers are fitted on the base TKG and frozen for every window —
+    // the monthly study's contract. Refitting here (before any window
+    // replay) reproduces them exactly on resume, so they never need to
+    // be checkpointed.
+    let base_scalers: Vec<SparseScaler> = IocKind::ALL
+        .iter()
+        .map(|&k| SparseScaler::fit(&sys.tkg.featured_nodes(k), Tkg::dims_of(k)))
+        .collect();
 
     let encoders: Vec<Autoencoder>;
     let mut stale_model: SageModel;
@@ -370,7 +534,7 @@ pub fn run_resumable_study(
             let (_, enc) = train_autoencoders(&mut stage_rng(seed, STAGE_AE), &sys.tkg, &cfg.ae);
             encoders = enc;
             let train_model = |rng: &mut StdRng| -> SageModel {
-                let emb = compute_codes(&sys.tkg, &encoders, cfg.ae.batch_size);
+                let emb = compute_codes_with(&sys.tkg, &encoders, &base_scalers, cfg.ae.batch_size);
                 let mut x = assemble_gnn_input(&sys.tkg, &emb, &base_pairs);
                 let csr = sys.tkg.csr();
                 let sage_cfg = SageConfig {
@@ -432,7 +596,7 @@ pub fn run_resumable_study(
             let truth: Vec<u16> = month_events.iter().map(|&(_, c)| c).collect();
             let targets: Vec<NodeId> = month_events.iter().map(|&(n, _)| n).collect();
             let csr = sys.tkg.csr();
-            let emb = compute_codes(&sys.tkg, &encoders, cfg.ae.batch_size);
+            let emb = compute_codes_with(&sys.tkg, &encoders, &base_scalers, cfg.ae.batch_size);
 
             let x_stale = assemble_gnn_input(&sys.tkg, &emb, &base_pairs);
             let stale_preds = predict_events(&mut stale_model, &csr, &x_stale, &targets);
@@ -669,6 +833,19 @@ mod tests {
             .map(|(t, p)| out.first_month_confusion.get(t, p))
             .sum();
         assert_eq!(total, out.months[0].n_events);
+    }
+
+    #[test]
+    fn incremental_study_is_bitwise_identical_to_full() {
+        let cfg = tiny_cfg();
+        let full = run_monthly_study(&mut StdRng::seed_from_u64(9), tiny_sys(), &cfg);
+        let (inc, timings) =
+            run_monthly_study_incremental(&mut StdRng::seed_from_u64(9), tiny_sys(), &cfg);
+        assert_eq!(inc, full, "incremental study diverged from the full rebuild");
+        assert_eq!(timings.len(), full.months.len());
+        for t in &timings {
+            assert!(t.total_seconds >= t.prep_seconds);
+        }
     }
 
     fn temp_study_dir(tag: &str) -> std::path::PathBuf {

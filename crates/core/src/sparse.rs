@@ -50,6 +50,29 @@ impl SparseVec {
         self.entries.len()
     }
 
+    /// Content fingerprint over the `(index, value-bits)` entries and
+    /// the logical width. Equal vectors always fingerprint equally, so
+    /// the incremental code cache can key encoded rows on it.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut step = |b: u8| {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        };
+        for &b in &self.dims.to_le_bytes() {
+            step(b);
+        }
+        for &(i, v) in &self.entries {
+            for &b in &i.to_le_bytes() {
+                step(b);
+            }
+            for &b in &v.to_bits().to_le_bytes() {
+                step(b);
+            }
+        }
+        h
+    }
+
     /// Value at index `i`.
     pub fn get(&self, i: u32) -> f32 {
         self.entries

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use trail_graph::ids::LabelId;
 use trail_graph::{Csr, GraphStore, NodeId, NodeKind};
 use trail_ioc::features::{DomainEncoder, IpEncoder, UrlEncoder, DOMAIN_DIMS, IP_DIMS, URL_DIMS};
-use trail_ioc::{IocKey, IocKind};
+use trail_ioc::{IocKey, IocKeyRef, IocKind};
 
 use crate::collector::AptRegistry;
 use crate::sparse::SparseVec;
@@ -109,11 +109,28 @@ impl Tkg {
     /// created through here (or with an equivalent key), so one
     /// indicator can never occupy two nodes under different spellings.
     pub fn upsert_ioc(&mut self, key: &IocKey) -> NodeId {
-        self.graph.upsert_node(Self::node_kind(key.kind()), key.text())
+        self.upsert_ioc_ref(key.as_ref())
+    }
+
+    /// [`Self::upsert_ioc`] for the borrowed key form — the enrichment
+    /// hot path passes identities through without cloning their text.
+    pub fn upsert_ioc_ref(&mut self, key: IocKeyRef<'_>) -> NodeId {
+        self.upsert_ioc_full(key).0
+    }
+
+    /// Upsert an IOC node and report whether it is new, in one index
+    /// probe (no separate `find` + `upsert` round trip).
+    pub fn upsert_ioc_full(&mut self, key: IocKeyRef<'_>) -> (NodeId, bool) {
+        self.graph.upsert_node_full(Self::node_kind(key.kind()), key.text())
     }
 
     /// Find the node for a canonical IOC identity, if present.
     pub fn find_ioc(&self, key: &IocKey) -> Option<NodeId> {
+        self.find_ioc_ref(key.as_ref())
+    }
+
+    /// [`Self::find_ioc`] for the borrowed key form.
+    pub fn find_ioc_ref(&self, key: IocKeyRef<'_>) -> Option<NodeId> {
         self.graph.find_node(Self::node_kind(key.kind()), key.text())
     }
 
@@ -306,7 +323,10 @@ mod tests {
             assert_eq!(tkg.find_ioc(&k), Some(node), "{raw:?}");
             assert_eq!(tkg.upsert_ioc(&k), node, "{raw:?} upserted a second node");
         }
-        assert_eq!(tkg.graph.node(node).key, "threebody.cn");
+        assert_eq!(tkg.graph.key(node), "threebody.cn");
+        // The borrowed-key forms resolve identically, with no clone.
+        assert_eq!(tkg.find_ioc_ref(key.as_ref()), Some(node));
+        assert_eq!(tkg.upsert_ioc_full(key.as_ref()), (node, false));
     }
 
     #[test]

@@ -23,4 +23,7 @@ pub mod train;
 
 pub use labelprop::LabelPropagation;
 pub use sage::{SageConfig, SageModel};
-pub use train::{train_sage, train_sage_masked, FineTune, LabelMasking, TrainConfig};
+pub use train::{
+    fine_tune, fine_tune_masked, predict_events, train_sage, train_sage_masked, FineTune,
+    LabelMasking, TrainConfig,
+};

@@ -7,6 +7,15 @@
 //! At reproduction scale the whole graph fits in memory, so layers run
 //! full-graph: a mean-aggregation sweep over the CSR followed by two
 //! dense linear maps. Backward passes mirror each step by hand.
+//!
+//! Every layer owns its activation, cache and gradient buffers and the
+//! forward/backward passes write into them via the `_into` kernels, so
+//! once buffer shapes stabilise (after the first epoch) a full
+//! forward + backward + step round trip performs zero heap
+//! allocations. The buffered kernels zero their destinations before
+//! accumulating (or accumulate into optimiser-zeroed gradients), which
+//! keeps every f32 summation order identical to the allocating
+//! formulation — outputs are bitwise unchanged.
 
 use rand::Rng;
 use trail_graph::{Csr, NodeId};
@@ -45,19 +54,49 @@ impl SageConfig {
     }
 }
 
+/// Resize `m` to `rows × cols`, reallocating only when the shape
+/// actually changes. The contents after a call are unspecified (zeroed
+/// on reallocation, stale otherwise) — callers overwrite them.
+pub(crate) fn ensure_shape(m: &mut Matrix, rows: usize, cols: usize) {
+    if m.shape() != (rows, cols) {
+        *m = Matrix::zeros(rows, cols);
+    }
+}
+
 /// One SAGE layer:
 /// `y = h W_root + mean(N(v)) W_nbr + b`, then ReLU + L2 unless final.
+///
+/// All intermediates live in owned buffers sized lazily on first use;
+/// steady-state forward/backward rounds are allocation-free.
 struct SageLayer {
     w_root: Param,
     w_nbr: Param,
     b: Param,
     last: bool,
     l2_normalize: bool,
-    cache_input: Option<Matrix>,
-    cache_agg: Option<Matrix>,
+    /// Copy of the layer input `h` from the last train-mode forward.
+    cache_input: Matrix,
+    /// Neighbour-mean aggregation of the last forward (train or not —
+    /// the matrix doubles as the forward scratch buffer).
+    cache_agg: Matrix,
     cache_mask: Vec<bool>,
-    cache_act: Option<Matrix>,
+    /// Post-normalisation activations of the last train-mode forward.
+    cache_act: Matrix,
     cache_norms: Vec<f32>,
+    /// Whether a train-mode forward has populated the caches.
+    has_cache: bool,
+    /// Layer output; the next layer reads it as its input.
+    buf_out: Matrix,
+    /// Scratch for `agg · W_nbr` — kept separate from `buf_out` so the
+    /// two matmuls accumulate exactly as the allocating form did.
+    buf_lin: Matrix,
+    /// Working copy of the upstream gradient.
+    buf_d_pre: Matrix,
+    /// Gradient w.r.t. the layer input; the previous layer reads it as
+    /// its upstream gradient.
+    buf_d_h: Matrix,
+    buf_d_agg: Matrix,
+    buf_scatter: Matrix,
 }
 
 impl SageLayer {
@@ -74,89 +113,136 @@ impl SageLayer {
             b: Param::new(Matrix::zeros(1, d_out)),
             last,
             l2_normalize,
-            cache_input: None,
-            cache_agg: None,
+            cache_input: Matrix::zeros(0, 0),
+            cache_agg: Matrix::zeros(0, 0),
             cache_mask: Vec::new(),
-            cache_act: None,
+            cache_act: Matrix::zeros(0, 0),
             cache_norms: Vec::new(),
+            has_cache: false,
+            buf_out: Matrix::zeros(0, 0),
+            buf_lin: Matrix::zeros(0, 0),
+            buf_d_pre: Matrix::zeros(0, 0),
+            buf_d_h: Matrix::zeros(0, 0),
+            buf_d_agg: Matrix::zeros(0, 0),
+            buf_scatter: Matrix::zeros(0, 0),
         }
     }
 
-    fn forward(&mut self, csr: &Csr, h: &Matrix, train: bool) -> Matrix {
-        let agg = aggregate_mean(csr, h);
-        let mut y = h.matmul(&self.w_root.value).expect("root shape");
-        y.add_assign(&agg.matmul(&self.w_nbr.value).expect("nbr shape")).expect("same shape");
-        y.add_row_broadcast(self.b.value.as_slice()).expect("bias");
+    /// Forward pass into `self.buf_out`.
+    fn forward_into(&mut self, csr: &Csr, h: &Matrix, train: bool) {
+        let threads = trail_linalg::pool::num_threads();
+        let n = h.rows();
+        let d_in = h.cols();
+        let d_out = self.w_root.value.cols();
+        ensure_shape(&mut self.cache_agg, n, d_in);
+        neighbor_mean_sweep_into(csr, h, SweepWeight::MeanOfNeighbors, threads, &mut self.cache_agg);
+        ensure_shape(&mut self.buf_out, n, d_out);
+        h.matmul_into(&self.w_root.value, &mut self.buf_out).expect("root shape");
+        ensure_shape(&mut self.buf_lin, n, d_out);
+        self.cache_agg.matmul_into(&self.w_nbr.value, &mut self.buf_lin).expect("nbr shape");
+        self.buf_out.add_assign(&self.buf_lin).expect("same shape");
+        self.buf_out.add_row_broadcast(self.b.value.as_slice()).expect("bias");
         if train {
-            self.cache_input = Some(h.clone());
-            self.cache_agg = Some(agg);
+            ensure_shape(&mut self.cache_input, n, d_in);
+            self.cache_input.as_mut_slice().copy_from_slice(h.as_slice());
+            self.has_cache = true;
         }
         if self.last {
-            return y;
+            return;
         }
         if train {
-            self.cache_mask = y.as_slice().iter().map(|&v| v > 0.0).collect();
+            self.cache_mask.clear();
+            self.cache_mask.extend(self.buf_out.as_slice().iter().map(|&v| v > 0.0));
         }
-        y.map_inplace(|v| v.max(0.0));
+        self.buf_out.map_inplace(|v| v.max(0.0));
         if self.l2_normalize {
             // Row-wise L2 normalisation (Eq. 4).
-            let cols = y.cols();
-            let mut norms = Vec::with_capacity(y.rows());
-            for row in y.as_mut_slice().chunks_exact_mut(cols) {
-                let n = trail_linalg::vector::norm2(row).max(1e-12);
+            let Self { buf_out, cache_norms, .. } = self;
+            let cols = buf_out.cols();
+            cache_norms.clear();
+            for row in buf_out.as_mut_slice().chunks_exact_mut(cols) {
+                let nrm = trail_linalg::vector::norm2(row).max(1e-12);
                 for v in row.iter_mut() {
-                    *v /= n;
+                    *v /= nrm;
                 }
-                norms.push(n);
+                cache_norms.push(nrm);
             }
             if train {
-                self.cache_norms = norms;
-                self.cache_act = Some(y.clone());
+                ensure_shape(&mut self.cache_act, n, d_out);
+                self.cache_act.as_mut_slice().copy_from_slice(self.buf_out.as_slice());
             }
         } else if train {
             self.cache_norms.clear();
-            self.cache_act = None;
         }
-        y
     }
 
-    /// Backward pass; returns the gradient w.r.t. the layer input `h`.
-    fn backward(&mut self, csr: &Csr, d_out: &Matrix) -> Matrix {
-        let mut d_pre = d_out.clone();
+    /// Backward pass into `self.buf_d_h` (the gradient w.r.t. the
+    /// layer input). Must follow a train-mode [`Self::forward_into`]
+    /// with no intervening forward — the caches are also the forward
+    /// scratch buffers.
+    fn backward_into(&mut self, csr: &Csr, d_out: &Matrix) {
+        assert!(self.has_cache, "forward(train) first");
+        let threads = trail_linalg::pool::num_threads();
+        let n = d_out.rows();
+        let d_o = d_out.cols();
+        ensure_shape(&mut self.buf_d_pre, n, d_o);
+        self.buf_d_pre.as_mut_slice().copy_from_slice(d_out.as_slice());
         if !self.last {
             if self.l2_normalize {
                 // L2-norm backward: dx = (dy - y (dy·y)) / ||x||.
-                let y = self.cache_act.as_ref().expect("forward(train) first");
-                let cols = d_pre.cols();
-                for (r, norm) in self.cache_norms.iter().enumerate() {
-                    let dot = trail_linalg::vector::dot(d_pre.row(r), y.row(r));
-                    let y_row: Vec<f32> = y.row(r).to_vec();
-                    let d_row = d_pre.row_mut(r);
+                let Self { buf_d_pre, cache_act, cache_norms, .. } = self;
+                let cols = buf_d_pre.cols();
+                for (r, norm) in cache_norms.iter().enumerate() {
+                    let dot = trail_linalg::vector::dot(buf_d_pre.row(r), cache_act.row(r));
+                    let y_row = cache_act.row(r);
+                    let d_row = buf_d_pre.row_mut(r);
                     for c in 0..cols {
                         d_row[c] = (d_row[c] - y_row[c] * dot) / norm;
                     }
                 }
             }
             // ReLU backward.
-            for (g, &keep) in d_pre.as_mut_slice().iter_mut().zip(&self.cache_mask) {
+            for (g, &keep) in self.buf_d_pre.as_mut_slice().iter_mut().zip(&self.cache_mask) {
                 if !keep {
                     *g = 0.0;
                 }
             }
         }
-        let h = self.cache_input.as_ref().expect("forward(train) first");
-        let agg = self.cache_agg.as_ref().expect("forward(train) first");
-        let dw_root = h.t_matmul(&d_pre).expect("dw_root");
-        self.w_root.grad.add_assign(&dw_root).expect("accum");
-        let dw_nbr = agg.t_matmul(&d_pre).expect("dw_nbr");
-        self.w_nbr.grad.add_assign(&dw_nbr).expect("accum");
-        for (g, d) in self.b.grad.as_mut_slice().iter_mut().zip(d_pre.col_sums()) {
-            *g += d;
+        // Accumulate straight into the optimiser-zeroed grad buffers:
+        // summing into zeros in the same k-order is bitwise identical
+        // to materialising `t_matmul` and `add_assign`ing it.
+        self.cache_input.t_matmul_acc(&self.buf_d_pre, &mut self.w_root.grad).expect("dw_root");
+        self.cache_agg.t_matmul_acc(&self.buf_d_pre, &mut self.w_nbr.grad).expect("dw_nbr");
+        {
+            let Self { b, buf_d_pre, .. } = self;
+            let bg = b.grad.as_mut_slice();
+            for row in buf_d_pre.rows_iter() {
+                for (g, &d) in bg.iter_mut().zip(row) {
+                    *g += d;
+                }
+            }
         }
-        let mut d_h = d_pre.matmul_t(&self.w_root.value).expect("d_h root");
-        let d_agg = d_pre.matmul_t(&self.w_nbr.value).expect("d_agg");
-        d_h.add_assign(&scatter_mean_grad(csr, &d_agg)).expect("same shape");
-        d_h
+        let d_in = self.w_root.value.rows();
+        ensure_shape(&mut self.buf_d_h, n, d_in);
+        self.buf_d_pre.matmul_t_into(&self.w_root.value, &mut self.buf_d_h).expect("d_h root");
+        ensure_shape(&mut self.buf_d_agg, n, d_in);
+        self.buf_d_pre.matmul_t_into(&self.w_nbr.value, &mut self.buf_d_agg).expect("d_agg");
+        ensure_shape(&mut self.buf_scatter, n, d_in);
+        neighbor_mean_sweep_into(
+            csr,
+            &self.buf_d_agg,
+            SweepWeight::TransposeMean,
+            threads,
+            &mut self.buf_scatter,
+        );
+        self.buf_d_h.add_assign(&self.buf_scatter).expect("same shape");
+    }
+
+    /// Allocating convenience wrapper for tests.
+    #[cfg(test)]
+    fn forward(&mut self, csr: &Csr, h: &Matrix, train: bool) -> Matrix {
+        self.forward_into(csr, h, train);
+        self.buf_out.clone()
     }
 }
 
@@ -175,16 +261,25 @@ enum SweepWeight {
     TransposeMean,
 }
 
-/// Row-parallel neighbour sweep over the CSR. Every output row is
-/// produced by exactly one thread and sums its neighbours in CSR
-/// order, so the result is bitwise identical for every thread count.
-fn neighbor_mean_sweep(csr: &Csr, src: &Matrix, weight: SweepWeight, threads: usize) -> Matrix {
+/// Row-parallel neighbour sweep over the CSR, written into a
+/// caller-owned matrix (zeroed here first, so the accumulation order
+/// matches the allocating form exactly). Every output row is produced
+/// by exactly one thread and sums its neighbours in CSR order, so the
+/// result is bitwise identical for every thread count.
+fn neighbor_mean_sweep_into(
+    csr: &Csr,
+    src: &Matrix,
+    weight: SweepWeight,
+    threads: usize,
+    out: &mut Matrix,
+) {
     let n = csr.node_count();
     let d = src.cols();
     assert_eq!(src.rows(), n);
-    let mut out = Matrix::zeros(n, d);
+    assert_eq!(out.shape(), (n, d), "sweep output shape");
+    out.as_mut_slice().fill(0.0);
     if n == 0 || d == 0 {
-        return out;
+        return;
     }
     trail_linalg::pool::parallel_for_rows_limit(threads, out.as_mut_slice(), d, 16, |row0, band| {
         for (i, acc) in band.chunks_exact_mut(d).enumerate() {
@@ -216,6 +311,12 @@ fn neighbor_mean_sweep(csr: &Csr, src: &Matrix, weight: SweepWeight, threads: us
             }
         }
     });
+}
+
+/// Allocating form of the neighbour sweep.
+fn neighbor_mean_sweep(csr: &Csr, src: &Matrix, weight: SweepWeight, threads: usize) -> Matrix {
+    let mut out = Matrix::zeros(csr.node_count(), src.cols());
+    neighbor_mean_sweep_into(csr, src, weight, threads, &mut out);
     out
 }
 
@@ -235,12 +336,13 @@ pub fn aggregate_mean_with_threads(csr: &Csr, h: &Matrix, threads: usize) -> Mat
 /// Written as a gather over the symmetric CSR (`out[v] = Σ_{u∈N(v)}
 /// d_agg[u]/deg(u)`) so it parallelises by output row like the
 /// forward pass.
+#[cfg(test)]
 fn scatter_mean_grad(csr: &Csr, d_agg: &Matrix) -> Matrix {
     scatter_mean_grad_with_threads(csr, d_agg, trail_linalg::pool::num_threads())
 }
 
-/// [`scatter_mean_grad`] with an explicit thread cap, for tests and
-/// benches.
+/// Backward adjoint of the mean aggregation with an explicit thread
+/// cap, for tests and benches.
 #[doc(hidden)]
 pub fn scatter_mean_grad_with_threads(csr: &Csr, d_agg: &Matrix, threads: usize) -> Matrix {
     neighbor_mean_sweep(csr, d_agg, SweepWeight::TransposeMean, threads)
@@ -276,20 +378,39 @@ impl SageModel {
         &self.cfg
     }
 
-    /// Full-graph forward pass producing per-node logits.
-    pub fn forward(&mut self, csr: &Csr, x: &Matrix, train: bool) -> Matrix {
-        let mut h = x.clone();
-        for layer in &mut self.layers {
-            h = layer.forward(csr, &h, train);
+    /// Full-graph forward pass producing per-node logits, borrowed
+    /// from the last layer's output buffer. Allocation-free once
+    /// buffer shapes stabilise; the borrow ends before
+    /// [`Self::backward`] needs the model mutably.
+    pub fn forward_cached(&mut self, csr: &Csr, x: &Matrix, train: bool) -> &Matrix {
+        let n_layers = self.layers.len();
+        for l in 0..n_layers {
+            let (prev, rest) = self.layers.split_at_mut(l);
+            let h: &Matrix = match prev.last() {
+                Some(p) => &p.buf_out,
+                None => x,
+            };
+            rest[0].forward_into(csr, h, train);
         }
-        h
+        &self.layers[n_layers - 1].buf_out
     }
 
-    /// Backward pass from per-node logit gradients.
+    /// Full-graph forward pass producing owned per-node logits.
+    pub fn forward(&mut self, csr: &Csr, x: &Matrix, train: bool) -> Matrix {
+        self.forward_cached(csr, x, train).clone()
+    }
+
+    /// Backward pass from per-node logit gradients. Must follow a
+    /// train-mode forward with no intervening forward pass (the layer
+    /// caches double as the forward scratch buffers).
     pub fn backward(&mut self, csr: &Csr, d_logits: &Matrix) {
-        let mut g = d_logits.clone();
-        for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(csr, &g);
+        for l in (0..self.layers.len()).rev() {
+            let (head, tail) = self.layers.split_at_mut(l + 1);
+            let g: &Matrix = match tail.first() {
+                Some(next) => &next.buf_d_h,
+                None => d_logits,
+            };
+            head[l].backward_into(csr, g);
         }
     }
 
@@ -518,5 +639,23 @@ mod tests {
         let x = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
         let y = model.forward(&csr, &x, false);
         assert_eq!(y, x);
+    }
+
+    #[test]
+    fn repeated_forward_reuses_buffers_bitwise() {
+        // Buffer reuse across calls must not leak state between passes:
+        // the same input yields the exact same output every time, and a
+        // different input in between does not perturb it.
+        let (g, _) = line_graph();
+        let csr = Csr::from_store(&g);
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = SageConfig::new(3, 8, 2, 4);
+        let mut model = SageModel::new(&mut rng, cfg);
+        let x = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f32 * 0.25 - 1.0);
+        let first = model.forward(&csr, &x, false);
+        let other = Matrix::from_fn(3, 3, |r, c| (r + c) as f32 * -0.5);
+        let _ = model.forward(&csr, &other, true);
+        let again = model.forward(&csr, &x, false);
+        assert_eq!(first, again);
     }
 }

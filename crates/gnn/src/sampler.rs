@@ -38,6 +38,17 @@ impl Subgraph {
     }
 }
 
+/// Reusable traversal buffers for repeated k-hop extractions — one
+/// subgraph per examined event in the explainer sweep. Holding one of
+/// these across calls keeps the per-node neighbour copy and the BFS
+/// frontiers out of the allocator in the steady state.
+#[derive(Debug, Default)]
+pub struct SampleScratch {
+    neighbors: Vec<NodeId>,
+    frontier: Vec<NodeId>,
+    next: Vec<NodeId>,
+}
+
 /// Extract the k-hop subgraph around `roots`, visiting at most
 /// `neighbor_cap` neighbours per expanded node (0 = unlimited). The
 /// induced edge set contains every CSR edge among sampled nodes.
@@ -48,10 +59,25 @@ pub fn sample_k_hop<R: Rng + ?Sized>(
     k: u32,
     neighbor_cap: usize,
 ) -> Subgraph {
+    sample_k_hop_with(&mut SampleScratch::default(), rng, csr, roots, k, neighbor_cap)
+}
+
+/// [`sample_k_hop`] with caller-owned scratch. Consumes the RNG
+/// identically to the one-shot form, so swapping between the two never
+/// perturbs a seeded sampling sequence.
+pub fn sample_k_hop_with<R: Rng + ?Sized>(
+    scratch: &mut SampleScratch,
+    rng: &mut R,
+    csr: &Csr,
+    roots: &[NodeId],
+    k: u32,
+    neighbor_cap: usize,
+) -> Subgraph {
+    let SampleScratch { neighbors, frontier, next } = scratch;
     let mut nodes = Vec::new();
     let mut local_of: HashMap<NodeId, usize> = HashMap::new();
     let mut hops = Vec::new();
-    let mut frontier: Vec<NodeId> = Vec::new();
+    frontier.clear();
     for &r in roots {
         if !local_of.contains_key(&r) {
             local_of.insert(r, nodes.len());
@@ -61,14 +87,15 @@ pub fn sample_k_hop<R: Rng + ?Sized>(
         }
     }
     for hop in 1..=k {
-        let mut next = Vec::new();
-        for &v in &frontier {
-            let mut neighbors: Vec<NodeId> = csr.neighbors(v).to_vec();
+        next.clear();
+        for &v in frontier.iter() {
+            neighbors.clear();
+            neighbors.extend_from_slice(csr.neighbors(v));
             if neighbor_cap > 0 && neighbors.len() > neighbor_cap {
                 neighbors.shuffle(rng);
                 neighbors.truncate(neighbor_cap);
             }
-            for u in neighbors {
+            for &u in neighbors.iter() {
                 if !local_of.contains_key(&u) {
                     local_of.insert(u, nodes.len());
                     nodes.push(u);
@@ -77,7 +104,7 @@ pub fn sample_k_hop<R: Rng + ?Sized>(
                 }
             }
         }
-        frontier = next;
+        std::mem::swap(frontier, next);
         if frontier.is_empty() {
             break;
         }
@@ -182,5 +209,23 @@ mod tests {
         let sub = sample_k_hop(&mut rng, &csr, &[e1, e2], 1, 0);
         assert_eq!(sub.len(), 4);
         assert_eq!(sub.edges.len(), 3); // ip-d edge induced
+    }
+
+    #[test]
+    fn scratch_reuse_matches_one_shot_sampling() {
+        let (g, e, _) = star();
+        let csr = Csr::from_store(&g);
+        // Same seed, same cap: reused-scratch extraction must consume
+        // the RNG identically and produce the identical subgraph.
+        let mut scratch = SampleScratch::default();
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        for cap in [3usize, 2, 0, 5] {
+            let fresh = sample_k_hop(&mut rng_a, &csr, &[e], 2, cap);
+            let reused = sample_k_hop_with(&mut scratch, &mut rng_b, &csr, &[e], 2, cap);
+            assert_eq!(fresh.nodes, reused.nodes, "cap={cap}");
+            assert_eq!(fresh.edges, reused.edges, "cap={cap}");
+            assert_eq!(fresh.hops, reused.hops, "cap={cap}");
+        }
     }
 }

@@ -11,10 +11,10 @@
 use rand::Rng;
 use trail_graph::{Csr, NodeId};
 use trail_linalg::Matrix;
-use trail_ml::nn::loss::softmax_cross_entropy;
+use trail_ml::nn::loss::{softmax_cross_entropy, softmax_cross_entropy_into};
 use trail_ml::nn::Adam;
 
-use crate::sage::{SageConfig, SageModel};
+use crate::sage::{ensure_shape, SageConfig, SageModel};
 
 /// Training parameters.
 #[derive(Debug, Clone, Copy)]
@@ -70,6 +70,97 @@ fn masked_loss(
     (loss, acc, d_logits)
 }
 
+/// Reusable buffers for the per-epoch training round trip. Sized
+/// lazily on first use; after that an epoch's loss/gradient assembly
+/// performs no heap allocation (the computation itself runs in the
+/// model's layer buffers).
+struct EpochWorkspace {
+    rows: Vec<usize>,
+    y: Vec<u16>,
+    pred: Vec<u16>,
+    sub: Matrix,
+    d_sub: Matrix,
+    d_logits: Matrix,
+}
+
+impl EpochWorkspace {
+    fn new() -> Self {
+        Self {
+            rows: Vec::new(),
+            y: Vec::new(),
+            pred: Vec::new(),
+            sub: Matrix::zeros(0, 0),
+            d_sub: Matrix::zeros(0, 0),
+            d_logits: Matrix::zeros(0, 0),
+        }
+    }
+
+    /// Buffered [`masked_loss`]: the gradient lands in
+    /// `self.d_logits`; returns `(loss, accuracy_on_rows)`. Bitwise
+    /// identical to the allocating form — the kernels zero their
+    /// destinations before writing.
+    fn masked_loss_into(&mut self, logits: &Matrix, labelled: &[(NodeId, u16)]) -> (f32, f64) {
+        self.rows.clear();
+        self.rows.extend(labelled.iter().map(|(id, _)| id.index()));
+        self.y.clear();
+        self.y.extend(labelled.iter().map(|&(_, c)| c));
+        ensure_shape(&mut self.sub, labelled.len(), logits.cols());
+        logits.gather_rows_into(&self.rows, &mut self.sub).expect("gather rows");
+        self.pred.clear();
+        self.pred.extend(
+            self.sub.rows_iter().map(|r| trail_linalg::vector::argmax(r).unwrap_or(0) as u16),
+        );
+        let acc = trail_ml::metrics::accuracy(&self.y, &self.pred);
+        ensure_shape(&mut self.d_sub, labelled.len(), logits.cols());
+        let loss = softmax_cross_entropy_into(&self.sub, &self.y, &mut self.d_sub);
+        ensure_shape(&mut self.d_logits, logits.rows(), logits.cols());
+        self.d_logits.as_mut_slice().fill(0.0);
+        for (i, &r) in self.rows.iter().enumerate() {
+            self.d_logits.row_mut(r).copy_from_slice(self.d_sub.row(i));
+        }
+        (loss, acc)
+    }
+}
+
+/// One masked-label training epoch: shuffle, hide target labels,
+/// forward, masked loss, backward, step, restore labels. Every
+/// intermediate lives in `ws`, `targets` or the model's layer
+/// buffers, so the steady state (shapes unchanged since the previous
+/// epoch) allocates nothing.
+#[allow(clippy::too_many_arguments)]
+fn masked_epoch<R: Rng + ?Sized>(
+    rng: &mut R,
+    model: &mut SageModel,
+    csr: &Csr,
+    x: &mut Matrix,
+    train: &[(NodeId, u16)],
+    order: &mut [usize],
+    targets: &mut Vec<(NodeId, u16)>,
+    n_targets: usize,
+    masking: LabelMasking,
+    adam: &mut Adam,
+    ws: &mut EpochWorkspace,
+) -> f32 {
+    use rand::seq::SliceRandom;
+    let _span = trail_obs::span("gnn.sage_epoch");
+    order.shuffle(rng);
+    targets.clear();
+    targets.extend(order[..n_targets].iter().map(|&i| train[i]));
+    // Hide target labels.
+    for &(node, label) in targets.iter() {
+        x[(node.index(), masking.offset + label as usize)] = 0.0;
+    }
+    let logits = model.forward_cached(csr, x, true);
+    let (loss, _) = ws.masked_loss_into(logits, targets);
+    model.backward(csr, &ws.d_logits);
+    model.step(adam);
+    // Restore target labels.
+    for &(node, label) in targets.iter() {
+        x[(node.index(), masking.offset + label as usize)] = 1.0;
+    }
+    loss
+}
+
 /// Label-as-feature masking parameters for [`train_sage_masked`].
 #[derive(Debug, Clone, Copy)]
 pub struct LabelMasking {
@@ -103,7 +194,6 @@ pub fn train_sage_masked<R: Rng + ?Sized>(
     cfg: &TrainConfig,
     masking: LabelMasking,
 ) -> (SageModel, Vec<f32>) {
-    use rand::seq::SliceRandom;
     assert!(!train.is_empty());
     let mut model = SageModel::new(rng, sage_cfg);
     let mut adam = Adam::new(cfg.lr);
@@ -112,26 +202,25 @@ pub fn train_sage_masked<R: Rng + ?Sized>(
     let mut since_best = 0usize;
     let mut best_snap = None;
     let mut order: Vec<usize> = (0..train.len()).collect();
+    let mut targets = Vec::with_capacity(train.len());
+    let mut ws = EpochWorkspace::new();
     let n_targets =
         ((train.len() as f32) * (1.0 - masking.visible_fraction)).round().max(1.0) as usize;
     for _epoch in 0..cfg.epochs {
-        let _span = trail_obs::span("gnn.sage_epoch");
-        order.shuffle(rng);
-        let targets: Vec<(NodeId, u16)> =
-            order[..n_targets].iter().map(|&i| train[i]).collect();
-        // Hide target labels.
-        for &(node, label) in &targets {
-            x[(node.index(), masking.offset + label as usize)] = 0.0;
-        }
-        let logits = model.forward(csr, x, true);
-        let (loss, _, d_logits) = masked_loss(&logits, &targets);
-        model.backward(csr, &d_logits);
-        model.step(&mut adam);
+        let loss = masked_epoch(
+            rng,
+            &mut model,
+            csr,
+            x,
+            train,
+            &mut order,
+            &mut targets,
+            n_targets,
+            masking,
+            &mut adam,
+            &mut ws,
+        );
         losses.push(loss);
-        // Restore target labels.
-        for &(node, label) in &targets {
-            x[(node.index(), masking.offset + label as usize)] = 1.0;
-        }
         if cfg.patience > 0 && !val.is_empty() {
             let val_logits = model.forward(csr, x, false);
             let (_, val_acc, _) = masked_loss(&val_logits, val);
@@ -186,29 +275,30 @@ pub fn fine_tune_masked<R: Rng + ?Sized>(
     ft: &FineTune,
     masking: LabelMasking,
 ) -> Vec<f32> {
-    use rand::seq::SliceRandom;
     assert!(!train.is_empty());
     let mut adam = Adam::new(ft.lr);
     model.reset_optimizer_state();
     let mut losses = Vec::with_capacity(ft.epochs);
     let mut order: Vec<usize> = (0..train.len()).collect();
+    let mut targets = Vec::with_capacity(train.len());
+    let mut ws = EpochWorkspace::new();
     let n_targets =
         ((train.len() as f32) * (1.0 - masking.visible_fraction)).round().max(1.0) as usize;
     for _ in 0..ft.epochs {
-        let _span = trail_obs::span("gnn.sage_epoch");
-        order.shuffle(rng);
-        let targets: Vec<(NodeId, u16)> = order[..n_targets].iter().map(|&i| train[i]).collect();
-        for &(node, label) in &targets {
-            x[(node.index(), masking.offset + label as usize)] = 0.0;
-        }
-        let logits = model.forward(csr, x, true);
-        let (loss, _, d_logits) = masked_loss(&logits, &targets);
-        model.backward(csr, &d_logits);
-        model.step(&mut adam);
+        let loss = masked_epoch(
+            rng,
+            model,
+            csr,
+            x,
+            train,
+            &mut order,
+            &mut targets,
+            n_targets,
+            masking,
+            &mut adam,
+            &mut ws,
+        );
         losses.push(loss);
-        for &(node, label) in &targets {
-            x[(node.index(), masking.offset + label as usize)] = 1.0;
-        }
     }
     losses
 }
@@ -242,11 +332,12 @@ fn continue_training(
     let mut best_val = f64::NEG_INFINITY;
     let mut since_best = 0usize;
     let mut best_snap = None;
+    let mut ws = EpochWorkspace::new();
     for _epoch in 0..epochs {
         let _span = trail_obs::span("gnn.sage_epoch");
-        let logits = model.forward(csr, x, true);
-        let (loss, _train_acc, d_logits) = masked_loss(&logits, train);
-        model.backward(csr, &d_logits);
+        let logits = model.forward_cached(csr, x, true);
+        let (loss, _train_acc) = ws.masked_loss_into(logits, train);
+        model.backward(csr, &ws.d_logits);
         model.step(&mut adam);
         losses.push(loss);
         if patience > 0 && !val.is_empty() {

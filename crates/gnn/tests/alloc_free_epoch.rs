@@ -1,0 +1,128 @@
+//! Zero-steady-state-allocation proof for the GNN training loop.
+//!
+//! Installs [`trail_obs::alloc::CountingAllocator`] as the global
+//! allocator and shows that extra training epochs beyond the warmup
+//! epoch perform **zero** heap allocations: two identical training
+//! runs differing only in epoch count produce identical allocation
+//! totals. The counters are process-global, so everything runs
+//! single-threaded (`TRAIL_THREADS=1` makes every parallel kernel run
+//! inline on the caller) with observability off (`TRAIL_OBS=0`; live
+//! spans allocate). One `#[test]` only — env vars must be set before
+//! the first pool/registry access.
+
+use rand::{rngs::StdRng, SeedableRng};
+use trail_graph::{Csr, EdgeKind, GraphStore, NodeId, NodeKind};
+use trail_linalg::Matrix;
+use trail_obs::alloc::{allocation_count, CountingAllocator};
+use trail_gnn::{
+    fine_tune_masked, train_sage_masked, FineTune, LabelMasking, SageConfig, SageModel,
+    TrainConfig,
+};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Events clustered onto two hub IPs with a weak feature signal —
+/// enough structure for the loss to be well-defined.
+fn world() -> (GraphStore, Vec<(NodeId, u16)>) {
+    let mut g = GraphStore::new();
+    let hub_a = g.upsert_node(NodeKind::Ip, "10.0.0.1");
+    let hub_b = g.upsert_node(NodeKind::Ip, "10.0.0.2");
+    let mut events = Vec::new();
+    for i in 0..24 {
+        let class = (i % 2) as u16;
+        let e = g.upsert_node(NodeKind::Event, &format!("e{i}"));
+        g.add_edge(e, if class == 0 { hub_a } else { hub_b }, EdgeKind::InReport).unwrap();
+        events.push((e, class));
+    }
+    (g, events)
+}
+
+fn features(g: &GraphStore, events: &[(NodeId, u16)]) -> Matrix {
+    // [is_event, label0, label1] — the masking protocol flips the
+    // label block in place.
+    let mut x = Matrix::zeros(g.node_count(), 3);
+    for &(id, class) in events {
+        x[(id.index(), 0)] = 1.0;
+        x[(id.index(), 1 + class as usize)] = 1.0;
+    }
+    x
+}
+
+fn count<T>(f: impl FnOnce() -> T) -> (u64, T) {
+    let before = allocation_count();
+    let out = f();
+    (allocation_count() - before, out)
+}
+
+/// Minimum allocation delta over a few repetitions. The counter is
+/// process-global and the libtest harness occasionally allocates on
+/// its own threads mid-measurement; that noise only ever *inflates* a
+/// count, so the min over repetitions of a deterministic run is its
+/// true allocation cost.
+fn min_count(mut f: impl FnMut() -> u64) -> u64 {
+    (0..5).map(|_| f()).min().expect("non-empty")
+}
+
+#[test]
+fn extra_epochs_allocate_nothing() {
+    std::env::set_var("TRAIL_THREADS", "1");
+    std::env::set_var("TRAIL_OBS", "0");
+    assert_eq!(trail_linalg::pool::num_threads(), 1, "pool already initialised multi-threaded");
+
+    let (g, events) = world();
+    let csr = Csr::from_store(&g);
+    let cfg = SageConfig::new(3, 16, 2, 2);
+    let masking = LabelMasking { offset: 1, visible_fraction: 0.5 };
+
+    // --- train_sage_masked: short vs long run, everything else equal.
+    // Buffer warmup happens in epoch 1 of each fresh model; the 12
+    // extra epochs of the long run must add zero allocation events.
+    let run_train = |epochs: usize| {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut x = features(&g, &events);
+        let tc = TrainConfig { lr: 0.02, epochs, patience: 0 };
+        count(|| train_sage_masked(&mut rng, &csr, &mut x, cfg, &events, &[], &tc, masking).1)
+    };
+    // One throwaway run first: lazy process-wide state (thread-count
+    // OnceLock, span registry) initialises on first touch and must not
+    // be billed to the short run.
+    let _ = run_train(1);
+    let short_allocs = min_count(|| {
+        let (allocs, losses) = run_train(3);
+        assert_eq!(losses.len(), 3);
+        allocs
+    });
+    let long_allocs = min_count(|| {
+        let (allocs, losses) = run_train(15);
+        assert_eq!(losses.len(), 15);
+        allocs
+    });
+    assert_eq!(
+        long_allocs, short_allocs,
+        "steady-state training epochs hit the heap ({long_allocs} vs {short_allocs} allocations)"
+    );
+
+    // --- fine_tune_masked: same property on the monthly-retrain loop.
+    let run_ft = |epochs: usize| {
+        let mut model = SageModel::new(&mut StdRng::seed_from_u64(5), cfg);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut x = features(&g, &events);
+        let ft = FineTune { lr: 0.01, epochs };
+        count(|| fine_tune_masked(&mut rng, &mut model, &csr, &mut x, &events, &ft, masking))
+    };
+    let short_allocs = min_count(|| {
+        let (allocs, losses) = run_ft(2);
+        assert_eq!(losses.len(), 2);
+        allocs
+    });
+    let long_allocs = min_count(|| {
+        let (allocs, losses) = run_ft(10);
+        assert_eq!(losses.len(), 10);
+        allocs
+    });
+    assert_eq!(
+        long_allocs, short_allocs,
+        "steady-state fine-tune epochs hit the heap ({long_allocs} vs {short_allocs} allocations)"
+    );
+}

@@ -7,7 +7,7 @@ use crate::store::GraphStore;
 /// Compressed-sparse-row adjacency treating every edge as undirected,
 /// which is how the paper traverses the TKG (label propagation and
 /// GraphSAGE both use the symmetrised adjacency).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Csr {
     offsets: Vec<usize>,
     targets: Vec<NodeId>,
@@ -35,6 +35,61 @@ impl Csr {
         let mut targets = vec![NodeId(0); acc];
         let mut kinds = vec![EdgeKind::InReport; acc];
         for e in g.edges() {
+            let s = e.src.index();
+            let d = e.dst.index();
+            targets[cursor[s]] = e.dst;
+            kinds[cursor[s]] = e.kind;
+            cursor[s] += 1;
+            targets[cursor[d]] = e.src;
+            kinds[cursor[d]] = e.kind;
+            cursor[d] += 1;
+        }
+        Self { offsets, targets, kinds }
+    }
+
+    /// Extend a frozen CSR with the edges appended to `g` since this
+    /// CSR was built from it. The store only ever appends edges (and
+    /// nodes), so `self`'s per-node runs are prefixes of the rebuilt
+    /// adjacency: copying each frozen run and appending the delta
+    /// half-edges in edge order reproduces [`Csr::from_store`]'s fill
+    /// order — the result is **identical** to a full rebuild, at the
+    /// cost of only the delta plus one memcpy.
+    pub fn merge_appended(&self, g: &GraphStore) -> Self {
+        let _span = trail_obs::span("graph.csr_merge");
+        let old_n = self.node_count();
+        let n = g.node_count();
+        debug_assert!(n >= old_n, "stores only grow");
+        let old_edges = self.half_edge_count() / 2;
+        let delta = &g.edges()[old_edges..];
+        let mut degrees = vec![0usize; n];
+        for (v, d) in degrees.iter_mut().enumerate().take(old_n) {
+            *d = self.offsets[v + 1] - self.offsets[v];
+        }
+        for e in delta {
+            degrees[e.src.index()] += 1;
+            degrees[e.dst.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0;
+        offsets.push(0);
+        for d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut targets = vec![NodeId(0); acc];
+        let mut kinds = vec![EdgeKind::InReport; acc];
+        let mut cursor = vec![0usize; n];
+        for v in 0..n {
+            cursor[v] = offsets[v];
+        }
+        for v in 0..old_n {
+            let (lo, hi) = (self.offsets[v], self.offsets[v + 1]);
+            let at = cursor[v];
+            targets[at..at + (hi - lo)].copy_from_slice(&self.targets[lo..hi]);
+            kinds[at..at + (hi - lo)].copy_from_slice(&self.kinds[lo..hi]);
+            cursor[v] = at + (hi - lo);
+        }
+        for e in delta {
             let s = e.src.index();
             let d = e.dst.index();
             targets[cursor[s]] = e.dst;
@@ -104,6 +159,54 @@ mod tests {
         let kinds: Vec<_> = csr.neighbors_with_kinds(ip).collect();
         assert!(kinds.contains(&(e, EdgeKind::InReport)));
         assert!(kinds.contains(&(d, EdgeKind::ARecord)));
+    }
+
+    #[test]
+    fn merge_appended_equals_full_rebuild() {
+        let mut g = GraphStore::new();
+        let e = g.upsert_node(NodeKind::Event, "e");
+        let ip = g.upsert_node(NodeKind::Ip, "i");
+        g.add_edge(e, ip, EdgeKind::InReport).unwrap();
+        let frozen = Csr::from_store(&g);
+
+        // Grow the store: new nodes (one isolated), edges touching both
+        // old and new nodes.
+        let d = g.upsert_node(NodeKind::Domain, "d");
+        let _lonely = g.upsert_node(NodeKind::Asn, "AS7");
+        let e2 = g.upsert_node(NodeKind::Event, "e2");
+        g.add_edge(e, d, EdgeKind::InReport).unwrap();
+        g.add_edge(ip, d, EdgeKind::ARecord).unwrap();
+        g.add_edge(e2, d, EdgeKind::InReport).unwrap();
+
+        assert_eq!(frozen.merge_appended(&g), Csr::from_store(&g));
+    }
+
+    #[test]
+    fn merge_appended_with_no_delta_is_identity() {
+        let mut g = GraphStore::new();
+        let e = g.upsert_node(NodeKind::Event, "e");
+        let ip = g.upsert_node(NodeKind::Ip, "i");
+        g.add_edge(e, ip, EdgeKind::InReport).unwrap();
+        let frozen = Csr::from_store(&g);
+        assert_eq!(frozen.merge_appended(&g), frozen);
+    }
+
+    #[test]
+    fn chained_merges_track_a_growing_store() {
+        let mut g = GraphStore::new();
+        let mut csr = Csr::from_store(&g);
+        let hub = {
+            let id = g.upsert_node(NodeKind::Ip, "hub");
+            csr = csr.merge_appended(&g);
+            id
+        };
+        for step in 0..5 {
+            let e = g.upsert_node(NodeKind::Event, &format!("e{step}"));
+            g.add_edge(e, hub, EdgeKind::InReport).unwrap();
+            csr = csr.merge_appended(&g);
+            assert_eq!(csr, Csr::from_store(&g), "diverged at step {step}");
+        }
+        assert_eq!(csr.degree(hub), 5);
     }
 
     #[test]

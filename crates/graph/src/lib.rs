@@ -16,12 +16,14 @@ pub mod ids;
 pub mod persist;
 pub mod schema;
 pub mod store;
+pub mod sym;
 
 pub use csr::Csr;
 pub use ids::NodeId;
 pub use persist::PersistError;
 pub use schema::{EdgeKind, NodeKind};
 pub use store::{GraphStore, NodeRecord};
+pub use sym::{Interner, Sym};
 
 /// Errors raised by graph mutation and persistence.
 #[derive(Debug)]

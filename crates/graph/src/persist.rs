@@ -200,7 +200,7 @@ pub fn to_bytes(g: &GraphStore) -> Vec<u8> {
     put_u64(&mut payload, g.node_count() as u64);
     for (_, rec) in g.iter_nodes() {
         payload.push(rec.kind.index() as u8);
-        put_str(&mut payload, &rec.key);
+        put_str(&mut payload, g.resolve(rec.key));
         match rec.label {
             Some(l) => {
                 payload.push(1);

@@ -6,17 +6,19 @@ use serde::{Deserialize, Serialize};
 
 use crate::ids::{LabelId, NodeId};
 use crate::schema::{EdgeKind, NodeKind};
+use crate::sym::{Interner, Sym};
 use crate::{GraphError, Result};
 
-/// A single node: its kind, natural key, optional class label and
-/// whether it was reported directly in an event ("first order") or only
-/// discovered during enrichment ("secondary", 75 % of the paper's graph).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// A single node: its kind, interned natural key, optional class label
+/// and whether it was reported directly in an event ("first order") or
+/// only discovered during enrichment ("secondary", 75 % of the paper's
+/// graph). Resolve `key` to its text via [`GraphStore::key`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NodeRecord {
     /// Node kind per the Figure 2 schema.
     pub kind: NodeKind,
-    /// Natural key — the IOC text (e.g. `"198.51.100.7"`, `"evil.example"`).
-    pub key: String,
+    /// Interned natural key — the IOC text (e.g. `"198.51.100.7"`).
+    pub key: Sym,
     /// APT label; only ever set on [`NodeKind::Event`] nodes.
     pub label: Option<LabelId>,
     /// True when the node appeared directly in some incident report.
@@ -43,8 +45,11 @@ pub struct Edge {
 pub struct GraphStore {
     nodes: Vec<NodeRecord>,
     edges: Vec<Edge>,
+    /// Key-text storage. Serialized as its string table only; the probe
+    /// buckets are rebuilt by [`Self::rebuild_indices`].
+    syms: Interner,
     #[serde(skip)]
-    key_index: HashMap<(NodeKind, String), NodeId>,
+    key_index: HashMap<(NodeKind, Sym), NodeId>,
     #[serde(skip)]
     edge_set: HashSet<(u32, u32, u8)>,
     out: Vec<Vec<(NodeId, EdgeKind)>>,
@@ -62,6 +67,7 @@ impl GraphStore {
         Self {
             nodes: Vec::with_capacity(nodes),
             edges: Vec::with_capacity(edges),
+            syms: Interner::with_capacity(nodes),
             key_index: HashMap::with_capacity(nodes),
             edge_set: HashSet::with_capacity(edges),
             out: Vec::with_capacity(nodes),
@@ -84,25 +90,48 @@ impl GraphStore {
     /// Insert the node if its `(kind, key)` is new, otherwise return the
     /// existing id. Never downgrades `first_order` (see [`Self::mark_first_order`]).
     pub fn upsert_node(&mut self, kind: NodeKind, key: &str) -> NodeId {
-        if let Some(&id) = self.key_index.get(&(kind, key.to_owned())) {
-            return id;
-        }
-        let id = NodeId::from(self.nodes.len());
-        self.nodes.push(NodeRecord { kind, key: key.to_owned(), label: None, first_order: false });
-        self.key_index.insert((kind, key.to_owned()), id);
-        self.out.push(Vec::new());
-        self.inn.push(Vec::new());
-        id
+        self.upsert_node_full(kind, key).0
     }
 
-    /// Look up a node id by kind and key.
+    /// Like [`Self::upsert_node`], also reporting whether the node is
+    /// new. The key text is interned at most once and the `Copy` symbol
+    /// shared between the node record and the dedup index; lookups of
+    /// known keys never allocate.
+    pub fn upsert_node_full(&mut self, kind: NodeKind, key: &str) -> (NodeId, bool) {
+        let sym = self.syms.intern(key);
+        if let Some(&id) = self.key_index.get(&(kind, sym)) {
+            return (id, false);
+        }
+        let id = NodeId::from(self.nodes.len());
+        self.nodes.push(NodeRecord { kind, key: sym, label: None, first_order: false });
+        self.key_index.insert((kind, sym), id);
+        self.out.push(Vec::new());
+        self.inn.push(Vec::new());
+        (id, true)
+    }
+
+    /// Look up a node id by kind and key text. Allocation-free: the key
+    /// is probed through the interner as a borrow.
     pub fn find_node(&self, kind: NodeKind, key: &str) -> Option<NodeId> {
-        self.key_index.get(&(kind, key.to_owned())).copied()
+        let sym = self.syms.lookup(key)?;
+        self.key_index.get(&(kind, sym)).copied()
     }
 
     /// Borrow a node record.
     pub fn node(&self, id: NodeId) -> &NodeRecord {
         &self.nodes[id.index()]
+    }
+
+    /// The key text of a node.
+    #[inline]
+    pub fn key(&self, id: NodeId) -> &str {
+        self.syms.resolve(self.nodes[id.index()].key)
+    }
+
+    /// The text of an interned key symbol.
+    #[inline]
+    pub fn resolve(&self, sym: Sym) -> &str {
+        self.syms.resolve(sym)
     }
 
     /// Set the APT label of an event node.
@@ -217,7 +246,7 @@ impl GraphStore {
         let mut sub = GraphStore::new();
         for (id, rec) in self.iter_nodes() {
             if keep(id, rec) {
-                let new_id = sub.upsert_node(rec.kind, &rec.key);
+                let new_id = sub.upsert_node(rec.kind, self.syms.resolve(rec.key));
                 if let Some(l) = rec.label {
                     sub.set_label(new_id, l).expect("fresh node");
                 }
@@ -238,11 +267,12 @@ impl GraphStore {
     /// Rebuild the lookup indices after deserialisation (they are skipped
     /// in the snapshot to halve its size).
     pub fn rebuild_indices(&mut self) {
+        self.syms.rebuild();
         self.key_index = self
             .nodes
             .iter()
             .enumerate()
-            .map(|(i, n)| ((n.kind, n.key.clone()), NodeId::from(i)))
+            .map(|(i, n)| ((n.kind, n.key), NodeId::from(i)))
             .collect();
         self.edge_set =
             self.edges.iter().map(|e| (e.src.0, e.dst.0, e.kind.index() as u8)).collect();
@@ -279,9 +309,24 @@ mod tests {
         let b = g.upsert_node(NodeKind::Ip, "198.51.100.7");
         assert_eq!(a, b);
         assert_eq!(g.node_count(), 1);
-        // Same key under a different kind is a different node.
+        // Same key under a different kind is a different node sharing
+        // one interned symbol.
         let c = g.upsert_node(NodeKind::Domain, "198.51.100.7");
         assert_ne!(a, c);
+        assert_eq!(g.node(a).key, g.node(c).key);
+        assert_eq!(g.key(a), "198.51.100.7");
+        assert_eq!(g.key(c), "198.51.100.7");
+    }
+
+    #[test]
+    fn upsert_full_reports_novelty() {
+        let mut g = GraphStore::new();
+        let (a, new_a) = g.upsert_node_full(NodeKind::Ip, "198.51.100.7");
+        assert!(new_a);
+        let (b, new_b) = g.upsert_node_full(NodeKind::Ip, "198.51.100.7");
+        assert!(!new_b);
+        assert_eq!(a, b);
+        assert!(g.upsert_node_full(NodeKind::Domain, "198.51.100.7").1);
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! String interning for node keys.
+//!
+//! The store used to key its dedup index on `(NodeKind, String)`,
+//! which forced a `String` allocation on *every* lookup probe — the
+//! enrichment hot loop probes far more often than it inserts. The
+//! [`Interner`] assigns each distinct key text a dense [`Sym`] handle
+//! (a `u32`), stores the text exactly once, and answers borrow-based
+//! `&str` lookups without allocating: the probe hashes the borrowed
+//! text with FNV-1a and compares it against the interned strings in an
+//! open-addressed bucket table.
+//!
+//! Interning rules (see DESIGN.md §10): symbols are handed out in
+//! first-appearance order and are never freed, so a `Sym` is a stable,
+//! `Copy`, `Eq`/`Hash`-cheap identity for the lifetime of its interner.
+//! Symbols are text-scoped, not kind-scoped — `"198.51.100.7"` as an
+//! IP node and as a (pathological) domain node shares one symbol; the
+//! `(NodeKind, Sym)` pair remains the node identity.
+
+use serde::{Deserialize, Serialize};
+
+use crate::persist::fnv1a_bytes;
+
+/// An interned string handle: dense index into its [`Interner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// Dense index of this symbol (0-based, first-appearance order).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Bucket sentinel for an empty slot.
+const EMPTY: u32 = u32::MAX;
+
+/// Grow when `len * 4 >= capacity * 3` (load factor 3/4).
+#[inline]
+fn needs_grow(len: usize, capacity: usize) -> bool {
+    len * 4 >= capacity * 3
+}
+
+/// A deduplicating string table with allocation-free `&str` probes.
+///
+/// Only the string storage is serialized; the probe table is rebuilt
+/// on demand (snapshots already rebuild all lookup indices on load —
+/// see [`crate::GraphStore::rebuild_indices`]).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Interner {
+    strings: Vec<String>,
+    #[serde(skip)]
+    buckets: Vec<u32>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty interner with room for `n` strings before rehashing.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut cap = 8usize;
+        while needs_grow(n, cap) {
+            cap *= 2;
+        }
+        Self { strings: Vec::with_capacity(n), buckets: vec![EMPTY; cap] }
+    }
+
+    /// Number of distinct strings interned.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether nothing has been interned.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// The text of a symbol.
+    #[inline]
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Find the symbol of `text` if it was ever interned. Never
+    /// allocates: the probe hashes the borrowed bytes and compares
+    /// `&str` against the stored strings directly.
+    pub fn lookup(&self, text: &str) -> Option<Sym> {
+        if self.buckets.is_empty() {
+            return None;
+        }
+        let mask = self.buckets.len() - 1;
+        let mut i = fnv1a_bytes(text.as_bytes()) as usize & mask;
+        loop {
+            match self.buckets[i] {
+                EMPTY => return None,
+                id if self.strings[id as usize] == text => return Some(Sym(id)),
+                _ => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Intern `text`, allocating its owned copy only on first sight.
+    pub fn intern(&mut self, text: &str) -> Sym {
+        if let Some(sym) = self.lookup(text) {
+            return sym;
+        }
+        let id = self.strings.len() as u32;
+        assert!(id != EMPTY, "interner full");
+        self.strings.push(text.to_owned());
+        if needs_grow(self.strings.len(), self.buckets.len().max(1)) || self.buckets.is_empty() {
+            self.rehash();
+        } else {
+            self.place(id);
+        }
+        Sym(id)
+    }
+
+    /// Rebuild the probe table from the string storage (after
+    /// deserialisation, which skips the buckets).
+    pub fn rebuild(&mut self) {
+        self.rehash();
+    }
+
+    /// Drop a bucket id into its probe chain (slot must be free).
+    fn place(&mut self, id: u32) {
+        let mask = self.buckets.len() - 1;
+        let mut i = fnv1a_bytes(self.strings[id as usize].as_bytes()) as usize & mask;
+        while self.buckets[i] != EMPTY {
+            i = (i + 1) & mask;
+        }
+        self.buckets[i] = id;
+    }
+
+    fn rehash(&mut self) {
+        let mut cap = 8usize;
+        while needs_grow(self.strings.len(), cap) {
+            cap *= 2;
+        }
+        self.buckets.clear();
+        self.buckets.resize(cap, EMPTY);
+        for id in 0..self.strings.len() as u32 {
+            self.place(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_roundtrips_and_dedups() {
+        let mut it = Interner::new();
+        let a = it.intern("evil.example");
+        let b = it.intern("198.51.100.7");
+        assert_ne!(a, b);
+        assert_eq!(it.intern("evil.example"), a);
+        assert_eq!(it.resolve(a), "evil.example");
+        assert_eq!(it.resolve(b), "198.51.100.7");
+        assert_eq!(it.len(), 2);
+    }
+
+    #[test]
+    fn lookup_finds_only_interned_text() {
+        let mut it = Interner::new();
+        assert_eq!(it.lookup("anything"), None, "empty interner finds nothing");
+        let a = it.intern("a.example");
+        assert_eq!(it.lookup("a.example"), Some(a));
+        assert_eq!(it.lookup("b.example"), None);
+        assert_eq!(it.lookup(""), None);
+    }
+
+    #[test]
+    fn empty_string_is_a_valid_symbol() {
+        let mut it = Interner::new();
+        let e = it.intern("");
+        assert_eq!(it.resolve(e), "");
+        assert_eq!(it.lookup(""), Some(e));
+    }
+
+    #[test]
+    fn symbols_are_dense_and_stable_across_growth() {
+        let mut it = Interner::new();
+        let syms: Vec<Sym> = (0..1000).map(|i| it.intern(&format!("key-{i}"))).collect();
+        for (i, &s) in syms.iter().enumerate() {
+            assert_eq!(s.index(), i, "symbols assigned in first-appearance order");
+            assert_eq!(it.resolve(s), format!("key-{i}"));
+            assert_eq!(it.lookup(&format!("key-{i}")), Some(s));
+        }
+        assert_eq!(it.len(), 1000);
+    }
+
+    #[test]
+    fn rebuild_restores_probes() {
+        let mut it = Interner::new();
+        let a = it.intern("x.example");
+        let b = it.intern("y.example");
+        // Simulate deserialisation: storage intact, buckets gone.
+        it.buckets.clear();
+        assert_eq!(it.lookup("x.example"), None);
+        it.rebuild();
+        assert_eq!(it.lookup("x.example"), Some(a));
+        assert_eq!(it.lookup("y.example"), Some(b));
+        assert_eq!(it.intern("x.example"), a, "no duplicate after rebuild");
+    }
+}

@@ -25,6 +25,53 @@ pub struct IocKey {
     text: String,
 }
 
+/// The borrowed (zero-copy) form of [`IocKey`]: same identity, no
+/// owned text. Only constructible from an [`IocKey`] or a parsed
+/// [`Ioc`], so — like the owned form — holding one is a proof the text
+/// is canonical. The enrichment and OSINT query hot paths pass this
+/// around instead of cloning canonical strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IocKeyRef<'a> {
+    kind: IocKind,
+    text: &'a str,
+}
+
+impl<'a> IocKeyRef<'a> {
+    /// Crate-internal constructor — callers outside the crate must go
+    /// through [`IocKey::as_ref`] or [`Ioc::key_ref`] so canonicality
+    /// stays guaranteed by construction.
+    pub(crate) fn new(kind: IocKind, text: &'a str) -> Self {
+        Self { kind, text }
+    }
+
+    /// The IOC kind.
+    pub fn kind(self) -> IocKind {
+        self.kind
+    }
+
+    /// The canonical text.
+    pub fn text(self) -> &'a str {
+        self.text
+    }
+
+    /// Clone into the owned form (the one place this borrow allocates).
+    pub fn to_key(self) -> IocKey {
+        IocKey { kind: self.kind, text: self.text.to_owned() }
+    }
+}
+
+impl<'a> From<&'a IocKey> for IocKeyRef<'a> {
+    fn from(key: &'a IocKey) -> Self {
+        key.as_ref()
+    }
+}
+
+impl std::fmt::Display for IocKeyRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.kind.name(), self.text)
+    }
+}
+
 impl IocKey {
     /// The identity of an already-parsed IOC (infallible — parsed IOCs
     /// carry canonical text by construction).
@@ -57,6 +104,11 @@ impl IocKey {
     /// Consume the key, yielding the canonical text.
     pub fn into_text(self) -> String {
         self.text
+    }
+
+    /// Borrow this key as the zero-copy [`IocKeyRef`] form.
+    pub fn as_ref(&self) -> IocKeyRef<'_> {
+        IocKeyRef { kind: self.kind, text: &self.text }
     }
 }
 
@@ -116,5 +168,20 @@ mod tests {
         let ioc = Ioc::detect("EvIl[.]ExAmPlE.").unwrap();
         assert_eq!(IocKey::of(&ioc), IocKey::parse(IocKind::Domain, "evil.example").unwrap());
         assert_eq!(IocKey::from(&ioc).text(), "evil.example");
+    }
+
+    #[test]
+    fn borrowed_form_shares_the_owned_identity() {
+        let key = IocKey::parse(IocKind::Domain, "ThreeBody[.]CN.").unwrap();
+        let r = key.as_ref();
+        assert_eq!(r.kind(), key.kind());
+        assert_eq!(r.text(), key.text());
+        assert_eq!(r.to_key(), key);
+        assert_eq!(IocKeyRef::from(&key), r);
+        assert_eq!(r.to_string(), key.to_string());
+        // An Ioc's borrow agrees with its owned key.
+        let ioc = Ioc::detect("threebody.cn").unwrap();
+        assert_eq!(ioc.key_ref().to_key(), ioc.key());
+        assert_eq!(ioc.key_ref().text(), "threebody.cn");
     }
 }

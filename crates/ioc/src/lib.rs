@@ -28,7 +28,7 @@ pub mod url;
 pub mod vocab;
 
 pub use analysis::{DomainAnalysis, IpAnalysis, UrlAnalysis};
-pub use key::IocKey;
+pub use key::{IocKey, IocKeyRef};
 pub use types::{Ioc, IocKind};
 
 /// Errors raised while parsing IOC text.

@@ -125,10 +125,26 @@ impl Matrix {
     /// Copy the given rows into a new matrix (gather).
     pub fn gather_rows(&self, indices: &[usize]) -> Self {
         let mut out = Self::zeros(indices.len(), self.cols);
+        self.gather_rows_into(indices, &mut out).expect("freshly sized");
+        out
+    }
+
+    /// [`Self::gather_rows`] into a caller-owned matrix of shape
+    /// `(indices.len(), cols)` — the allocation-free variant for hot
+    /// loops with a reusable workspace.
+    pub fn gather_rows_into(&self, indices: &[usize], out: &mut Self) -> Result<()> {
+        if out.shape() != (indices.len(), self.cols) {
+            return Err(ShapeError::new(format!(
+                "gather of {} rows x {} cols into {:?}",
+                indices.len(),
+                self.cols,
+                out.shape()
+            )));
+        }
         for (dst, &src) in indices.iter().enumerate() {
             out.row_mut(dst).copy_from_slice(self.row(src));
         }
-        out
+        Ok(())
     }
 
     /// Transpose into a new matrix.
@@ -259,20 +275,59 @@ impl Matrix {
         Ok(out)
     }
 
+    /// `self @ other` into a caller-owned output matrix of shape
+    /// `(self.rows, other.cols)`. The output is zeroed first, then the
+    /// same kernel as [`Self::matmul`] runs — bitwise identical to the
+    /// allocating form, without the allocation.
+    pub fn matmul_into(&self, other: &Self, out: &mut Self) -> Result<()> {
+        if self.cols != other.rows || out.shape() != (self.rows, other.cols) {
+            return Err(ShapeError::new(format!(
+                "matmul {:?} x {:?} into {:?}",
+                self.shape(),
+                other.shape(),
+                out.shape()
+            )));
+        }
+        out.data.fill(0.0);
+        matmul_into(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+            crate::pool::num_threads(),
+        );
+        Ok(())
+    }
+
     /// `selfᵀ @ other` without materialising the transpose.
     ///
     /// Used for weight gradients: `dW = Xᵀ @ dY`.
     pub fn t_matmul(&self, other: &Self) -> Result<Self> {
-        if self.rows != other.rows {
+        let mut out = Self::zeros(self.cols, other.cols);
+        self.t_matmul_acc(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// `out += selfᵀ @ other` into a caller-owned accumulator of shape
+    /// `(self.cols, other.cols)`.
+    ///
+    /// The kernel adds into `out` in the same k-outermost order the
+    /// allocating [`Self::t_matmul`] uses over a zero matrix, so
+    /// accumulating into an already-zero target (an optimiser-zeroed
+    /// gradient) is bitwise identical to `out += t_matmul(other)` —
+    /// with neither the product nor the temporary allocated.
+    pub fn t_matmul_acc(&self, other: &Self, out: &mut Self) -> Result<()> {
+        if self.rows != other.rows || out.shape() != (self.cols, other.cols) {
             return Err(ShapeError::new(format!(
-                "t_matmul {:?} x {:?}",
+                "t_matmul {:?} x {:?} into {:?}",
                 self.shape(),
-                other.shape()
+                other.shape(),
+                out.shape()
             )));
         }
-        // (cols x rows) @ (rows x other.cols)
-        let mut out = Self::zeros(self.cols, other.cols);
-        // out[i][j] = sum_k self[k][i] * other[k][j]; iterate k outermost so
+        // out[i][j] += sum_k self[k][i] * other[k][j]; iterate k outermost so
         // both reads are sequential.
         for k in 0..self.rows {
             let a_row = self.row(k);
@@ -287,21 +342,31 @@ impl Matrix {
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// `self @ otherᵀ` without materialising the transpose.
     ///
     /// Used for input gradients: `dX = dY @ Wᵀ`.
     pub fn matmul_t(&self, other: &Self) -> Result<Self> {
-        if self.cols != other.cols {
+        let mut out = Self::zeros(self.rows, other.rows);
+        self.matmul_t_into(other, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::matmul_t`] into a caller-owned output of shape
+    /// `(self.rows, other.rows)`. Every output entry is overwritten
+    /// (`*o = dot(..)`), so no zeroing pass is needed and the result is
+    /// bitwise identical to the allocating form.
+    pub fn matmul_t_into(&self, other: &Self, out: &mut Self) -> Result<()> {
+        if self.cols != other.cols || out.shape() != (self.rows, other.rows) {
             return Err(ShapeError::new(format!(
-                "matmul_t {:?} x {:?}",
+                "matmul_t {:?} x {:?} into {:?}",
                 self.shape(),
-                other.shape()
+                other.shape(),
+                out.shape()
             )));
         }
-        let mut out = Self::zeros(self.rows, other.rows);
         let inner = self.cols;
         let work = self.rows * inner;
         let min_rows = if work < PARALLEL_THRESHOLD {
@@ -317,7 +382,7 @@ impl Matrix {
                 }
             }
         });
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -455,6 +520,45 @@ mod tests {
             assert_eq!(a.matmul_with_threads(&b, threads).unwrap(), seq, "threads={threads}");
         }
         assert_eq!(a.matmul(&b).unwrap(), seq);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_forms_bitwise() {
+        let n = 64;
+        let a = Matrix::from_fn(n, n, |r, c| ((r * 31 + c * 17) % 13) as f32 / 7.0 - 0.9);
+        let b = Matrix::from_fn(n, n, |r, c| ((r * 7 + c * 3) % 11) as f32 / 5.0 - 1.1);
+
+        let mut out = Matrix::from_fn(n, n, |_, _| 42.0); // stale garbage
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul(&b).unwrap());
+
+        let mut out = Matrix::from_fn(n, n, |_, _| -3.0);
+        a.matmul_t_into(&b, &mut out).unwrap();
+        assert_eq!(out, a.matmul_t(&b).unwrap());
+
+        // t_matmul_acc accumulates: from zero it is bitwise equal to
+        // t_matmul (the property gradient accumulation relies on). A
+        // second call doubles the result only up to f32 rounding —
+        // interleaving k-terms with a non-zero start reorders the
+        // summation.
+        let mut acc = Matrix::zeros(n, n);
+        a.t_matmul_acc(&b, &mut acc).unwrap();
+        let product = a.t_matmul(&b).unwrap();
+        assert_eq!(acc, product);
+        a.t_matmul_acc(&b, &mut acc).unwrap();
+        for (&x, &y) in acc.as_slice().iter().zip(product.as_slice()) {
+            assert!((x - 2.0 * y).abs() <= 1e-3 * y.abs().max(1.0), "{x} vs 2*{y}");
+        }
+
+        let mut sub = Matrix::zeros(2, n);
+        a.gather_rows_into(&[5, 9], &mut sub).unwrap();
+        assert_eq!(sub, a.gather_rows(&[5, 9]));
+
+        // Shape mismatches are rejected.
+        let mut wrong = Matrix::zeros(n + 1, n);
+        assert!(a.matmul_into(&b, &mut wrong).is_err());
+        assert!(a.matmul_t_into(&b, &mut wrong).is_err());
+        assert!(a.t_matmul_acc(&b, &mut wrong).is_err());
     }
 
     #[test]

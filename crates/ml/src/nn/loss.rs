@@ -8,9 +8,20 @@ use trail_linalg::Matrix;
 /// Returns `(loss, d_logits)` where `d_logits = (softmax - onehot)/n`,
 /// ready to feed the network's backward pass.
 pub fn softmax_cross_entropy(logits: &Matrix, labels: &[u16]) -> (f32, Matrix) {
-    assert_eq!(logits.rows(), labels.len());
-    let n = logits.rows().max(1) as f32;
     let mut grad = logits.clone();
+    let loss = softmax_cross_entropy_into(logits, labels, &mut grad);
+    (loss, grad)
+}
+
+/// [`softmax_cross_entropy`] writing `d_logits` into a caller-owned
+/// matrix of `logits`' shape (the temperature/probability scratch is
+/// the gradient buffer itself, so the hot training loop allocates
+/// nothing). Returns the loss.
+pub fn softmax_cross_entropy_into(logits: &Matrix, labels: &[u16], grad: &mut Matrix) -> f32 {
+    assert_eq!(logits.rows(), labels.len());
+    assert_eq!(logits.shape(), grad.shape());
+    let n = logits.rows().max(1) as f32;
+    grad.as_mut_slice().copy_from_slice(logits.as_slice());
     let mut loss = 0.0f32;
     for (r, &label) in labels.iter().enumerate() {
         let row = grad.row_mut(r);
@@ -22,7 +33,7 @@ pub fn softmax_cross_entropy(logits: &Matrix, labels: &[u16]) -> (f32, Matrix) {
             *v /= n;
         }
     }
-    (loss / n, grad)
+    loss / n
 }
 
 /// Mean squared error and its gradient (`2(x̂ - x)/numel`), used by the

@@ -1,0 +1,57 @@
+//! Heap-allocation counting for zero-allocation assertions.
+//!
+//! [`CountingAllocator`] wraps the system allocator and bumps relaxed
+//! atomics on every entry point. Install it as the `#[global_allocator]`
+//! of a test binary, then bracket the code under test with
+//! [`allocation_count`] reads; a delta of zero proves the region
+//! performed no heap allocation on the measuring thread *or any other*
+//! (the counters are process-global, so keep concurrent activity out of
+//! the measured window — e.g. run the pipeline single-threaded).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A counting wrapper over the system allocator.
+pub struct CountingAllocator;
+
+// SAFETY: every method delegates directly to `System`; the only added
+// behaviour is a relaxed atomic increment, which cannot allocate,
+// unwind, or touch the returned memory.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A grow/shrink is an allocation event for the purpose of
+        // "does this loop touch the heap".
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        DEALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Total allocation events (alloc + alloc_zeroed + realloc) since
+/// process start. Always 0 unless [`CountingAllocator`] is installed
+/// as the global allocator.
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Total deallocation events since process start.
+pub fn deallocation_count() -> u64 {
+    DEALLOCATIONS.load(Ordering::Relaxed)
+}

@@ -28,6 +28,7 @@
 //! run to run. [`MetricsSnapshot::without_wall_clock`] strips exactly
 //! those fields, which is what the thread-count invariance test pins.
 
+pub mod alloc;
 mod hist;
 mod snapshot;
 

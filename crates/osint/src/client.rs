@@ -24,7 +24,7 @@ use trail_ioc::analysis::{DomainAnalysis, IpAnalysis, UrlAnalysis};
 use trail_ioc::defang::defang;
 use trail_ioc::report::RawReport;
 use trail_ioc::vocab::fnv1a;
-use trail_ioc::{IocKey, IocKind};
+use trail_ioc::{Ioc, IocKind};
 
 use crate::breaker::CircuitBreaker;
 use crate::world::World;
@@ -72,6 +72,39 @@ impl std::fmt::Display for OsintError {
 }
 
 impl std::error::Error for OsintError {}
+
+/// One FNV-1a step over a single byte.
+#[inline]
+fn fnv1a_step(mut h: u64, b: u8) -> u64 {
+    h ^= b as u64;
+    h.wrapping_mul(0x100000001b3)
+}
+
+/// FNV-1a over the byte stream `"{key}#a{attempt}"` without building
+/// the string: equals `fnv1a(&format!("{key}#a{attempt}"))` exactly.
+fn fault_hash(key: &str, attempt: u32) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in key.bytes() {
+        h = fnv1a_step(h, b);
+    }
+    h = fnv1a_step(h, b'#');
+    h = fnv1a_step(h, b'a');
+    let mut digits = [0u8; 10];
+    let mut i = digits.len();
+    let mut n = attempt;
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    for &b in &digits[i..] {
+        h = fnv1a_step(h, b);
+    }
+    h
+}
 
 /// Read-only client over a generated [`World`].
 #[derive(Clone)]
@@ -128,9 +161,11 @@ impl OsintClient {
     /// Canonicalise raw query text so every spelling of an indicator
     /// maps to one index key (and one miss/fault stream). Unparseable
     /// text falls back to its trimmed raw form — it will find nothing,
-    /// which is the right answer for garbage.
+    /// which is the right answer for garbage. One allocation: the
+    /// canonical text the parser builds is moved out, never re-cloned
+    /// through an owned [`trail_ioc::IocKey`].
     fn canonical(kind: IocKind, raw: &str) -> String {
-        IocKey::parse(kind, raw).map(IocKey::into_text).unwrap_or_else(|_| raw.trim().to_owned())
+        Ioc::parse_as(kind, raw).map(Ioc::into_text).unwrap_or_else(|_| raw.trim().to_owned())
     }
 
     /// Deterministic per-key analysis gap: true when the query "misses".
@@ -140,13 +175,16 @@ impl OsintClient {
         ((h % 10_000) as f32) < p * 10_000.0
     }
 
-    /// Deterministic per (key, attempt) transient fault.
+    /// Deterministic per (key, attempt) transient fault. The hash is
+    /// FNV-1a over the same byte stream `"{key}#a{attempt}"` always
+    /// used, streamed incrementally so the hot retry path allocates
+    /// nothing — fault patterns are bit-identical to the formatted form.
     fn fault(&self, key: &str, attempt: u32) -> Option<OsintError> {
         let p = self.world.config.transient_fault_prob;
         if p <= 0.0 {
             return None;
         }
-        let h = fnv1a(&format!("{key}#a{attempt}")) ^ self.world.config.seed.rotate_left(17);
+        let h = fault_hash(key, attempt) ^ self.world.config.seed.rotate_left(17);
         if ((h % 10_000) as f32) < p * 10_000.0 {
             Some(if (h >> 16) & 1 == 0 { OsintError::RateLimited } else { OsintError::Timeout })
         } else {
@@ -571,6 +609,21 @@ mod tests {
         // Noisy presentation still refangs to a valid indicator.
         for s in &a_noisy.resolved_ips {
             assert!(trail_ioc::ip::IpIoc::parse(&refang(s)).is_ok(), "unparseable {s:?}");
+        }
+    }
+
+    #[test]
+    fn fault_hash_matches_the_formatted_stream() {
+        // The allocation-free hash must reproduce the formatted form
+        // bit-for-bit, or every seeded fault pattern would shift.
+        for key in ["threebody.cn", "1.0.36.127", "http://a.example/x", ""] {
+            for attempt in [0u32, 1, 9, 10, 42, 999, 1_000_000, u32::MAX] {
+                assert_eq!(
+                    fault_hash(key, attempt),
+                    fnv1a(&format!("{key}#a{attempt}")),
+                    "key {key:?} attempt {attempt}"
+                );
+            }
         }
     }
 

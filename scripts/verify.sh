@@ -4,18 +4,28 @@
 #
 #   scripts/verify.sh            tier-1 gate
 #   scripts/verify.sh --chaos    tier-1 gate + deterministic chaos tier
+#   scripts/verify.sh --perf     tier-1 gate + perf tier
 #
 # The chaos tier replays the seeded fault drills of tests/chaos_test.rs
 # (fixed seeds 1, 4 and 6: survivable feed with mid-study kills, fully
 # dead feed, snapshot corruption) and smoke-checks that `repro --resume`
 # rejects a corrupted checkpoint cleanly instead of loading it.
+#
+# The perf tier holds the memory-and-recompute guarantees: the
+# counting-allocator proof that steady-state GNN epochs never touch the
+# heap, the byte-for-byte incremental==full study equivalence, and a
+# wall-clock gate that the cached window-preparation path (`repro fig8
+# --incremental`) is at least 2x faster than the full per-window
+# rebuild at --scale 0.25.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_chaos=0
+run_perf=0
 for arg in "$@"; do
   case "$arg" in
     --chaos) run_chaos=1 ;;
+    --perf) run_perf=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -69,6 +79,38 @@ if [ "$run_chaos" -eq 1 ]; then
     exit 1
   fi
   echo "corrupted checkpoint rejected cleanly (exit $smoke_status)"
+fi
+
+if [ "$run_perf" -eq 1 ]; then
+  echo "== perf tier: zero-allocation steady-state epochs =="
+  cargo test -q -p trail-gnn --test alloc_free_epoch
+
+  echo "== perf tier: incremental study == full rebuild, byte for byte =="
+  cargo test -q --test incremental_study_test
+
+  echo "== perf tier: cached window prep must be >=2x faster (--scale 0.25) =="
+  cargo build --release -p trail-bench --bin repro
+  repro_bin="$PWD/target/release/repro"
+  perf_dir="$(mktemp -d)"
+  # May follow the chaos tier's trap; clean up both temp dirs.
+  trap 'rm -rf "${smoke_dir:-}" "$perf_dir"' EXIT
+  mkdir -p "$perf_dir/full" "$perf_dir/incremental"
+  (cd "$perf_dir/full" && "$repro_bin" fig8 --quick --scale 0.25 --seed 77 > out.txt)
+  (cd "$perf_dir/incremental" && "$repro_bin" fig8 --quick --scale 0.25 --seed 77 --incremental > out.txt)
+  # Quick mode prints one machine-readable line per window:
+  #   [stage] fig7_fig8_window_prep seconds=<secs>
+  sum_prep() {
+    awk '/^\[stage\] fig7_fig8_window_prep /{split($3, kv, "="); n++; s+=kv[2]}
+         END{if (n == 0) {print "no fig7_fig8_window_prep stages in " FILENAME > "/dev/stderr"; exit 1}
+             printf "%.6f", s}' "$1"
+  }
+  full_prep="$(sum_prep "$perf_dir/full/out.txt")"
+  inc_prep="$(sum_prep "$perf_dir/incremental/out.txt")"
+  echo "window prep seconds: full=$full_prep incremental=$inc_prep"
+  if ! awk -v f="$full_prep" -v i="$inc_prep" 'BEGIN{exit !(i > 0 && f >= 2 * i)}'; then
+    echo "FAIL: cached window prep is not >=2x faster than the full rebuild" >&2
+    exit 1
+  fi
 fi
 
 echo "tier-1 gate: OK"

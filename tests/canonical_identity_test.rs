@@ -37,7 +37,7 @@ fn fingerprint(tkg: &Tkg) -> (Vec<(String, String)>, Vec<(String, String, String
     let mut nodes: Vec<(String, String)> = tkg
         .graph
         .iter_nodes()
-        .map(|(_, n)| (format!("{:?}", n.kind), n.key.clone()))
+        .map(|(id, n)| (format!("{:?}", n.kind), tkg.graph.key(id).to_string()))
         .collect();
     nodes.sort();
     let mut edges: Vec<(String, String, String)> = tkg
@@ -46,8 +46,8 @@ fn fingerprint(tkg: &Tkg) -> (Vec<(String, String)>, Vec<(String, String, String
         .iter()
         .map(|e| {
             (
-                tkg.graph.node(e.src).key.clone(),
-                tkg.graph.node(e.dst).key.clone(),
+                tkg.graph.key(e.src).to_string(),
+                tkg.graph.key(e.dst).to_string(),
                 format!("{:?}", e.kind),
             )
         })

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use trail::collector::{collect, AptRegistry};
 use trail::enrich::{Enricher, IngestStats};
 use trail::tkg::Tkg;
-use trail_graph::{Csr, EdgeKind, GraphStore, NodeKind};
+use trail_graph::{Csr, EdgeKind, GraphStore, Interner, NodeKind};
 use trail_osint::{BreakerConfig, BreakerState, CircuitBreaker, OsintClient, World, WorldConfig};
 use trail_ioc::defang::{defang, refang};
 use trail_ioc::domain::DomainIoc;
@@ -73,6 +73,49 @@ proptest! {
         let s2 = v.slot(&value);
         prop_assert!(s1 < size);
         prop_assert_eq!(s1, s2);
+    }
+
+    /// Interning any sequence of texts (duplicates and all) hands out
+    /// symbols in first-appearance order, resolves every symbol back to
+    /// its exact text, and dedups re-interned text to the same symbol —
+    /// across however many rehash growths the sequence forces.
+    #[test]
+    fn interner_roundtrip(texts in proptest::collection::vec(".{0,24}", 0..60)) {
+        let mut it = Interner::new();
+        let mut first_seen: Vec<String> = Vec::new();
+        for t in &texts {
+            let sym = it.intern(t);
+            if let Some(pos) = first_seen.iter().position(|s| s == t) {
+                prop_assert_eq!(sym.index(), pos, "re-interning {:?} minted a new symbol", t);
+            } else {
+                prop_assert_eq!(sym.index(), first_seen.len(), "symbols not dense/first-appearance");
+                first_seen.push(t.clone());
+            }
+            prop_assert_eq!(it.resolve(sym), t.as_str());
+        }
+        prop_assert_eq!(it.len(), first_seen.len());
+    }
+
+    /// The borrow-based probe agrees with interning without mutating:
+    /// `lookup` finds exactly the interned texts (never allocating a
+    /// key), misses everything else, and survives a bucket rebuild.
+    #[test]
+    fn interner_borrow_lookup(
+        texts in proptest::collection::vec("[a-z0-9.]{0,16}", 1..40),
+        probe in "[a-z0-9.]{0,16}",
+    ) {
+        let mut it = Interner::new();
+        let syms: Vec<_> = texts.iter().map(|t| it.intern(t)).collect();
+        let len_after_interning = it.len();
+        for (t, &sym) in texts.iter().zip(&syms) {
+            prop_assert_eq!(it.lookup(t.as_str()), Some(sym));
+        }
+        let expect = texts.iter().position(|t| *t == probe).map(|pos| syms[pos]);
+        prop_assert_eq!(it.lookup(&probe), expect, "probe {:?} disagrees with intern history", &probe);
+        prop_assert_eq!(it.len(), len_after_interning, "lookup mutated the interner");
+        // A deserialised interner rebuilds the same probe answers.
+        it.rebuild();
+        prop_assert_eq!(it.lookup(&probe), expect);
     }
 
     /// CSR degree sum equals twice the edge count for any event→IOC
