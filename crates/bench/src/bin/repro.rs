@@ -6,8 +6,14 @@
 //!
 //! experiments:
 //!   table2  table3  table4  fig3  fig4  fig7  fig8  fig9  fig10
-//!   sec5    case    chaos   all
+//!   sec5    case    chaos   quant   all
 //! ```
+//!
+//! `quant` (or `--quant`) trains one Table-IV fold and compares f32
+//! inference against the i8-quantized forward path: max-abs logit
+//! error, argmax agreement and test accuracy on the held-out events,
+//! and min-of-N per-forward wall clock, all recorded under the `quant`
+//! taxonomy in `BENCH_repro.json`.
 //!
 //! `--trace` pretty-prints the hierarchical span tree (plus counters
 //! and histograms) collected by `trail-obs` after the run. `--quick`
@@ -82,6 +88,7 @@ fn main() {
                 opts.transient_fault_prob =
                     args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(usage);
             }
+            "--quant" => experiment = String::from("quant"),
             "--incremental" => opts.incremental = true,
             "--quick" => opts.quick = true,
             "--trace" => trace = true,
@@ -120,7 +127,8 @@ fn main() {
         std::process::exit(if ok { 0 } else { 1 });
     }
 
-    let needs_embeddings = matches!(experiment.as_str(), "table4" | "fig10" | "ablations" | "all");
+    let needs_embeddings =
+        matches!(experiment.as_str(), "table4" | "fig10" | "ablations" | "quant" | "all");
     let total = std::time::Instant::now();
     let sys = rec.time("setup_tkg", || opts.build_system());
     rec.set_meta("events", sys.tkg.events.len() as u64);
@@ -155,6 +163,7 @@ fn main() {
         "fig10" => rec.time("fig10", || {
             trail_bench::fig10(&sys, &opts, embeddings.as_ref().expect("built"))
         }),
+        "quant" => trail_bench::quant(&sys, &opts, embeddings.as_ref().expect("built"), &mut rec),
         "fig7" | "fig8" => {
             let t = std::time::Instant::now();
             match &resume_dir {
@@ -212,8 +221,8 @@ fn main() {
 
 fn usage<T>() -> T {
     eprintln!(
-        "usage: repro <table2|table3|table4|fig3|fig4|fig7|fig8|fig9|fig10|sec5|case|chaos|ablations|all> \
-         [--scale S] [--seed N] [--folds K] [--faults P] [--resume DIR] [--chaos SEED] [--incremental] [--quick] [--trace]"
+        "usage: repro <table2|table3|table4|fig3|fig4|fig7|fig8|fig9|fig10|sec5|case|chaos|ablations|quant|all> \
+         [--scale S] [--seed N] [--folds K] [--faults P] [--resume DIR] [--chaos SEED] [--incremental] [--quant] [--quick] [--trace]"
     );
     std::process::exit(2);
 }

@@ -899,6 +899,120 @@ pub fn fig10(sys: &TrailSystem, opts: &RunOptions, emb: &NodeEmbeddings) {
     }
 }
 
+/// `repro quant` — i8-quantized inference vs f32 on the attribution
+/// GNN (DESIGN.md §11). Trains one fold exactly as Table IV does, then
+/// compares `forward` against `forward_quantized` on the test-fold
+/// input: max-abs logit error, argmax agreement on the test events,
+/// test accuracy under both paths, and min-of-N per-forward wall
+/// clock. Everything lands in `BENCH_repro.json` under the `quant`
+/// taxonomy plus `quant_forward_f32` / `quant_forward_i8` stages.
+pub fn quant(sys: &TrailSystem, opts: &RunOptions, emb: &NodeEmbeddings, rec: &mut BenchRecorder) {
+    header("quant", "i8 symmetric per-row quantized inference vs f32 (2-layer GNN)");
+    let mut rng = opts.rng();
+    let cfg = opts.gnn_settings();
+    let csr = sys.tkg.csr();
+    let kf = attribute::event_folds(&mut rng, &sys.tkg, opts.folds.max(2));
+    let Some((train_ev, test_ev)) = kf.splits().next() else {
+        println!("no event folds to evaluate");
+        return;
+    };
+    let pairs = |idx: &[usize]| -> Vec<(trail_graph::NodeId, u16)> {
+        idx.iter().map(|&i| (sys.tkg.events[i].node, sys.tkg.events[i].apt)).collect()
+    };
+    let train_pairs = pairs(&train_ev);
+    let test_pairs = pairs(&test_ev);
+
+    let mut x_train = trail::embed::assemble_gnn_input(&sys.tkg, emb, &train_pairs);
+    let sage_cfg = trail_gnn::SageConfig {
+        input_dim: x_train.cols(),
+        hidden: cfg.hidden,
+        layers: 2,
+        n_classes: sys.tkg.n_classes(),
+        l2_normalize: cfg.l2_normalize,
+    };
+    let masking = trail_gnn::LabelMasking {
+        offset: emb.code_dim + 5,
+        visible_fraction: cfg.label_visible_fraction,
+    };
+    let (mut model, _) = rec.time("quant_train", || {
+        trail_gnn::train_sage_masked(
+            &mut rng, &csr, &mut x_train, sage_cfg, &train_pairs, &[], &cfg.train, masking,
+        )
+    });
+
+    // Inference input: train labels visible, test labels masked.
+    let x_test = trail::embed::assemble_gnn_input(&sys.tkg, emb, &train_pairs);
+
+    // Accuracy + error metrics (one forward each; also warms the
+    // quantized weight cache so the timing loop measures steady state).
+    let logits_f32 = model.forward(&csr, &x_test, false);
+    let logits_q = model.forward_quantized(&csr, &x_test);
+    let max_abs_err = logits_f32
+        .as_slice()
+        .iter()
+        .zip(logits_q.as_slice())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    let mut agree = 0usize;
+    let mut correct_f32 = 0usize;
+    let mut correct_q = 0usize;
+    for &(node, apt) in &test_pairs {
+        let pf = trail_linalg::vector::argmax(logits_f32.row(node.index())).unwrap_or(0);
+        let pq = trail_linalg::vector::argmax(logits_q.row(node.index())).unwrap_or(0);
+        agree += usize::from(pf == pq);
+        correct_f32 += usize::from(pf == apt as usize);
+        correct_q += usize::from(pq == apt as usize);
+    }
+    let n_test = test_pairs.len().max(1);
+    let agreement = agree as f64 / n_test as f64;
+
+    // Min-of-N per-forward wall clock, full-graph inference.
+    let reps = if opts.quick { 3 } else { 10 };
+    let mut f32_ns = f64::INFINITY;
+    let mut quant_ns = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let _ = model.forward(&csr, &x_test, false);
+        f32_ns = f32_ns.min(t.elapsed().as_nanos() as f64);
+        let t = Instant::now();
+        let _ = model.forward_quantized(&csr, &x_test);
+        quant_ns = quant_ns.min(t.elapsed().as_nanos() as f64);
+    }
+    let speedup = f32_ns / quant_ns;
+    rec.record("quant_forward_f32", f32_ns / 1e9);
+    rec.record("quant_forward_i8", quant_ns / 1e9);
+    rec.record_taxonomy(
+        "quant",
+        serde_json::json!({
+            "max_abs_logit_err": max_abs_err as f64,
+            "argmax_agreement": agreement,
+            "test_events": n_test as u64,
+            "acc_f32": correct_f32 as f64 / n_test as f64,
+            "acc_i8": correct_q as f64 / n_test as f64,
+            "forward_f32_ns": f32_ns,
+            "forward_i8_ns": quant_ns,
+            "speedup": speedup,
+        }),
+    );
+
+    row("max |logit err|", "—", format!("{max_abs_err:.2e} (gate ≤ 1e-2 on fixture)"));
+    row("argmax agreement", "—", format!("{:.2}% ({agree}/{n_test} test events)", agreement * 100.0));
+    row("test accuracy f32/i8", "—", format!(
+        "{:.4} / {:.4}",
+        correct_f32 as f64 / n_test as f64,
+        correct_q as f64 / n_test as f64
+    ));
+    row("per-forward wall clock", "—", format!(
+        "f32 {:.2} ms, i8 {:.2} ms ({speedup:.2}x)",
+        f32_ns / 1e6,
+        quant_ns / 1e6
+    ));
+    println!(
+        "[quant] max_abs_logit_err={max_abs_err:.3e} argmax_agreement={agreement:.4} \
+         speedup={speedup:.3}"
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::BenchRecorder;

@@ -32,6 +32,14 @@ impl Sym {
     }
 }
 
+impl std::fmt::Display for Sym {
+    /// Symbols print as `sym#<index>`; resolving the text requires the
+    /// owning [`Interner`] (see [`Interner::resolve`]).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
 /// Bucket sentinel for an empty slot.
 const EMPTY: u32 = u32::MAX;
 

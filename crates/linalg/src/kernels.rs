@@ -1,0 +1,295 @@
+//! Cache-blocked, autovectorisation-friendly dense kernels.
+//!
+//! Every kernel here preserves the **per-element f32 accumulation
+//! order** of the straightforward ikj formulation it replaced: for any
+//! output element `C[i][j]`, the products `a[i][k]·b[k][j]` are added
+//! one at a time in strictly increasing `k`, starting from the value
+//! already in `C[i][j]`. Blocking only changes *which registers* hold
+//! the partial sums and *when* they round-trip through memory — an
+//! f32 store/reload is exact — so results are bitwise identical to the
+//! naive kernels (see DESIGN.md §11 for the full argument). That is
+//! what keeps the golden-fingerprint, incremental-vs-full and
+//! thread-invariance gates green without tolerance changes.
+//!
+//! The kernels are also **branch-free** in the inner loops: zeros and
+//! non-finite values take the same path, so NaN/Inf propagate exactly
+//! as scalar arithmetic would. The old `av == 0.0` skip lives on only
+//! in [`crate::reference`] (as the bit-for-bit legacy baseline) and in
+//! the explicitly sparse-aware entry point
+//! [`crate::Matrix::matmul_sparse_into`].
+//!
+//! Tiling scheme (all loops in plain safe Rust; the fixed-size
+//! `[[f32; NR]; MR]` register tile is what lets LLVM keep the whole
+//! accumulator in vector registers):
+//!
+//! * `KC` — depth of the k-tile. One `KC × b_cols` slab of B is
+//!   streamed per row block and stays hot in L1/L2.
+//! * `MR × NR` — the register tile: `MR` rows of C by `NR` columns
+//!   (one 64-byte cache line of f32). Each k step broadcasts `MR`
+//!   values of A against one `NR`-wide row of B.
+
+/// Register-tile rows.
+pub const MR: usize = 4;
+/// Register-tile columns: one cache line of f32.
+pub const NR: usize = 16;
+/// k-tile depth: a `KC × NR` panel of B is 16 KiB, comfortably L1.
+pub const KC: usize = 256;
+
+/// One `R × b_cols` row band of `C += A @ B`, restricted to the k-tile
+/// `k0 .. k0 + kc`. `R` is const so the accumulator tile is a true
+/// fixed-size array.
+fn mm_block<const R: usize>(
+    a: &[f32],
+    a_cols: usize,
+    i: usize,
+    b: &[f32],
+    b_cols: usize,
+    c: &mut [f32],
+    k0: usize,
+    kc: usize,
+) {
+    let mut j = 0;
+    while j + NR <= b_cols {
+        // Load the C tile into registers, accumulate the k-tile, store.
+        let mut acc = [[0.0f32; NR]; R];
+        for r in 0..R {
+            let c_row: &[f32; NR] = c[(i + r) * b_cols + j..][..NR].try_into().unwrap();
+            acc[r] = *c_row;
+        }
+        for k in k0..k0 + kc {
+            let b_row: &[f32; NR] = b[k * b_cols + j..][..NR].try_into().unwrap();
+            for r in 0..R {
+                let av = a[(i + r) * a_cols + k];
+                for l in 0..NR {
+                    acc[r][l] += av * b_row[l];
+                }
+            }
+        }
+        for r in 0..R {
+            c[(i + r) * b_cols + j..][..NR].copy_from_slice(&acc[r]);
+        }
+        j += NR;
+    }
+    if j < b_cols {
+        // Column tail (< NR wide): accumulate through memory, same
+        // increasing-k order per element.
+        for r in 0..R {
+            for k in k0..k0 + kc {
+                let av = a[(i + r) * a_cols + k];
+                let b_tail = &b[k * b_cols + j..(k + 1) * b_cols];
+                let c_tail = &mut c[(i + r) * b_cols + j..(i + r + 1) * b_cols];
+                for (cv, &bv) in c_tail.iter_mut().zip(b_tail) {
+                    *cv += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// `C += A @ B` over row-major slices. `A` is `(c.len()/b_cols) × a_cols`,
+/// `B` is `a_cols × b_cols`. Branch-free; bitwise equal to the naive
+/// ikj loop (and, on finite inputs, to the legacy zero-skipping kernel
+/// — a `+0.0` accumulator is unchanged by adding `±0.0` products).
+pub fn matmul_rows(a: &[f32], a_cols: usize, b: &[f32], b_cols: usize, c: &mut [f32]) {
+    if a_cols == 0 || b_cols == 0 || c.is_empty() {
+        return;
+    }
+    let rows = c.len() / b_cols;
+    debug_assert_eq!(a.len(), rows * a_cols);
+    debug_assert_eq!(b.len(), a_cols * b_cols);
+    // k-tiles ascending (outermost) keeps each element's product order
+    // identical to the unblocked loop.
+    let mut k0 = 0;
+    while k0 < a_cols {
+        let kc = (a_cols - k0).min(KC);
+        let mut i = 0;
+        while i + MR <= rows {
+            mm_block::<MR>(a, a_cols, i, b, b_cols, c, k0, kc);
+            i += MR;
+        }
+        while i < rows {
+            mm_block::<1>(a, a_cols, i, b, b_cols, c, k0, kc);
+            i += 1;
+        }
+        k0 += kc;
+    }
+}
+
+/// One `R`-row band of `out += packᵀ·B` where `pack` holds `R` columns
+/// of A (rows `i..i+R` of Aᵀ) for the k-tile, laid out `pack[r*kc + kk]`.
+fn tm_block<const R: usize>(
+    pack: &[f32],
+    kc: usize,
+    b: &[f32],
+    b_cols: usize,
+    k0: usize,
+    i: usize,
+    out: &mut [f32],
+) {
+    let mut j = 0;
+    while j + NR <= b_cols {
+        let mut acc = [[0.0f32; NR]; R];
+        for r in 0..R {
+            let o_row: &[f32; NR] = out[(i + r) * b_cols + j..][..NR].try_into().unwrap();
+            acc[r] = *o_row;
+        }
+        for kk in 0..kc {
+            let b_row: &[f32; NR] = b[(k0 + kk) * b_cols + j..][..NR].try_into().unwrap();
+            for r in 0..R {
+                let av = pack[r * kc + kk];
+                for l in 0..NR {
+                    acc[r][l] += av * b_row[l];
+                }
+            }
+        }
+        for r in 0..R {
+            out[(i + r) * b_cols + j..][..NR].copy_from_slice(&acc[r]);
+        }
+        j += NR;
+    }
+    if j < b_cols {
+        for r in 0..R {
+            for kk in 0..kc {
+                let av = pack[r * kc + kk];
+                let b_tail = &b[(k0 + kk) * b_cols + j..(k0 + kk + 1) * b_cols];
+                let o_tail = &mut out[(i + r) * b_cols + j..(i + r + 1) * b_cols];
+                for (ov, &bv) in o_tail.iter_mut().zip(b_tail) {
+                    *ov += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// `out += Aᵀ @ B` over row-major slices: `A` is `a_rows × a_cols`,
+/// `B` is `a_rows × b_cols`, `out` is `a_cols × b_cols`. The k
+/// dimension is `a_rows` and is walked in ascending tiles, so each
+/// element accumulates products in the same increasing-k order as the
+/// k-outermost naive loop. A's columns are packed into a small stack
+/// tile per (row-block, k-tile) so the inner loop streams contiguously.
+pub fn t_matmul_rows(
+    a: &[f32],
+    a_rows: usize,
+    a_cols: usize,
+    b: &[f32],
+    b_cols: usize,
+    out: &mut [f32],
+) {
+    if a_rows == 0 || a_cols == 0 || b_cols == 0 {
+        return;
+    }
+    debug_assert_eq!(a.len(), a_rows * a_cols);
+    debug_assert_eq!(b.len(), a_rows * b_cols);
+    debug_assert_eq!(out.len(), a_cols * b_cols);
+    let mut pack = [0.0f32; MR * KC];
+    // k-tiles outermost: the `kc × a_cols` slab of A being packed and
+    // the matching slab of B stay cache-resident across the whole i
+    // sweep (i-outermost would re-stream all of A, column-strided, per
+    // row block). Per element the order is unchanged either way — k
+    // ascends tile by tile.
+    let mut k0 = 0;
+    while k0 < a_rows {
+        let kc = (a_rows - k0).min(KC);
+        let mut i = 0;
+        while i < a_cols {
+            let rb = (a_cols - i).min(MR);
+            for r in 0..rb {
+                for kk in 0..kc {
+                    pack[r * kc + kk] = a[(k0 + kk) * a_cols + i + r];
+                }
+            }
+            if rb == MR {
+                tm_block::<MR>(&pack, kc, b, b_cols, k0, i, out);
+            } else {
+                for r in 0..rb {
+                    tm_block::<1>(&pack[r * kc..(r + 1) * kc], kc, b, b_cols, k0, i + r, out);
+                }
+            }
+            i += rb;
+        }
+        k0 += kc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &[f32], a_cols: usize, b: &[f32], b_cols: usize, c: &mut [f32]) {
+        for (a_row, c_row) in a.chunks_exact(a_cols).zip(c.chunks_exact_mut(b_cols)) {
+            for (k, &av) in a_row.iter().enumerate() {
+                let b_row = &b[k * b_cols..(k + 1) * b_cols];
+                for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += av * bv;
+                }
+            }
+        }
+    }
+
+    fn fill(seed: u32, len: usize) -> Vec<f32> {
+        // Cheap LCG: varied magnitudes, exact zeros sprinkled in.
+        let mut s = seed as u64 | 1;
+        (0..len)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let v = ((s >> 33) as i32 % 1000) as f32 / 97.0;
+                if (s >> 20) % 7 == 0 {
+                    0.0
+                } else {
+                    v
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn blocked_matches_naive_bitwise_awkward_shapes() {
+        for &(m, k, n) in
+            &[(1, 1, 1), (3, 5, 7), (4, 16, 16), (5, 17, 33), (9, 300, 19), (64, 257, 48)]
+        {
+            let a = fill(m as u32 * 31 + k as u32, m * k);
+            let b = fill(n as u32 * 17 + 3, k * n);
+            let mut c1 = vec![0.0f32; m * n];
+            let mut c2 = c1.clone();
+            naive(&a, k, &b, n, &mut c1);
+            matmul_rows(&a, k, &b, n, &mut c2);
+            assert!(
+                c1.iter().zip(&c2).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "({m},{k},{n}) diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn t_matmul_matches_k_outer_naive_bitwise() {
+        for &(rows, d_in, d_out) in &[(1, 1, 1), (7, 3, 5), (40, 17, 33), (300, 9, 21)] {
+            let a = fill(rows as u32 + 5, rows * d_in);
+            let b = fill(d_out as u32 + 11, rows * d_out);
+            let mut o1 = vec![0.0f32; d_in * d_out];
+            let mut o2 = o1.clone();
+            for k in 0..rows {
+                for i in 0..d_in {
+                    let av = a[k * d_in + i];
+                    for j in 0..d_out {
+                        o1[i * d_out + j] += av * b[k * d_out + j];
+                    }
+                }
+            }
+            t_matmul_rows(&a, rows, d_in, &b, d_out, &mut o2);
+            assert!(
+                o1.iter().zip(&o2).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "({rows},{d_in},{d_out}) diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn nan_and_inf_propagate() {
+        // A zero in A no longer shields a NaN/Inf in B's row.
+        let a = [0.0f32, 1.0];
+        let b = [f32::NAN, 2.0, 3.0, 4.0];
+        let mut c = [0.0f32; 2];
+        matmul_rows(&a, 2, &b, 2, &mut c);
+        assert!(c[0].is_nan());
+    }
+}

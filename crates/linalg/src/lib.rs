@@ -19,8 +19,11 @@
 //! thread count.
 
 pub mod init;
+pub mod kernels;
 pub mod matrix;
 pub mod pool;
+pub mod quant;
+pub mod reference;
 pub mod stats;
 pub mod vector;
 

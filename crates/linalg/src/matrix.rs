@@ -327,21 +327,17 @@ impl Matrix {
                 out.shape()
             )));
         }
-        // out[i][j] += sum_k self[k][i] * other[k][j]; iterate k outermost so
-        // both reads are sequential.
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = other.row(k);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        // out[i][j] += sum_k self[k][i] * other[k][j]; the blocked
+        // kernel walks k in ascending tiles, so each element sees the
+        // same increasing-k product order as the old k-outermost loop.
+        crate::kernels::t_matmul_rows(
+            &self.data,
+            self.rows,
+            self.cols,
+            &other.data,
+            other.cols,
+            &mut out.data,
+        );
         Ok(())
     }
 
@@ -355,9 +351,17 @@ impl Matrix {
     }
 
     /// [`Self::matmul_t`] into a caller-owned output of shape
-    /// `(self.rows, other.rows)`. Every output entry is overwritten
-    /// (`*o = dot(..)`), so no zeroing pass is needed and the result is
-    /// bitwise identical to the allocating form.
+    /// `(self.rows, other.rows)`.
+    ///
+    /// `other` (a weight matrix in every workspace call site, so small)
+    /// is transposed into a thread-local scratch buffer, then the
+    /// blocked `matmul` kernel runs over the copy. Each output element
+    /// is a fresh sum over ascending `k` — exactly the order the old
+    /// per-element `dot(..)` used — so the result is bitwise identical
+    /// to the allocating form and to the previous implementation, while
+    /// the inner loop vectorises instead of serialising on one
+    /// accumulator. The scratch is reused across calls; steady-state
+    /// backward passes stay allocation-free.
     pub fn matmul_t_into(&self, other: &Self, out: &mut Self) -> Result<()> {
         if self.cols != other.cols || out.shape() != (self.rows, other.rows) {
             return Err(ShapeError::new(format!(
@@ -374,16 +378,77 @@ impl Matrix {
         } else {
             (PARALLEL_THRESHOLD / 8 / inner.max(1)).max(1)
         };
-        crate::pool::parallel_for_rows(&mut out.data, other.rows, min_rows, |row0, band| {
-            for (i, out_row) in band.chunks_exact_mut(other.rows).enumerate() {
-                let a_row = self.row(row0 + i);
-                for (j, o) in out_row.iter_mut().enumerate() {
-                    *o = crate::vector::dot(a_row, other.row(j));
+        BT_SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            let n = other.rows * other.cols;
+            if scratch.len() < n {
+                scratch.resize(n, 0.0);
+            }
+            let bt = &mut scratch[..n];
+            for (r, row) in other.data.chunks_exact(other.cols.max(1)).enumerate() {
+                for (c, &v) in row.iter().enumerate() {
+                    bt[c * other.rows + r] = v;
                 }
             }
+            crate::pool::parallel_for_rows(&mut out.data, other.rows, min_rows, |row0, band| {
+                let band_rows = band.len() / other.rows;
+                let a_band = &self.data[row0 * inner..(row0 + band_rows) * inner];
+                band.fill(0.0);
+                crate::kernels::matmul_rows(a_band, inner, bt, other.rows, band);
+            });
         });
         Ok(())
     }
+
+    /// `self @ other` into `out` with the legacy `av == 0.0` fast path:
+    /// a zero entry in `self` skips its whole B-row term. On **finite**
+    /// inputs this is bitwise identical to [`Self::matmul_into`] — an
+    /// accumulator that starts at `+0.0` can never become `-0.0`, so
+    /// adding the skipped `±0.0` products never changes a bit — but a
+    /// zero in `self` shields NaN/Inf in the corresponding row of
+    /// `other` from propagating. Use it only where both inputs are
+    /// known finite and `self` is meaningfully sparse (one-hot feature
+    /// blocks, post-ReLU activations); dense callers should prefer
+    /// [`Self::matmul_into`], whose blocked kernel wins on dense data
+    /// and keeps IEEE propagation intact.
+    pub fn matmul_sparse_into(&self, other: &Self, out: &mut Self) -> Result<()> {
+        if self.cols != other.rows || out.shape() != (self.rows, other.cols) {
+            return Err(ShapeError::new(format!(
+                "matmul_sparse {:?} x {:?} into {:?}",
+                self.shape(),
+                other.shape(),
+                out.shape()
+            )));
+        }
+        out.data.fill(0.0);
+        let work = self.rows * self.cols;
+        if work < PARALLEL_THRESHOLD || crate::pool::num_threads() < 2 || self.rows < 2 {
+            crate::reference::matmul_rows_skip(
+                &self.data,
+                self.cols,
+                &other.data,
+                other.cols,
+                &mut out.data,
+            );
+            return Ok(());
+        }
+        let a = &self.data;
+        let a_cols = self.cols;
+        let b_cols = other.cols;
+        crate::pool::parallel_for_rows(&mut out.data, b_cols, 1, |row0, c_band| {
+            let band_rows = c_band.len() / b_cols;
+            let a_band = &a[row0 * a_cols..(row0 + band_rows) * a_cols];
+            crate::reference::matmul_rows_skip(a_band, a_cols, &other.data, b_cols, c_band);
+        });
+        Ok(())
+    }
+}
+
+std::thread_local! {
+    /// Transposed-RHS scratch for [`Matrix::matmul_t_into`]; grown on
+    /// first use per shape, then reused (capacity is never shrunk), so
+    /// repeated backward passes allocate nothing.
+    static BT_SCRATCH: std::cell::RefCell<Vec<f32>> = const { std::cell::RefCell::new(Vec::new()) };
 }
 
 impl std::ops::Index<(usize, usize)> for Matrix {
@@ -420,30 +485,14 @@ fn matmul_into(
 ) {
     let work = a_rows * a_cols;
     if work < PARALLEL_THRESHOLD || threads < 2 || a_rows < 2 {
-        matmul_rows(a, a_cols, b, b_cols, c);
+        crate::kernels::matmul_rows(a, a_cols, b, b_cols, c);
         return;
     }
     crate::pool::parallel_for_rows_limit(threads, c, b_cols, 1, |row0, c_band| {
         let band_rows = c_band.len() / b_cols;
         let a_band = &a[row0 * a_cols..(row0 + band_rows) * a_cols];
-        matmul_rows(a_band, a_cols, b, b_cols, c_band);
+        crate::kernels::matmul_rows(a_band, a_cols, b, b_cols, c_band);
     });
-}
-
-/// Straightforward ikj-order kernel: sequential access on both inputs,
-/// auto-vectorises well.
-fn matmul_rows(a: &[f32], a_cols: usize, b: &[f32], b_cols: usize, c: &mut [f32]) {
-    for (a_row, c_row) in a.chunks_exact(a_cols).zip(c.chunks_exact_mut(b_cols)) {
-        for (k, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let b_row = &b[k * b_cols..(k + 1) * b_cols];
-            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                *cv += av * bv;
-            }
-        }
-    }
 }
 
 #[cfg(test)]

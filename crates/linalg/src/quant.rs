@@ -1,0 +1,695 @@
+//! Symmetric i8 quantization for inference-time matmuls.
+//!
+//! The f32 training path is bitwise-deterministic and stays untouched;
+//! this module exists for *inference only*, where a bounded, documented
+//! error is an acceptable trade for integer throughput.
+//!
+//! Scheme (per row of the stored matrix):
+//!
+//! * scale `s = max_abs / 127` (`0` for an all-zero row);
+//! * codes `q = round(x / s)` clamped to `[-127, 127]`, so every
+//!   element satisfies the **epsilon contract** `|x − s·q| ≤ s/2`;
+//! * products accumulate in `i32`, which is *exact*: the largest
+//!   possible magnitude is `K · 127 · 127` ≈ 24.5 M for the workspace's
+//!   widest reduction (K = 1517 input features), far below `i32::MAX`,
+//!   so the integer sum is order-free and overflow-free.
+//!
+//! Activations quantize **per row** (one scale per sample). Weights
+//! quantize **per output column** via [`QuantizedMatrix::from_cols`],
+//! which stores the transpose so the kernel reduces row·row over
+//! contiguous memory. The end-to-end elementwise error of
+//! `C = A @ B` against f32 is then bounded by
+//! `K · s_a[i] · s_b[j] · (127 + 1/4)` (write `x = s_a q_a + e_a`,
+//! `y = s_b q_b + e_b` with `|e| ≤ s/2` and expand), which the
+//! kernel-equivalence property tests assert case by case.
+//!
+//! The matmul dispatches per call between a portable lane-split loop
+//! and hand-vectorized x86-64 row kernels (`vpmaddwd`, and `vpdpbusd`
+//! on AVX-512 VNNI). Because the i32 reduction is exact in any order,
+//! all paths produce **bit-identical** results — hardware dispatch
+//! never changes an attribution, only its latency.
+
+use crate::{Matrix, Result, ShapeError};
+
+/// A row-major i8 matrix with one dequantization scale per row.
+#[derive(Debug, Clone, Default)]
+pub struct QuantizedMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i8>,
+    scales: Vec<f32>,
+    /// Per-row Σq, maintained by the quantizers. The VNNI kernel's
+    /// `vpdpbusd` wants one operand unsigned, so it computes
+    /// `Σ (q_a + 128) · q_b` and subtracts `128 · Σ q_b` — this is that
+    /// correction term, free at quantization time.
+    rowsums: Vec<i32>,
+}
+
+impl QuantizedMatrix {
+    /// Empty placeholder; fill it with [`Self::quantize_rows_into`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of stored columns (the reduction dimension).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Per-row dequantization scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Per-row sums of the stored codes (see the field docs; used by
+    /// the VNNI kernel's unsigned-operand bias correction).
+    pub fn rowsums(&self) -> &[i32] {
+        &self.rowsums
+    }
+
+    /// One stored row of codes.
+    pub fn row(&self, r: usize) -> &[i8] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Quantize `m` row by row (one scale per row). Allocating form of
+    /// [`Self::quantize_rows_into`].
+    pub fn quantize_rows(m: &Matrix) -> Self {
+        let mut out = Self::new();
+        out.quantize_rows_into(m);
+        out
+    }
+
+    /// Quantize `m` row by row into `self`, reusing the existing code
+    /// and scale buffers (allocation-free once shapes stabilise).
+    pub fn quantize_rows_into(&mut self, m: &Matrix) {
+        let (rows, cols) = m.shape();
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0);
+        self.scales.clear();
+        self.scales.resize(rows, 0.0);
+        self.rowsums.clear();
+        self.rowsums.resize(rows, 0);
+        let simd = simd_quantize_available();
+        for (r, row) in m.as_slice().chunks_exact(cols.max(1)).enumerate() {
+            let q = &mut self.data[r * cols..(r + 1) * cols];
+            let (scale, rowsum) = quantize_row_dispatch(row, q, simd);
+            self.scales[r] = scale;
+            self.rowsums[r] = rowsum;
+        }
+    }
+
+    /// Quantize `m` **per column**, storing the transpose: the result
+    /// has `m.cols()` rows of length `m.rows()`, each with its own
+    /// scale. This is the weight-side layout — per-output-channel
+    /// scales, contiguous reduction — for [`matmul_quant_into`].
+    pub fn from_cols(m: &Matrix) -> Self {
+        let (m_rows, m_cols) = m.shape();
+        let mut col = vec![0.0f32; m_rows];
+        let mut out = Self {
+            rows: m_cols,
+            cols: m_rows,
+            data: vec![0; m_rows * m_cols],
+            scales: vec![0.0; m_cols],
+            rowsums: vec![0; m_cols],
+        };
+        let simd = simd_quantize_available();
+        for c in 0..m_cols {
+            for r in 0..m_rows {
+                col[r] = m[(r, c)];
+            }
+            let q = &mut out.data[c * m_rows..(c + 1) * m_rows];
+            let (scale, rowsum) = quantize_row_dispatch(&col, q, simd);
+            out.scales[c] = scale;
+            out.rowsums[c] = rowsum;
+        }
+        out
+    }
+}
+
+/// f32 lanes per partial maximum in [`quantize_row`]'s max-abs scan.
+/// `max` is exact in any order, so the lane split changes no result.
+const ML: usize = 16;
+
+/// Quantize one row into `q`, returning its scale.
+///
+/// The rounding step deliberately avoids a float→int `as` cast: Rust's
+/// cast saturates (`llvm.fptosi.sat`), which LLVM only lowers as scalar
+/// `vcvttss2si` — it kept every earlier version of this loop at well
+/// under 1 element/ns. Adding `1.5·2²³` instead forces the value into
+/// a mantissa window where the low bits *are* the round-to-nearest-even
+/// integer, so one add + bit reinterpretation rounds and converts in
+/// plain vectorizable integer ops. `|v · 127/max_abs| ≤ 127` by
+/// construction, so the biased sum stays in-window and the final `as
+/// i8` truncation is exact; ties round to even rather than away from
+/// zero, which the `|x − s·q| ≤ s/2` contract permits. Non-finite
+/// inputs produce meaningless (but defined) codes; the quantized path
+/// is inference-only and documented to expect finite activations.
+fn quantize_row(row: &[f32], q: &mut [i8]) -> f32 {
+    let mut maxes = [0.0f32; ML];
+    let mut chunks = row.chunks_exact(ML);
+    for xs in &mut chunks {
+        let xs: &[f32; ML] = xs.try_into().unwrap();
+        for l in 0..ML {
+            maxes[l] = maxes[l].max(xs[l].abs());
+        }
+    }
+    let mut max_abs = chunks.remainder().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    for &m in &maxes {
+        max_abs = max_abs.max(m);
+    }
+    if max_abs == 0.0 {
+        q.fill(0);
+        return 0.0;
+    }
+    let inv = 127.0 / max_abs;
+    const MAGIC: f32 = 12582912.0; // 1.5 · 2²³
+    const BIAS: i32 = 0x4B40_0000; // MAGIC.to_bits() as i32
+    for (qi, &v) in q.iter_mut().zip(row) {
+        *qi = ((v * inv + MAGIC).to_bits() as i32).wrapping_sub(BIAS) as i8;
+    }
+    max_abs / 127.0
+}
+
+/// True when the hand-vectorized quantizer can run. Resolved once per
+/// matrix (the detection macro caches, but hoisting keeps it out of
+/// the per-row path entirely).
+fn simd_quantize_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx512bw")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Quantize one row and return `(scale, Σq)`. The SIMD and portable
+/// paths produce identical codes on finite input: both round with
+/// ties-to-even (`vcvtps2dq` vs the magic-number add) from the same
+/// `v · 127/max_abs` f32 product, and the max/sum reductions are exact
+/// in any order. `quantize_paths_agree_bitwise` asserts this.
+fn quantize_row_dispatch(row: &[f32], q: &mut [i8], simd: bool) -> (f32, i32) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if simd {
+            // SAFETY: `simd` is only true when AVX-512BW (which
+            // implies AVX-512F) was detected at runtime.
+            return unsafe { x86::quantize_row_avx512(row, q) };
+        }
+    }
+    let _ = simd;
+    let scale = quantize_row(row, q);
+    (scale, q.iter().map(|&v| v as i32).sum())
+}
+
+/// i8 lanes per accumulator block in [`dot_i8`]. Unlike the f32
+/// kernels, integer addition is associative, so the reduction may be
+/// lane-split freely — the sum is exact in any order. This also means
+/// every kernel below (portable, `vpmaddwd`, VNNI) returns the *same*
+/// i32 for the same inputs: there is no cross-platform drift to gate.
+const KL: usize = 16;
+
+/// Lane-parallel exact i8·i8 → i32 dot product; the portable fallback
+/// and the reference the SIMD kernels are tested against. The
+/// fixed-size `[i32; KL]` partial sums are what lets LLVM widen the
+/// products and keep the whole reduction in vector registers.
+#[inline]
+fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    let mut acc = [0i32; KL];
+    let mut ca = a.chunks_exact(KL);
+    let mut cb = b.chunks_exact(KL);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        let xa: &[i8; KL] = xa.try_into().unwrap();
+        let xb: &[i8; KL] = xb.try_into().unwrap();
+        for l in 0..KL {
+            acc[l] += xa[l] as i32 * xb[l] as i32;
+        }
+    }
+    let mut s: i32 = acc.iter().sum();
+    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+        s += x as i32 * y as i32;
+    }
+    s
+}
+
+/// One output row of the quantized product, portable path:
+/// `out[j] (=|+=) sa · sb[j] · (a_row · bt[j])`.
+fn quant_row_safe(
+    a_row: &[i8],
+    sa: f32,
+    bt: &QuantizedMatrix,
+    out_row: &mut [f32],
+    accumulate: bool,
+) {
+    let k = bt.cols;
+    for (j, o) in out_row.iter_mut().enumerate() {
+        let v = sa * bt.scales[j] * dot_i8(a_row, &bt.data[j * k..(j + 1) * k]) as f32;
+        if accumulate {
+            *o += v;
+        } else {
+            *o = v;
+        }
+    }
+}
+
+/// Which row kernel [`quant_mm`] runs; resolved once per matmul call.
+/// All variants produce bit-identical output (exact i32 reduction, and
+/// the final `sa · sb[j] · dot as f32` expression is the same in each).
+#[derive(Clone, Copy)]
+enum RowKernel {
+    Safe,
+    #[cfg(target_arch = "x86_64")]
+    Madd512,
+    #[cfg(target_arch = "x86_64")]
+    Vnni,
+}
+
+fn select_row_kernel() -> RowKernel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512vnni")
+            && std::arch::is_x86_feature_detected!("avx512bw")
+        {
+            return RowKernel::Vnni;
+        }
+        if std::arch::is_x86_feature_detected!("avx512bw") {
+            return RowKernel::Madd512;
+        }
+    }
+    RowKernel::Safe
+}
+
+/// Hand-vectorized row kernels. Autovectorization tops out around
+/// 16 MACs per ~2.5 cycles here because LLVM lowers the sign-extending
+/// i8 multiply as `vpmovsxbd` + `vpmulld`; `vpmaddwd` (32 i16 MACs per
+/// instruction) and `vpdpbusd` (64 i8 MACs) need explicit intrinsics.
+/// Both reduce in i32, which is exact, so outputs are bit-identical to
+/// [`dot_i8`] — the `simd_paths_match_safe_kernel` test checks each
+/// available path against it, tails included.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::QuantizedMatrix;
+    use std::arch::x86_64::*;
+
+    /// One-row quantizer: masked-load max-abs scan, then
+    /// multiply + `vcvtps2dq` + truncating `vpmovdb` store, with the
+    /// `Σq` row sum fused into the same pass. `vcvtps2dq` rounds
+    /// ties-to-even — exactly what the portable magic-number path
+    /// computes — and `|v · 127/max_abs| ≤ 127` makes the i32→i8
+    /// truncation lossless, so codes, scale and row sum are identical
+    /// to [`super::quantize_row`] on finite input.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX-512F + AVX-512BW are available.
+    #[target_feature(enable = "avx512f,avx512bw")]
+    pub unsafe fn quantize_row_avx512(row: &[f32], q: &mut [i8]) -> (f32, i32) {
+        let k = row.len();
+        let rp = row.as_ptr();
+        let mut vmax = _mm512_setzero_ps();
+        let mut p = 0;
+        while p + 16 <= k {
+            vmax = _mm512_max_ps(vmax, _mm512_abs_ps(_mm512_loadu_ps(rp.add(p))));
+            p += 16;
+        }
+        if p < k {
+            let mask = (1u16 << (k - p)) - 1;
+            vmax = _mm512_max_ps(vmax, _mm512_abs_ps(_mm512_maskz_loadu_ps(mask, rp.add(p))));
+        }
+        let max_abs = _mm512_reduce_max_ps(vmax);
+        if max_abs == 0.0 {
+            q.fill(0);
+            return (0.0, 0);
+        }
+        let inv = _mm512_set1_ps(127.0 / max_abs);
+        let qp = q.as_mut_ptr();
+        let mut vsum = _mm512_setzero_si512();
+        p = 0;
+        while p + 16 <= k {
+            let qi = _mm512_cvtps_epi32(_mm512_mul_ps(_mm512_loadu_ps(rp.add(p)), inv));
+            vsum = _mm512_add_epi32(vsum, qi);
+            _mm512_mask_cvtepi32_storeu_epi8(qp.add(p), 0xffff, qi);
+            p += 16;
+        }
+        if p < k {
+            // Masked-off lanes load as +0.0 → code 0 → no effect on Σq.
+            let mask = (1u16 << (k - p)) - 1;
+            let qi = _mm512_cvtps_epi32(_mm512_mul_ps(_mm512_maskz_loadu_ps(mask, rp.add(p)), inv));
+            vsum = _mm512_add_epi32(vsum, qi);
+            _mm512_mask_cvtepi32_storeu_epi8(qp.add(p), mask, qi);
+        }
+        (max_abs / 127.0, _mm512_reduce_add_epi32(vsum))
+    }
+
+    /// `vpmaddwd` path (AVX-512BW): sign-extend 32 i8 to i16, multiply
+    /// pairwise into i32, accumulate. A single i16 product is at most
+    /// 127² = 16 129 and `vpmaddwd` adds two, staying well inside i16
+    /// pair → i32 range; the i32 accumulator then absorbs at most
+    /// `K/2` terms of |…| ≤ 32 258, far from overflow for any K the
+    /// workspace uses (≤ 1 517).
+    ///
+    /// # Safety
+    /// Caller must ensure AVX-512BW is available. Slice bounds are
+    /// respected by construction (`p + 32 ≤ k` guards every load).
+    #[target_feature(enable = "avx512bw")]
+    pub unsafe fn quant_row_madd(
+        a_row: &[i8],
+        sa: f32,
+        bt: &QuantizedMatrix,
+        out_row: &mut [f32],
+        accumulate: bool,
+    ) {
+        let k = bt.cols();
+        let a = a_row.as_ptr();
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b = bt.row(j).as_ptr();
+            let mut acc0 = _mm512_setzero_si512();
+            let mut acc1 = _mm512_setzero_si512();
+            let mut p = 0;
+            while p + 64 <= k {
+                let va0 = _mm512_cvtepi8_epi16(_mm256_loadu_si256(a.add(p) as *const __m256i));
+                let vb0 = _mm512_cvtepi8_epi16(_mm256_loadu_si256(b.add(p) as *const __m256i));
+                acc0 = _mm512_add_epi32(acc0, _mm512_madd_epi16(va0, vb0));
+                let va1 =
+                    _mm512_cvtepi8_epi16(_mm256_loadu_si256(a.add(p + 32) as *const __m256i));
+                let vb1 =
+                    _mm512_cvtepi8_epi16(_mm256_loadu_si256(b.add(p + 32) as *const __m256i));
+                acc1 = _mm512_add_epi32(acc1, _mm512_madd_epi16(va1, vb1));
+                p += 64;
+            }
+            if p + 32 <= k {
+                let va = _mm512_cvtepi8_epi16(_mm256_loadu_si256(a.add(p) as *const __m256i));
+                let vb = _mm512_cvtepi8_epi16(_mm256_loadu_si256(b.add(p) as *const __m256i));
+                acc0 = _mm512_add_epi32(acc0, _mm512_madd_epi16(va, vb));
+                p += 32;
+            }
+            if p < k {
+                // Masked tail (< 32 lanes): AVX-512 masked loads
+                // suppress faults on masked-off lanes, and zeroed
+                // lanes contribute zero products.
+                let mask = (1u64 << (k - p)) - 1;
+                let va = _mm512_castsi512_si256(_mm512_maskz_loadu_epi8(mask, a.add(p)));
+                let vb = _mm512_castsi512_si256(_mm512_maskz_loadu_epi8(mask, b.add(p)));
+                acc0 = _mm512_add_epi32(
+                    acc0,
+                    _mm512_madd_epi16(_mm512_cvtepi8_epi16(va), _mm512_cvtepi8_epi16(vb)),
+                );
+            }
+            let s = _mm512_reduce_add_epi32(_mm512_add_epi32(acc0, acc1));
+            let v = sa * bt.scales()[j] * s as f32;
+            if accumulate {
+                *o += v;
+            } else {
+                *o = v;
+            }
+        }
+    }
+
+    /// VNNI path: `vpdpbusd` contracts 64 u8·i8 MACs per instruction.
+    /// One operand must be unsigned, so the activation codes are biased
+    /// by +128 (a sign-bit XOR) and the kernel subtracts
+    /// `128 · Σ q_b` afterwards — that row sum is precomputed by the
+    /// quantizers ([`QuantizedMatrix::rowsums`]). The `vpdpbusd`
+    /// intermediate (4 products ≤ 255·127 each) and the i32 accumulator
+    /// stay far from overflow for K ≤ 1 517.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX-512VNNI and AVX-512BW are available.
+    #[target_feature(enable = "avx512vnni,avx512bw")]
+    pub unsafe fn quant_row_vnni(
+        a_row: &[i8],
+        sa: f32,
+        bt: &QuantizedMatrix,
+        out_row: &mut [f32],
+        accumulate: bool,
+    ) {
+        let k = bt.cols();
+        let a = a_row.as_ptr();
+        let off = _mm512_set1_epi8(-128i8); // XOR flips the sign bit: q + 128 as u8
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b = bt.row(j).as_ptr();
+            let mut acc0 = _mm512_setzero_si512();
+            let mut acc1 = _mm512_setzero_si512();
+            let mut p = 0;
+            while p + 128 <= k {
+                let va0 = _mm512_xor_si512(_mm512_loadu_si512(a.add(p) as *const __m512i), off);
+                let vb0 = _mm512_loadu_si512(b.add(p) as *const __m512i);
+                acc0 = _mm512_dpbusd_epi32(acc0, va0, vb0);
+                let va1 =
+                    _mm512_xor_si512(_mm512_loadu_si512(a.add(p + 64) as *const __m512i), off);
+                let vb1 = _mm512_loadu_si512(b.add(p + 64) as *const __m512i);
+                acc1 = _mm512_dpbusd_epi32(acc1, va1, vb1);
+                p += 128;
+            }
+            if p + 64 <= k {
+                let va = _mm512_xor_si512(_mm512_loadu_si512(a.add(p) as *const __m512i), off);
+                let vb = _mm512_loadu_si512(b.add(p) as *const __m512i);
+                acc0 = _mm512_dpbusd_epi32(acc0, va, vb);
+                p += 64;
+            }
+            if p < k {
+                // Masked tail (< 64 lanes), fault-suppressed. Masked-off
+                // b lanes load as zero, so their products vanish; the
+                // XOR turns masked-off a lanes into +128 which those
+                // zero b lanes ignore. The biased sum therefore covers
+                // the entire row and the correction below is exactly
+                // `128 · Σ q_b`.
+                let mask = (1u64 << (k - p)) - 1;
+                let va = _mm512_xor_si512(_mm512_maskz_loadu_epi8(mask, a.add(p)), off);
+                let vb = _mm512_maskz_loadu_epi8(mask, b.add(p));
+                acc0 = _mm512_dpbusd_epi32(acc0, va, vb);
+            }
+            let biased = _mm512_reduce_add_epi32(_mm512_add_epi32(acc0, acc1));
+            let s = biased - 128 * bt.rowsums()[j];
+            let v = sa * bt.scales()[j] * s as f32;
+            if accumulate {
+                *o += v;
+            } else {
+                *o = v;
+            }
+        }
+    }
+}
+
+/// `out[i][j] = a.scale[i] · bt.scale[j] · Σ_k a[i][k] · bt[j][k]`.
+///
+/// `a` is row-quantized activations `(n × K)`, `bt` a column-quantized
+/// weight matrix from [`QuantizedMatrix::from_cols`] `(m × K)`; `out`
+/// has shape `(n, m)` and is fully overwritten. The i32 accumulation
+/// is exact (see module docs), so all rounding error comes from the
+/// two quantizations.
+pub fn matmul_quant_into(a: &QuantizedMatrix, bt: &QuantizedMatrix, out: &mut Matrix) -> Result<()> {
+    quant_mm(a, bt, out, false)
+}
+
+/// Accumulating form of [`matmul_quant_into`]: `out[i][j] += …`. Used
+/// to fuse the root- and neighbour-weight products of a SAGE layer
+/// without a second output buffer.
+pub fn matmul_quant_acc(a: &QuantizedMatrix, bt: &QuantizedMatrix, out: &mut Matrix) -> Result<()> {
+    quant_mm(a, bt, out, true)
+}
+
+fn quant_mm(
+    a: &QuantizedMatrix,
+    bt: &QuantizedMatrix,
+    out: &mut Matrix,
+    accumulate: bool,
+) -> Result<()> {
+    if a.cols != bt.cols || out.shape() != (a.rows, bt.rows) {
+        return Err(ShapeError::new(format!(
+            "quant matmul ({}x{}) x ({}x{})t into {:?}",
+            a.rows,
+            a.cols,
+            bt.rows,
+            bt.cols,
+            out.shape()
+        )));
+    }
+    let k = a.cols;
+    let m = bt.rows;
+    if k == 0 {
+        // Empty reduction: the product is all zeros.
+        if !accumulate {
+            out.as_mut_slice().fill(0.0);
+        }
+        return Ok(());
+    }
+    let kernel = select_row_kernel();
+    let out_slice = out.as_mut_slice();
+    for (i, a_row) in a.data.chunks_exact(k.max(1)).enumerate().take(a.rows) {
+        // `a_row` (K bytes) stays hot in L1 across the whole j sweep.
+        let sa = a.scales[i];
+        let o_row = &mut out_slice[i * m..(i + 1) * m];
+        match kernel {
+            RowKernel::Safe => quant_row_safe(a_row, sa, bt, o_row, accumulate),
+            // SAFETY: select_row_kernel verified the required CPU
+            // features at runtime.
+            #[cfg(target_arch = "x86_64")]
+            RowKernel::Madd512 => unsafe {
+                x86::quant_row_madd(a_row, sa, bt, o_row, accumulate)
+            },
+            #[cfg(target_arch = "x86_64")]
+            RowKernel::Vnni => unsafe {
+                x86::quant_row_vnni(a_row, sa, bt, o_row, accumulate)
+            },
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_error_within_half_scale() {
+        let m = Matrix::from_vec(2, 4, vec![1.0, -0.5, 0.25, 0.0, 100.0, -3.0, 7.5, 0.1]).unwrap();
+        let q = QuantizedMatrix::quantize_rows(&m);
+        for r in 0..2 {
+            let s = q.scales()[r];
+            for (c, &qc) in q.row(r).iter().enumerate() {
+                let err = (m[(r, c)] - s * qc as f32).abs();
+                assert!(err <= s / 2.0 + 1e-12, "row {r} col {c}: err {err} > s/2 {}", s / 2.0);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_row_gets_zero_scale_and_codes() {
+        let m = Matrix::zeros(1, 5);
+        let q = QuantizedMatrix::quantize_rows(&m);
+        assert_eq!(q.scales(), &[0.0]);
+        assert!(q.row(0).iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn quant_matmul_tracks_f32_within_bound() {
+        let a = Matrix::from_fn(5, 33, |r, c| ((r * 31 + c * 7) % 17) as f32 * 0.21 - 1.6);
+        let b = Matrix::from_fn(33, 6, |r, c| ((r * 13 + c * 5) % 23) as f32 * 0.09 - 1.0);
+        let exact = a.matmul(&b).unwrap();
+        let qa = QuantizedMatrix::quantize_rows(&a);
+        let qbt = QuantizedMatrix::from_cols(&b);
+        let mut got = Matrix::zeros(5, 6);
+        matmul_quant_into(&qa, &qbt, &mut got).unwrap();
+        for i in 0..5 {
+            for j in 0..6 {
+                let bound = 33.0 * qa.scales()[i] * qbt.scales()[j] * 127.25 + 1e-4;
+                let err = (exact[(i, j)] - got[(i, j)]).abs();
+                assert!(err <= bound, "({i},{j}): err {err} > bound {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn acc_form_adds_onto_existing_values() {
+        let a = Matrix::from_fn(3, 8, |r, c| (r + c) as f32 * 0.3 - 1.0);
+        let b = Matrix::from_fn(8, 3, |r, c| (r * c) as f32 * 0.1 - 0.4);
+        let qa = QuantizedMatrix::quantize_rows(&a);
+        let qbt = QuantizedMatrix::from_cols(&b);
+        let mut once = Matrix::zeros(3, 3);
+        matmul_quant_into(&qa, &qbt, &mut once).unwrap();
+        let mut twice = once.clone();
+        matmul_quant_acc(&qa, &qbt, &mut twice).unwrap();
+        for (o, t) in once.as_slice().iter().zip(twice.as_slice()) {
+            assert!((t - 2.0 * o).abs() <= 1e-5, "{t} vs 2*{o}");
+        }
+    }
+
+    /// The SIMD quantizer must emit the same codes, scale and row sum
+    /// as the portable magic-number path — both round ties-to-even
+    /// from the same f32 product. Sweeps k across lane-width tails.
+    #[test]
+    fn quantize_paths_agree_bitwise() {
+        for &k in &[1usize, 7, 15, 16, 17, 31, 32, 33, 59, 64, 100, 129] {
+            let row: Vec<f32> = (0..k)
+                .map(|i| {
+                    if i % 5 == 3 { 0.0 } else { ((i * 37 + 11) % 83) as f32 * 0.047 - 1.9 }
+                })
+                .collect();
+            let mut q_ref = vec![0i8; k];
+            let scale_ref = quantize_row(&row, &mut q_ref);
+            let sum_ref: i32 = q_ref.iter().map(|&v| v as i32).sum();
+            let (scale, sum) = {
+                let mut q = vec![0i8; k];
+                let got = quantize_row_dispatch(&row, &mut q, simd_quantize_available());
+                assert_eq!(q, q_ref, "codes diverged at k={k}");
+                got
+            };
+            assert_eq!(scale.to_bits(), scale_ref.to_bits(), "scale diverged at k={k}");
+            assert_eq!(sum, sum_ref, "rowsum diverged at k={k}");
+            // All-zero rows keep the zero-scale contract on both paths.
+            let zeros = vec![0.0f32; k];
+            let mut qz = vec![1i8; k];
+            let (sz, rz) = quantize_row_dispatch(&zeros, &mut qz, simd_quantize_available());
+            assert_eq!((sz, rz), (0.0, 0));
+            assert!(qz.iter().all(|&v| v == 0));
+        }
+    }
+
+    /// Every SIMD row kernel must return *bit-identical* output to the
+    /// portable one — the i32 reduction is exact, so any mismatch is a
+    /// kernel bug, not rounding. Sweeps k across vector-width
+    /// boundaries (tails of 0, 1, 15, 31, 63 … lanes).
+    #[test]
+    fn simd_paths_match_safe_kernel() {
+        for &k in &[1usize, 7, 15, 16, 17, 31, 32, 33, 63, 64, 65, 127, 128, 129, 200] {
+            let a = Matrix::from_fn(3, k, |r, c| ((r * 37 + c * 11) % 29) as f32 * 0.17 - 2.1);
+            let b = Matrix::from_fn(k, 5, |r, c| ((r * 13 + c * 3) % 31) as f32 * 0.11 - 1.5);
+            let qa = QuantizedMatrix::quantize_rows(&a);
+            let qbt = QuantizedMatrix::from_cols(&b);
+            let mut want = Matrix::from_fn(3, 5, |r, c| (r + 2 * c) as f32 * 0.5);
+            let mut got = want.clone();
+            for i in 0..3 {
+                let (ar, sa) = (qa.row(i).to_vec(), qa.scales()[i]);
+                quant_row_safe(&ar, sa, &qbt, &mut want.as_mut_slice()[i * 5..(i + 1) * 5], true);
+            }
+            #[cfg(target_arch = "x86_64")]
+            {
+                if std::arch::is_x86_feature_detected!("avx512bw") {
+                    let mut m = got.clone();
+                    for i in 0..3 {
+                        let row = &mut m.as_mut_slice()[i * 5..(i + 1) * 5];
+                        unsafe { x86::quant_row_madd(qa.row(i), qa.scales()[i], &qbt, row, true) };
+                    }
+                    for (w, g) in want.as_slice().iter().zip(m.as_slice()) {
+                        assert_eq!(w.to_bits(), g.to_bits(), "madd diverged at k={k}");
+                    }
+                }
+                if std::arch::is_x86_feature_detected!("avx512vnni")
+                    && std::arch::is_x86_feature_detected!("avx512bw")
+                {
+                    let mut m = got.clone();
+                    for i in 0..3 {
+                        let row = &mut m.as_mut_slice()[i * 5..(i + 1) * 5];
+                        unsafe { x86::quant_row_vnni(qa.row(i), qa.scales()[i], &qbt, row, true) };
+                    }
+                    for (w, g) in want.as_slice().iter().zip(m.as_slice()) {
+                        assert_eq!(w.to_bits(), g.to_bits(), "vnni diverged at k={k}");
+                    }
+                }
+            }
+            // The dispatched entry point agrees with the safe path too.
+            matmul_quant_acc(&qa, &qbt, &mut got).unwrap();
+            for (w, g) in want.as_slice().iter().zip(got.as_slice()) {
+                assert_eq!(w.to_bits(), g.to_bits(), "dispatch diverged at k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let qa = QuantizedMatrix::quantize_rows(&Matrix::zeros(2, 3));
+        let qbt = QuantizedMatrix::from_cols(&Matrix::zeros(4, 2));
+        let mut out = Matrix::zeros(2, 2);
+        assert!(matmul_quant_into(&qa, &qbt, &mut out).is_err());
+    }
+}

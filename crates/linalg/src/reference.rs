@@ -1,0 +1,71 @@
+//! Reference kernels: the exact loops the blocked kernels in
+//! [`crate::kernels`] replaced, kept bit-for-bit.
+//!
+//! They serve three roles:
+//!
+//! * ground truth for the kernel-equivalence property tests (the
+//!   blocked kernels must match these bitwise on finite inputs);
+//! * the "old" side of the `kernels` microbench, so speedups are
+//!   measured against the real previous implementation rather than a
+//!   strawman;
+//! * the engine behind [`crate::Matrix::matmul_sparse_into`], the one
+//!   place the `av == 0.0` skip is still wanted (see that method for
+//!   the finite-inputs contract the skip imposes).
+
+/// `C += A @ B`, ikj order, with the legacy `av == 0.0` skip: a zero
+/// in A skips its whole B-row term. On finite inputs this is bitwise
+/// identical to the branch-free kernel (adding the skipped `±0.0`
+/// products cannot change an accumulator that starts at `+0.0`); on
+/// NaN/Inf inputs the skip masks propagation, which is why the dense
+/// path no longer uses it.
+pub fn matmul_rows_skip(a: &[f32], a_cols: usize, b: &[f32], b_cols: usize, c: &mut [f32]) {
+    for (a_row, c_row) in a.chunks_exact(a_cols).zip(c.chunks_exact_mut(b_cols)) {
+        for (k, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[k * b_cols..(k + 1) * b_cols];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// `out += Aᵀ @ B`, k-outermost with the legacy zero skip. `A` is
+/// `a_rows × a_cols`, `B` is `a_rows × b_cols`, `out` is
+/// `a_cols × b_cols`.
+pub fn t_matmul_rows_skip(
+    a: &[f32],
+    a_rows: usize,
+    a_cols: usize,
+    b: &[f32],
+    b_cols: usize,
+    out: &mut [f32],
+) {
+    for k in 0..a_rows {
+        let a_row = &a[k * a_cols..(k + 1) * a_cols];
+        let b_row = &b[k * b_cols..(k + 1) * b_cols];
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[i * b_cols..(i + 1) * b_cols];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `C = A @ Bᵀ` via one serial dot product per output element — the
+/// latency-bound loop `matmul_t_into` used to run. `A` is
+/// `a_rows × a_cols`, `B` is `b_rows × a_cols`, `C` is
+/// `a_rows × b_rows`.
+pub fn matmul_t_rows_dot(a: &[f32], a_cols: usize, b: &[f32], b_rows: usize, c: &mut [f32]) {
+    for (a_row, c_row) in a.chunks_exact(a_cols).zip(c.chunks_exact_mut(b_rows)) {
+        for (j, o) in c_row.iter_mut().enumerate() {
+            *o = crate::vector::dot(a_row, &b[j * a_cols..(j + 1) * a_cols]);
+        }
+    }
+}

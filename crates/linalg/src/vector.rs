@@ -1,13 +1,22 @@
 //! Slice-level numeric primitives shared by the ML and GNN crates.
+//!
+//! These keep the strictly sequential accumulation order the repo's
+//! bitwise gates pin (a lane-split `dot` would reassociate the sum),
+//! so they are deliberately *not* manually unrolled. Hot
+//! matrix-shaped products no longer run through `dot` at all — they
+//! go through the cache-blocked kernels in [`crate::kernels`], which
+//! reach SIMD throughput without reordering any element's sum (see
+//! DESIGN.md §11).
 
-/// Dot product of two equal-length slices.
+/// Dot product of two equal-length slices, accumulated left to right.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
     a.iter().zip(b).map(|(&x, &y)| x * y).sum()
 }
 
-/// `y += k * x` for equal-length slices.
+/// `y += k * x` for equal-length slices. Elementwise (no reduction),
+/// so LLVM autovectorizes it as-is without changing any result bit.
 #[inline]
 pub fn axpy(k: f32, x: &[f32], y: &mut [f32]) {
     debug_assert_eq!(x.len(), y.len());

@@ -81,11 +81,12 @@ fn main() {
     );
     println!("most influential IOCs (cf. paper Fig. 10):");
     for local in expl.top_nodes(target, 10) {
-        let rec = system.tkg.graph.node(sub.nodes[local]);
+        let node = sub.nodes[local];
+        let rec = system.tkg.graph.node(node);
         println!(
             "  {:<8} {:<45} importance {:.3}",
             format!("{:?}", rec.kind),
-            rec.key.chars().take(45).collect::<String>(),
+            system.tkg.graph.key(node).chars().take(45).collect::<String>(),
             expl.node_importance[local]
         );
     }

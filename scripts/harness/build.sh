@@ -1,0 +1,175 @@
+#!/usr/bin/env bash
+# Offline stub-rustc harness.
+#
+# This container has 1 CPU, no network, and an unpopulated cargo
+# registry, so `cargo build` cannot resolve the (tiny) external
+# dependency set. This script compiles the workspace with plain rustc
+# against the stub crates in scripts/harness/stubs/ (serde, serde_json,
+# rand, rand_distr, proptest — see each stub's header for the exact
+# surface it covers and how it differs from upstream).
+#
+#   scripts/harness/build.sh            build libs + test bins + opt bins
+#   scripts/harness/build.sh --test     ...and run every test binary
+#   scripts/harness/build.sh --libs     libs only (fast typecheck loop)
+#
+# Outputs under target-stub/:
+#   deps/      rlibs, opt-level=2 + debug-assertions (test profile)
+#   deps-opt/  rlibs, opt-level=3, no debug assertions (bench profile)
+#   tests/     one t_<name> binary per crate-lib / integration test
+#   bin/       repro, kernels, examples (bench profile)
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+
+STUBS=scripts/harness/stubs
+OUT=target-stub
+DEPS="$OUT/deps"
+OPT="$OUT/deps-opt"
+TESTS="$OUT/tests"
+BIN="$OUT/bin"
+mkdir -p "$DEPS" "$OPT" "$TESTS" "$BIN"
+
+EDITION="--edition 2021"
+TEST_FLAGS="-C opt-level=2 -C debug-assertions=on"
+OPT_FLAGS="-C opt-level=3 -C target-cpu=native"
+
+mode="${1:---all}"
+
+# Every workspace crate in dependency order: "crate_name:path_to_lib.rs".
+CRATES=(
+  "serde_json:$STUBS/serde_json/src/lib.rs"
+  "rand:$STUBS/rand/src/lib.rs"
+  "rand_distr:$STUBS/rand_distr/src/lib.rs"
+  "proptest:$STUBS/proptest/src/lib.rs"
+  "trail_obs:crates/obs/src/lib.rs"
+  "trail_linalg:crates/linalg/src/lib.rs"
+  "trail_ioc:crates/ioc/src/lib.rs"
+  "trail_graph:crates/graph/src/lib.rs"
+  "trail_osint:crates/osint/src/lib.rs"
+  "trail_ml:crates/ml/src/lib.rs"
+  "trail_gnn:crates/gnn/src/lib.rs"
+  "trail:crates/core/src/lib.rs"
+  "trail_bench:crates/bench/src/lib.rs"
+  "trail_repro:src/lib.rs"
+)
+
+externs() { # $1 = deps dir
+  local dir="$1" flags=""
+  flags+=" --extern serde=$dir/libserde.rlib"
+  for c in "${CRATES[@]}"; do
+    local name="${c%%:*}"
+    if [ -f "$dir/lib$name.rlib" ]; then
+      flags+=" --extern $name=$dir/lib$name.rlib"
+    fi
+  done
+  echo "$flags"
+}
+
+build_profile() { # $1 = deps dir, $2 = profile flags
+  local dir="$1" flags="$2"
+  # serde_derive (proc macro, shared between profiles) then serde.
+  if [ ! -f "$DEPS/libserde_derive.so" ]; then
+    rustc $EDITION --crate-type proc-macro --crate-name serde_derive \
+      "$STUBS/serde_derive/src/lib.rs" -o "$DEPS/libserde_derive.so"
+  fi
+  if [ ! -f "$dir/libserde.rlib" ] || [ "$STUBS/serde/src/lib.rs" -nt "$dir/libserde.rlib" ]; then
+    rustc $EDITION $flags --crate-type rlib --crate-name serde \
+      "$STUBS/serde/src/lib.rs" --extern serde_derive="$DEPS/libserde_derive.so" \
+      -o "$dir/libserde.rlib"
+  fi
+  local cascade=0
+  for c in "${CRATES[@]}"; do
+    local name="${c%%:*}" src="${c#*:}" out="$dir/lib${c%%:*}.rlib"
+    local src_dir; src_dir="$(dirname "$src")"
+    # Rebuild when any source in the crate dir is newer than the rlib,
+    # or when anything earlier in the dependency order was rebuilt.
+    if [ "$cascade" -eq 0 ] && [ -f "$out" ] \
+      && [ -z "$(find "$src_dir" -name '*.rs' -newer "$out" -print -quit)" ]; then
+      continue
+    fi
+    cascade=1
+    echo "  [lib $name]"
+    rustc $EDITION $flags --crate-type rlib --crate-name "$name" "$src" \
+      -L "$DEPS" -L "$dir" $(externs "$dir") -o "$out"
+  done
+}
+
+echo "== stub harness: test-profile libs =="
+build_profile "$DEPS" "$TEST_FLAGS"
+
+if [ "$mode" = "--libs" ]; then
+  echo "libs OK"
+  exit 0
+fi
+
+echo "== stub harness: bench-profile libs =="
+build_profile "$OPT" "$OPT_FLAGS"
+
+echo "== stub harness: test binaries =="
+TEST_EXTERNS="$(externs "$DEPS")"
+build_test() { # $1 = test name, $2 = source path
+  local bin="$TESTS/$1"
+  [ -f "$2" ] || return 0
+  if [ -f "$bin" ] && [ -z "$(find "$2" crates src -name '*.rs' -newer "$bin" -print -quit 2>/dev/null)" ]; then
+    return
+  fi
+  echo "  [test $1]"
+  rustc $EDITION $TEST_FLAGS --test --crate-name "$1" "$2" \
+    -L "$DEPS" $TEST_EXTERNS -o "$bin"
+}
+
+build_test t_obs      crates/obs/src/lib.rs
+build_test t_linalg   crates/linalg/src/lib.rs
+build_test t_ioc      crates/ioc/src/lib.rs
+build_test t_graph    crates/graph/src/lib.rs
+build_test t_osint    crates/osint/src/lib.rs
+build_test t_ml       crates/ml/src/lib.rs
+build_test t_gnn      crates/gnn/src/lib.rs
+build_test t_core     crates/core/src/lib.rs
+build_test t_bench    crates/bench/src/lib.rs
+build_test t_pool_proptest        crates/linalg/tests/pool_proptest.rs
+build_test t_kernel_proptest      crates/linalg/tests/kernel_proptest.rs
+build_test t_parallel_equivalence crates/gnn/tests/parallel_equivalence.rs
+build_test t_alloc_free_epoch     crates/gnn/tests/alloc_free_epoch.rs
+for f in tests/*.rs; do
+  base="$(basename "$f" .rs)"
+  build_test "t_${base}" "$f"
+done
+
+echo "== stub harness: bench-profile binaries =="
+OPT_EXTERNS="$(externs "$OPT")"
+build_bin() { # $1 = bin name, $2 = source path
+  local bin="$BIN/$1"
+  [ -f "$2" ] || return 0
+  if [ -f "$bin" ] && [ -z "$(find "$2" crates src -name '*.rs' -newer "$bin" -print -quit 2>/dev/null)" ]; then
+    return
+  fi
+  echo "  [bin $1]"
+  rustc $EDITION $OPT_FLAGS --crate-name "$1" "$2" \
+    -L "$DEPS" -L "$OPT" $OPT_EXTERNS -o "$bin"
+}
+
+build_bin repro    crates/bench/src/bin/repro.rs
+build_bin kernels  crates/bench/src/bin/kernels.rs
+build_bin quickstart          examples/quickstart.rs
+build_bin case_study          examples/case_study.rs
+build_bin explain_attribution examples/explain_attribution.rs
+build_bin longitudinal        examples/longitudinal.rs
+
+echo "build OK"
+
+if [ "$mode" = "--test" ]; then
+  echo "== stub harness: running tests =="
+  fail=0
+  for t in "$TESTS"/t_*; do
+    name="$(basename "$t")"
+    if ! out="$("$t" -q 2>&1)"; then
+      echo "FAIL $name"
+      printf '%s\n' "$out" | tail -40
+      fail=1
+    else
+      summary="$(printf '%s\n' "$out" | grep -E '^test result' | head -1)"
+      echo "ok   $name  $summary"
+    fi
+  done
+  [ "$fail" -eq 0 ] && echo "ALL TESTS OK" || { echo "TEST FAILURES"; exit 1; }
+fi

@@ -1,0 +1,71 @@
+//! Offline stand-in for `rand_distr`: just the `Distribution` trait and
+//! the `LogNormal` sampler the synthetic world generator uses.
+
+use rand::{RngCore, StandardSample};
+
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Log-normal distribution: `exp(mu + sigma * Z)` with `Z ~ N(0, 1)`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("invalid log-normal parameters")
+    }
+}
+impl std::error::Error for Error {}
+
+impl LogNormal {
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if sigma.is_finite() && sigma >= 0.0 && mu.is_finite() {
+            Ok(Self { mu, sigma })
+        } else {
+            Err(Error)
+        }
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box-Muller; one uniform pair per standard-normal draw.
+        let mut u1 = f64::sample_standard(rng);
+        if u1 <= f64::MIN_POSITIVE {
+            u1 = f64::MIN_POSITIVE;
+        }
+        let u2 = f64::sample_standard(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn lognormal_median_near_exp_mu() {
+        let d = LogNormal::new(0.0, 0.55).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut samples: Vec<f64> = (0..4001).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[2000];
+        assert!((median - 1.0).abs() < 0.1, "median {median}");
+        assert!(samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` to satisfy
+//! trait bounds that are never exercised generically (the stub `serde`
+//! traits are blanket-implemented markers), so the derives expand to
+//! nothing. `attributes(serde)` keeps `#[serde(...)]` field/variant
+//! attributes legal.
+
+extern crate proc_macro;
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -16,7 +16,10 @@
 # heap, the byte-for-byte incremental==full study equivalence, and a
 # wall-clock gate that the cached window-preparation path (`repro fig8
 # --incremental`) is at least 2x faster than the full per-window
-# rebuild at --scale 0.25.
+# rebuild at --scale 0.25, plus the kernel microbench gate: the blocked
+# f32 matmul must hold a >=1.5x geomean speedup (and the i8 quantized
+# path >=2x) over the pre-blocking reference kernels on the GNN shapes
+# swept by `kernels` (see BENCH_kernels.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -109,6 +112,34 @@ if [ "$run_perf" -eq 1 ]; then
   echo "window prep seconds: full=$full_prep incremental=$inc_prep"
   if ! awk -v f="$full_prep" -v i="$inc_prep" 'BEGIN{exit !(i > 0 && f >= 2 * i)}'; then
     echo "FAIL: cached window prep is not >=2x faster than the full rebuild" >&2
+    exit 1
+  fi
+
+  echo "== perf tier: blocked/quantized kernel speedups (single thread) =="
+  # The kernels bench prints one summary line of geometric-mean
+  # speedups over the pre-blocking reference kernels:
+  #   [kernel-summary] matmul_speedup=.. ... quant_speedup=..
+  # Gates match the bench's own --check: f32 matmul >= 1.5x, i8 >= 2x.
+  cargo build --release -p trail-bench --bin kernels
+  kernel_out="$("$PWD/target/release/kernels" --out "$perf_dir/BENCH_kernels.json")"
+  printf '%s\n' "$kernel_out" | grep '^\[kernel'
+  if ! printf '%s\n' "$kernel_out" | awk '
+    /^\[kernel-summary\] /{
+      for (i = 2; i <= NF; i++) { split($i, kv, "="); v[kv[1]] = kv[2] }
+      found = 1
+    }
+    END{
+      if (!found) { print "no [kernel-summary] line" > "/dev/stderr"; exit 1 }
+      ok = 1
+      if (v["matmul_speedup"] + 0 < 1.5) {
+        printf "FAIL: matmul geomean speedup %s < 1.5\n", v["matmul_speedup"] > "/dev/stderr"; ok = 0
+      }
+      if (v["quant_speedup"] + 0 < 2.0) {
+        printf "FAIL: quant geomean speedup %s < 2.0\n", v["quant_speedup"] > "/dev/stderr"; ok = 0
+      }
+      exit !ok
+    }'; then
+    echo "FAIL: kernel speedup gate (see BENCH_kernels.json for the full sweep)" >&2
     exit 1
   fi
 fi
