@@ -6,7 +6,7 @@
 //!
 //! experiments:
 //!   table2  table3  table4  fig3  fig4  fig7  fig8  fig9  fig10
-//!   sec5    case    chaos   quant   all
+//!   sec5    case    chaos   quant   serve-bench   all
 //! ```
 //!
 //! `quant` (or `--quant`) trains one Table-IV fold and compares f32
@@ -14,6 +14,13 @@
 //! error, argmax agreement and test accuracy on the held-out events,
 //! and min-of-N per-forward wall clock, all recorded under the `quant`
 //! taxonomy in `BENCH_repro.json`.
+//!
+//! `serve-bench` trains on every event, freezes the stack into a TSB1
+//! `ServeBundle`, and replays a seeded query mix at several worker-pool
+//! widths through the read-only serving runtime: p50/p99 latency and
+//! throughput per level land in `BENCH_serve.json`, and the run exits
+//! non-zero if rankings differ across concurrency levels or the
+//! request counters fail to reconcile (see DESIGN.md §12).
 //!
 //! `--trace` pretty-prints the hierarchical span tree (plus counters
 //! and histograms) collected by `trail-obs` after the run. `--quick`
@@ -164,6 +171,20 @@ fn main() {
             trail_bench::fig10(&sys, &opts, embeddings.as_ref().expect("built"))
         }),
         "quant" => trail_bench::quant(&sys, &opts, embeddings.as_ref().expect("built"), &mut rec),
+        "serve-bench" | "serve" => {
+            let ok = trail_bench::serve_bench(&sys, &opts, &mut rec);
+            rec.record("total", total.elapsed().as_secs_f64());
+            match rec.write_json("BENCH_repro.json") {
+                Ok(()) => println!("[bench] stage timings written to BENCH_repro.json"),
+                Err(e) => eprintln!("[bench] could not write BENCH_repro.json: {e}"),
+            }
+            if trace {
+                println!("\n=== trace: span tree, counters, histograms ===");
+                print!("{}", trail_obs::snapshot().render_tree());
+            }
+            println!("\n[done] total {:?}", total.elapsed());
+            std::process::exit(if ok { 0 } else { 1 });
+        }
         "fig7" | "fig8" => {
             let t = std::time::Instant::now();
             match &resume_dir {
@@ -221,7 +242,7 @@ fn main() {
 
 fn usage<T>() -> T {
     eprintln!(
-        "usage: repro <table2|table3|table4|fig3|fig4|fig7|fig8|fig9|fig10|sec5|case|chaos|ablations|quant|all> \
+        "usage: repro <table2|table3|table4|fig3|fig4|fig7|fig8|fig9|fig10|sec5|case|chaos|ablations|quant|serve-bench|all> \
          [--scale S] [--seed N] [--folds K] [--faults P] [--resume DIR] [--chaos SEED] [--incremental] [--quant] [--quick] [--trace]"
     );
     std::process::exit(2);

@@ -1013,6 +1013,190 @@ pub fn quant(sys: &TrailSystem, opts: &RunOptions, emb: &NodeEmbeddings, rec: &m
     );
 }
 
+/// `repro serve-bench` — attribution-as-a-service under load
+/// (DESIGN.md §12). Trains the full stack on every event (the Fig. 10
+/// protocol), freezes it into a TSB1 [`trail_serve::ServeBundle`],
+/// round-trips the bundle through disk, then replays one seeded query
+/// mix at several worker-pool widths. Each level's p50/p99/mean
+/// latency, throughput and outcome totals land in `BENCH_serve.json`;
+/// the run also proves two invariants and returns `false` (non-zero
+/// exit) if either breaks:
+///
+/// * **determinism** — the response fingerprint (every ranking, bit
+///   for bit) is identical at every concurrency level;
+/// * **reconciliation** — `trail-obs` request counters match the load
+///   generator's issued/admitted/rejected/completed/failed totals
+///   exactly, including during the poison-query breaker drill.
+pub fn serve_bench(sys: &TrailSystem, opts: &RunOptions, rec: &mut BenchRecorder) -> bool {
+    use trail_osint::BreakerConfig;
+    use trail_serve::{loadgen, LoadMix, QueryLimits, RuntimeConfig, ServeBundle, ServeRuntime};
+
+    header("serve-bench", "concurrent read-only attribution serving (TSB1 bundle)");
+    let mut rng = opts.rng();
+    let gnn_cfg = opts.gnn_settings();
+    let frozen = rec.time("serve_train_freeze", || {
+        trail::freeze::train_frozen(&mut rng, &sys.tkg, &opts.ae_settings(), &gnn_cfg, 2)
+    });
+    let bundle = rec
+        .time("serve_bundle_freeze", || ServeBundle::freeze(&sys.tkg, &frozen).expect("freeze"));
+
+    // Round-trip through disk so the benched bundle is the loaded one
+    // (exercising the full TSB1 decode + validation path).
+    let dir = std::env::temp_dir().join(format!("trail-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("bundle.tsb");
+    rec.time("serve_bundle_save", || bundle.save(&path).expect("bundle save"));
+    let bundle_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    let bundle =
+        Arc::new(rec.time("serve_bundle_load", || ServeBundle::load(&path).expect("bundle load")));
+    std::fs::remove_dir_all(&dir).ok();
+    println!(
+        "[serve] bundle: {} nodes, {} events, {} classes, {} bytes on disk",
+        bundle.graph().node_count(),
+        bundle.events().len(),
+        bundle.n_classes(),
+        bundle_bytes
+    );
+
+    let levels: Vec<usize> = if opts.quick { vec![1, 8] } else { vec![1, 4, 8] };
+    let max_level = levels.iter().copied().max().unwrap_or(1);
+    let runtime = ServeRuntime::new(
+        Arc::clone(&bundle),
+        Arc::new(CircuitBreaker::new(BreakerConfig::default())),
+        RuntimeConfig { replicas: max_level, limits: QueryLimits::default() },
+    );
+
+    let mix = LoadMix {
+        queries: if opts.quick { 240 } else { 1000 },
+        iocs_per_query: 8,
+        unknown_fraction: 0.2,
+        poison_fraction: 0.0,
+        seed: opts.seed ^ 0x5e12_e5,
+    };
+    let queries = loadgen::generate(&runtime, &mix);
+
+    let mut ok = true;
+    let mut reports = Vec::new();
+    for &c in &levels {
+        let lvl =
+            rec.time(&format!("serve_level_{c}"), || loadgen::run_level(&runtime, &queries, c));
+        println!(
+            "[serve] concurrency={} issued={} admitted={} rejected={} completed={} failed={} \
+             p50_us={} p99_us={} mean_us={} qps={:.1} fingerprint={:#018x}",
+            lvl.concurrency,
+            lvl.issued,
+            lvl.admitted,
+            lvl.rejected,
+            lvl.completed,
+            lvl.failed,
+            lvl.p50_us,
+            lvl.p99_us,
+            lvl.mean_us,
+            lvl.qps,
+            lvl.fingerprint
+        );
+        ok &= lvl.counters_reconciled && lvl.completed > 0;
+        reports.push(lvl);
+    }
+    let deterministic = reports.windows(2).all(|w| w[0].fingerprint == w[1].fingerprint);
+    ok &= deterministic;
+
+    // Breaker drill: same bundle, hair-trigger breaker, poisoned mix.
+    // Totals vary with scheduling (admission is concurrent), but the
+    // counter tree must still reconcile exactly at full width.
+    let drill_rt = ServeRuntime::new(
+        Arc::clone(&bundle),
+        Arc::new(CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown_rejections: 4,
+            half_open_successes: 1,
+        })),
+        RuntimeConfig { replicas: max_level, limits: QueryLimits::default() },
+    );
+    let drill_mix = LoadMix {
+        queries: if opts.quick { 120 } else { 400 },
+        poison_fraction: 0.1,
+        seed: mix.seed ^ 1,
+        ..mix
+    };
+    let drill_queries = loadgen::generate(&drill_rt, &drill_mix);
+    let drill =
+        rec.time("serve_breaker_drill", || loadgen::run_level(&drill_rt, &drill_queries, max_level));
+    println!(
+        "[serve] drill: issued={} admitted={} rejected={} completed={} failed={} reconciled={}",
+        drill.issued, drill.admitted, drill.rejected, drill.completed, drill.failed,
+        drill.counters_reconciled
+    );
+    ok &= drill.counters_reconciled && drill.failed > 0 && drill.rejected > 0;
+
+    let max_p99_us = reports.iter().map(|r| r.p99_us).max().unwrap_or(0);
+    let min_qps = reports.iter().map(|r| r.qps).fold(f64::INFINITY, f64::min);
+    println!(
+        "[serve-summary] levels={} deterministic={} reconciled={} max_p99_us={} min_qps={:.1}",
+        reports.len(),
+        u8::from(deterministic),
+        u8::from(reports.iter().all(|r| r.counters_reconciled) && drill.counters_reconciled),
+        max_p99_us,
+        min_qps
+    );
+
+    let level_json: Vec<serde_json::Value> = reports
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "concurrency": r.concurrency,
+                "issued": r.issued,
+                "admitted": r.admitted,
+                "rejected": r.rejected,
+                "completed": r.completed,
+                "failed": r.failed,
+                "p50_us": r.p50_us,
+                "p99_us": r.p99_us,
+                "mean_us": r.mean_us,
+                "wall_seconds": r.wall_seconds,
+                "qps": r.qps,
+                "fingerprint": format!("{:#018x}", r.fingerprint),
+                "counters_reconciled": r.counters_reconciled,
+            })
+        })
+        .collect();
+    let drill_json = serde_json::json!({
+        "concurrency": drill.concurrency,
+        "issued": drill.issued,
+        "admitted": drill.admitted,
+        "rejected": drill.rejected,
+        "completed": drill.completed,
+        "failed": drill.failed,
+        "counters_reconciled": drill.counters_reconciled,
+    });
+    let doc = serde_json::json!({
+        "experiment": "serve-bench",
+        "seed": opts.seed,
+        "scale": opts.scale as f64,
+        "quick": opts.quick,
+        "threads": trail_linalg::pool::num_threads(),
+        "queries": mix.queries,
+        "iocs_per_query": mix.iocs_per_query,
+        "bundle_bytes": bundle_bytes,
+        "deterministic": deterministic,
+        "max_p99_us": max_p99_us,
+        "min_qps": min_qps,
+        "levels": level_json,
+        "drill": drill_json,
+    });
+    match std::fs::write(
+        "BENCH_serve.json",
+        serde_json::to_string_pretty(&doc).expect("serve doc serialises"),
+    ) {
+        Ok(()) => println!("[serve] level reports written to BENCH_serve.json"),
+        Err(e) => {
+            eprintln!("[serve] could not write BENCH_serve.json: {e}");
+            ok = false;
+        }
+    }
+    ok
+}
+
 #[cfg(test)]
 mod tests {
     use super::BenchRecorder;

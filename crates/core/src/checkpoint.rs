@@ -334,10 +334,13 @@ impl StudyCheckpoint {
         if version != VERSION {
             return Err(PersistError::UnsupportedVersion { found: version }.into());
         }
-        let payload_len = u64::from_le_bytes(data[8..16].try_into().unwrap()) as usize;
+        // Compare the untrusted length in the u64 domain — converting
+        // it to `usize` first would wrap on 32-bit targets and could
+        // alias a hostile length onto the actual payload size.
+        let payload_len = u64::from_le_bytes(data[8..16].try_into().unwrap());
         let expected = u64::from_le_bytes(data[16..24].try_into().unwrap());
         let payload = &data[HEADER_LEN..];
-        if payload.len() != payload_len {
+        if payload.len() as u64 != payload_len {
             return Err(PersistError::Truncated { want: payload_len, have: payload.len() }.into());
         }
         let actual = fnv1a_bytes(payload);

@@ -1,0 +1,128 @@
+//! Train-and-freeze: produce the immutable artefacts `trail-serve`
+//! packages into a `ServeBundle`.
+//!
+//! Serving attributes *fresh* incidents against the full historical
+//! TKG, so — unlike the Table IV folds — the model here trains on
+//! every ingested event (the Fig. 10 protocol: all labels are
+//! history, nothing is held out). The output is deliberately plain
+//! data: the per-node codes, the shared SAGE architecture and its
+//! trained parameters. `trail-serve` owns the frame format; this
+//! module owns the training recipe, so the two evolve independently.
+
+use rand::Rng;
+use trail_gnn::{train_sage_masked, LabelMasking, SageConfig, SageModel};
+use trail_graph::NodeId;
+use trail_linalg::Matrix;
+use trail_ml::nn::autoencoder::AutoencoderConfig;
+
+use crate::attribute::GnnEvalConfig;
+use crate::embed;
+use crate::tkg::Tkg;
+
+/// Everything the serving layer needs to score queries, frozen after
+/// training. Parameters are extracted as plain matrices so the bundle
+/// format never depends on `SageModel`'s internals.
+pub struct FrozenModel {
+    /// Per-node autoencoder codes (zero rows for unfeatured nodes).
+    pub codes: Matrix,
+    /// Code width.
+    pub code_dim: usize,
+    /// The SAGE architecture the weights belong to.
+    pub sage_cfg: SageConfig,
+    /// Trained parameters, per layer `(W_root, W_nbr, b)`.
+    pub layers: Vec<(Matrix, Matrix, Matrix)>,
+}
+
+impl FrozenModel {
+    /// Reconstruct a runnable model from the frozen parameters.
+    ///
+    /// The skeleton is seeded deterministically and then overwritten
+    /// layer by layer, so every call yields a bitwise-identical model —
+    /// the property the serving runtime's per-worker replicas rely on.
+    pub fn instantiate(&self) -> SageModel {
+        instantiate(self.sage_cfg, &self.layers)
+    }
+}
+
+/// Build a [`SageModel`] carrying exactly `layers` as parameters.
+pub fn instantiate(cfg: SageConfig, layers: &[(Matrix, Matrix, Matrix)]) -> SageModel {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut model = SageModel::new(&mut rng, cfg);
+    for (l, (w_root, w_nbr, b)) in layers.iter().enumerate() {
+        model.set_layer_weights(l, w_root.clone(), w_nbr.clone(), b.clone());
+    }
+    model
+}
+
+/// Train the full stack (autoencoders, then GraphSAGE on **all**
+/// events) and freeze it for serving.
+pub fn train_frozen<R: Rng + ?Sized>(
+    rng: &mut R,
+    tkg: &Tkg,
+    ae_cfg: &AutoencoderConfig,
+    gnn_cfg: &GnnEvalConfig,
+    layers: usize,
+) -> FrozenModel {
+    let _span = trail_obs::span("freeze.train");
+    let (emb, _) = embed::train_autoencoders(rng, tkg, ae_cfg);
+    train_frozen_from(rng, tkg, emb, gnn_cfg, layers)
+}
+
+/// [`train_frozen`] reusing already-trained embeddings.
+pub fn train_frozen_from<R: Rng + ?Sized>(
+    rng: &mut R,
+    tkg: &Tkg,
+    emb: embed::NodeEmbeddings,
+    gnn_cfg: &GnnEvalConfig,
+    layers: usize,
+) -> FrozenModel {
+    let csr = tkg.csr();
+    let pairs: Vec<(NodeId, u16)> = tkg.events.iter().map(|e| (e.node, e.apt)).collect();
+    let mut x = embed::assemble_gnn_input(tkg, &emb, &pairs);
+    let sage_cfg = SageConfig {
+        input_dim: x.cols(),
+        hidden: gnn_cfg.hidden,
+        layers,
+        n_classes: tkg.n_classes(),
+        l2_normalize: gnn_cfg.l2_normalize,
+    };
+    let masking = LabelMasking {
+        offset: emb.code_dim + 5,
+        visible_fraction: gnn_cfg.label_visible_fraction,
+    };
+    let (model, _) =
+        train_sage_masked(rng, &csr, &mut x, sage_cfg, &pairs, &[], &gnn_cfg.train, masking);
+    let layers = model.weights().iter().map(|(r, n, b)| ((*r).clone(), (*n).clone(), (*b).clone())).collect();
+    FrozenModel { codes: emb.codes, code_dim: emb.code_dim, sage_cfg, layers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn instantiate_is_deterministic_and_carries_weights() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let cfg = SageConfig::new(4, 8, 2, 3);
+        let trained = SageModel::new(&mut rng, cfg);
+        let layers: Vec<(Matrix, Matrix, Matrix)> = trained
+            .weights()
+            .iter()
+            .map(|(r, n, b)| ((*r).clone(), (*n).clone(), (*b).clone()))
+            .collect();
+        let a = instantiate(cfg, &layers);
+        let b = instantiate(cfg, &layers);
+        for ((ra, na, ba), (rb, nb, bb)) in a.weights().iter().zip(b.weights().iter()) {
+            assert_eq!(ra, rb);
+            assert_eq!(na, nb);
+            assert_eq!(ba, bb);
+        }
+        for ((ra, na, ba), (rt, nt, bt)) in a.weights().iter().zip(trained.weights().iter()) {
+            assert_eq!(ra, rt);
+            assert_eq!(na, nt);
+            assert_eq!(ba, bt);
+        }
+    }
+}

@@ -38,6 +38,7 @@ pub mod checkpoint;
 pub mod collector;
 pub mod embed;
 pub mod enrich;
+pub mod freeze;
 pub mod longitudinal;
 pub mod report;
 pub mod sparse;

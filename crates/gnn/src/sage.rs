@@ -523,6 +523,12 @@ impl SageModel {
             layer.b.value = b.clone();
         }
         self.weights_version += 1;
+        // Belt and braces: the version bump already invalidates the
+        // quantized weight cache, but restores are rare and correctness
+        // here is what keeps a restored model's i8 path bitwise equal
+        // to quantizing from scratch — drop the cache outright so no
+        // counter coincidence can ever resurrect stale i8 weights.
+        self.quant.built_at = None;
     }
 
     /// Zero every parameter's Adam moments.
@@ -552,6 +558,9 @@ impl SageModel {
         self.layers[l].w_nbr = Param::new(w_nbr);
         self.layers[l].b = Param::new(b);
         self.weights_version += 1;
+        // Same defensive invalidation as `restore_params`: loading
+        // saved weights must never serve a stale i8 snapshot.
+        self.quant.built_at = None;
     }
 
     /// Rebuild the i8 weight snapshots if any parameter changed since
@@ -831,6 +840,61 @@ mod tests {
         // The f32 path must be untouched by the quantized pass.
         let exact_again = model.forward(&csr, &x, false);
         assert_eq!(exact, exact_again);
+    }
+
+    /// Restore-then-quantized-predict must match quantize-from-scratch
+    /// bitwise: a model whose quant cache was built under *other*
+    /// weights, then had a trained snapshot restored into it, serves
+    /// exactly the i8 path a fresh model loaded with those weights
+    /// serves — no stale cached i8 snapshot can survive the restore.
+    #[test]
+    fn restored_weights_requantize_bitwise_identical_to_scratch() {
+        let (g, n) = line_graph();
+        let csr = Csr::from_store(&g);
+        let x = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.5, 0.5, 0.0, 1.0]).unwrap();
+        let cfg = SageConfig::new(2, 16, 2, 2);
+
+        // Train a reference model to get non-trivial weights.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut trained = SageModel::new(&mut rng, cfg);
+        let labels = [(n[0], 0u16), (n[2], 1u16)];
+        let mut adam = Adam::new(0.05);
+        for _ in 0..30 {
+            let logits = trained.forward(&csr, &x, true);
+            let rows: Vec<usize> = labels.iter().map(|(id, _)| id.index()).collect();
+            let sub = logits.gather_rows(&rows);
+            let y: Vec<u16> = labels.iter().map(|&(_, c)| c).collect();
+            let (_, d_sub) = softmax_cross_entropy(&sub, &y);
+            let mut d_logits = Matrix::zeros(3, 2);
+            for (i, &r) in rows.iter().enumerate() {
+                d_logits.row_mut(r).copy_from_slice(d_sub.row(i));
+            }
+            trained.backward(&csr, &d_logits);
+            trained.step(&mut adam);
+        }
+        let snap = trained.snapshot_params();
+
+        // Model with a *warm* quant cache built under different weights,
+        // then the trained snapshot restored via both restore paths.
+        let mut via_restore = SageModel::new(&mut StdRng::seed_from_u64(99), cfg);
+        let _ = via_restore.forward_quantized(&csr, &x); // warm stale cache
+        via_restore.restore_params(&snap);
+
+        let mut via_set = SageModel::new(&mut StdRng::seed_from_u64(99), cfg);
+        let _ = via_set.forward_quantized(&csr, &x); // warm stale cache
+        for (l, (w_root, w_nbr, b)) in snap.iter().enumerate() {
+            via_set.set_layer_weights(l, w_root.clone(), w_nbr.clone(), b.clone());
+        }
+
+        // Quantize-from-scratch reference: never quantized before.
+        let mut scratch = SageModel::new(&mut StdRng::seed_from_u64(99), cfg);
+        scratch.restore_params(&snap);
+
+        let want = scratch.forward_quantized(&csr, &x);
+        assert_eq!(via_restore.forward_quantized(&csr, &x), want);
+        assert_eq!(via_set.forward_quantized(&csr, &x), want);
+        // And both agree with the trained model's own quantized path.
+        assert_eq!(trained.forward_quantized(&csr, &x), want);
     }
 
     #[test]

@@ -102,6 +102,40 @@ impl Csr {
         Self { offsets, targets, kinds }
     }
 
+    /// Build from an explicit undirected edge list over `n` nodes,
+    /// symmetrising exactly like [`Csr::from_store`] (each edge yields
+    /// two half-edges in edge order). The serving layer uses this to
+    /// freeze an induced ego-subgraph — a handful of locally re-indexed
+    /// nodes — without materialising a whole `GraphStore` per query.
+    pub fn from_edge_list(n: usize, edges: &[(NodeId, NodeId, EdgeKind)]) -> Self {
+        let mut degrees = vec![0usize; n];
+        for &(src, dst, _) in edges {
+            degrees[src.index()] += 1;
+            degrees[dst.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0;
+        offsets.push(0);
+        for d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![NodeId(0); acc];
+        let mut kinds = vec![EdgeKind::InReport; acc];
+        for &(src, dst, kind) in edges {
+            let s = src.index();
+            let d = dst.index();
+            targets[cursor[s]] = dst;
+            kinds[cursor[s]] = kind;
+            cursor[s] += 1;
+            targets[cursor[d]] = src;
+            kinds[cursor[d]] = kind;
+            cursor[d] += 1;
+        }
+        Self { offsets, targets, kinds }
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn node_count(&self) -> usize {
@@ -207,6 +241,28 @@ mod tests {
             assert_eq!(csr, Csr::from_store(&g), "diverged at step {step}");
         }
         assert_eq!(csr.degree(hub), 5);
+    }
+
+    #[test]
+    fn from_edge_list_matches_from_store() {
+        let mut g = GraphStore::new();
+        let e = g.upsert_node(NodeKind::Event, "e");
+        let ip = g.upsert_node(NodeKind::Ip, "i");
+        let d = g.upsert_node(NodeKind::Domain, "d");
+        let _lonely = g.upsert_node(NodeKind::Asn, "AS7");
+        g.add_edge(e, ip, EdgeKind::InReport).unwrap();
+        g.add_edge(e, d, EdgeKind::InReport).unwrap();
+        g.add_edge(ip, d, EdgeKind::ARecord).unwrap();
+        let edges: Vec<_> = g.edges().iter().map(|e| (e.src, e.dst, e.kind)).collect();
+        assert_eq!(Csr::from_edge_list(g.node_count(), &edges), Csr::from_store(&g));
+    }
+
+    #[test]
+    fn from_edge_list_empty_and_isolated() {
+        let csr = Csr::from_edge_list(3, &[]);
+        assert_eq!(csr.node_count(), 3);
+        assert_eq!(csr.half_edge_count(), 0);
+        assert!(csr.neighbors(NodeId(1)).is_empty());
     }
 
     #[test]

@@ -55,10 +55,13 @@ pub enum PersistError {
         /// The version field found.
         found: u32,
     },
-    /// The payload is shorter than the header's length field promises.
+    /// The payload length does not match the header's length field.
+    /// `want` stays `u64` — it is an *untrusted* on-disk field and must
+    /// be representable (and comparable) without ever converting it to
+    /// `usize`, which would wrap on 32-bit targets.
     Truncated {
         /// Payload bytes the header promised.
-        want: usize,
+        want: u64,
         /// Payload bytes actually present.
         have: usize,
     },
@@ -243,10 +246,14 @@ fn checked_decode(data: &[u8]) -> std::result::Result<GraphStore, PersistError> 
     if version != VERSION {
         return Err(PersistError::UnsupportedVersion { found: version });
     }
-    let want = u64::from_le_bytes(data[8..16].try_into().expect("8 bytes")) as usize;
+    let want = u64::from_le_bytes(data[8..16].try_into().expect("8 bytes"));
     let expected = u64::from_le_bytes(data[16..24].try_into().expect("8 bytes"));
     let payload = &data[HEADER_LEN..];
-    if payload.len() != want {
+    // Validate the untrusted length entirely in the u64 domain, before
+    // any `as usize` conversion, slicing or allocation: a length field
+    // like `payload.len() + 2^32` must be rejected here, not silently
+    // truncated into a matching value on a 32-bit target.
+    if payload.len() as u64 != want {
         return Err(PersistError::Truncated { want, have: payload.len() });
     }
     let actual = fnv1a_bytes(payload);
@@ -410,6 +417,47 @@ mod tests {
                 "flip at byte {offset} of {} must be rejected",
                 bytes.len()
             );
+        }
+    }
+
+    /// Fuzz-style sweep over the untrusted length field: truncated,
+    /// inflated, and 32-bit-wrapping values must all surface as typed
+    /// errors before any slicing or allocation.
+    #[test]
+    fn hostile_length_fields_are_rejected_before_use() {
+        let good = to_bytes(&sample());
+        let payload_len = (good.len() - 24) as u64;
+        let hostile: &[u64] = &[
+            0,
+            payload_len - 1,
+            payload_len + 1,
+            // Low 32 bits match the real payload length: on a 32-bit
+            // target a `want as usize` conversion would wrap to the
+            // correct value and let the frame through.
+            payload_len + (1u64 << 32),
+            payload_len + (1u64 << 48),
+            u64::MAX,
+            u64::from(u32::MAX),
+        ];
+        for &want in hostile {
+            let mut bytes = good.clone();
+            bytes[8..16].copy_from_slice(&want.to_le_bytes());
+            match from_bytes(&bytes) {
+                Err(GraphError::Persist(PersistError::Truncated { want: w, have })) => {
+                    assert_eq!(w, want);
+                    assert_eq!(have, payload_len as usize);
+                }
+                other => panic!("length {want:#x} accepted or misreported: {other:?}"),
+            }
+        }
+        // Truncating the buffer (not the field) is the symmetric case.
+        for cut in 1..4 {
+            let mut bytes = good.clone();
+            bytes.truncate(bytes.len() - cut);
+            assert!(matches!(
+                from_bytes(&bytes),
+                Err(GraphError::Persist(PersistError::Truncated { .. }))
+            ));
         }
     }
 

@@ -47,6 +47,10 @@ pub mod bounds {
     pub const BACKOFF_MS: &[u64] = &[50, 100, 200, 400, 800, 1600];
     /// Attempts consumed per analysis query (1 = no retry).
     pub const ATTEMPTS: &[u64] = &[1, 2, 3, 4, 6, 8];
+    /// Per-request attribution serving latency in microseconds
+    /// (`trail-serve` request histograms).
+    pub const SERVE_LATENCY_US: &[u64] =
+        &[50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000];
 }
 
 #[derive(Debug, Default, Clone)]

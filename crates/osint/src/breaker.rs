@@ -14,6 +14,16 @@
 //! the same state trajectory on every run, which is what lets the chaos
 //! harness assert exact fault/degradation accounting.
 //!
+//! The whole state machine lives in one packed `AtomicU64` advanced by
+//! compare-and-swap, so `admit`/`record_*` are lock-free: the serving
+//! layer calls them from every worker thread, and a panicking caller
+//! can never wedge the breaker the way a poisoned mutex would. Under a
+//! single-threaded caller the trajectory is exactly the sequential
+//! state machine below; under concurrent callers each transition still
+//! happens exactly once (one winning CAS), so the obs counters and the
+//! state trajectory stay consistent — only the interleaving of
+//! *independent* calls is scheduler-ordered.
+//!
 //! State machine:
 //!
 //! * **Closed** — all queries admitted. `failure_threshold` consecutive
@@ -25,9 +35,12 @@
 //! * **Half-Open** — queries admitted as probes. `half_open_successes`
 //!   consecutive successes close the breaker; any fault re-opens it.
 
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Breaker thresholds. All counts, no clocks — see the module docs.
+///
+/// Counters are stored as 16-bit saturating fields in the packed state
+/// word, so thresholds above `u16::MAX` are clamped to `u16::MAX`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BreakerConfig {
     /// Consecutive faults (while Closed) that trip the breaker.
@@ -55,39 +68,73 @@ pub enum BreakerState {
     HalfOpen,
 }
 
-#[derive(Debug)]
-struct Inner {
+/// Unpacked view of the atomic state word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Packed {
     state: BreakerState,
     /// Consecutive faults observed while Closed.
-    consecutive_faults: u32,
+    consecutive_faults: u16,
     /// Rejections served while Open.
-    rejections: u32,
+    rejections: u16,
     /// Consecutive successes observed while Half-Open.
-    probe_successes: u32,
+    probe_successes: u16,
 }
 
-/// A deterministic, thread-safe circuit breaker.
+impl Packed {
+    const CLOSED: Self =
+        Self { state: BreakerState::Closed, consecutive_faults: 0, rejections: 0, probe_successes: 0 };
+
+    fn encode(self) -> u64 {
+        let tag: u64 = match self.state {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        };
+        (tag << 48)
+            | ((self.consecutive_faults as u64) << 32)
+            | ((self.rejections as u64) << 16)
+            | self.probe_successes as u64
+    }
+
+    fn decode(v: u64) -> Self {
+        let state = match v >> 48 {
+            0 => BreakerState::Closed,
+            1 => BreakerState::Open,
+            _ => BreakerState::HalfOpen,
+        };
+        Self {
+            state,
+            consecutive_faults: ((v >> 32) & 0xFFFF) as u16,
+            rejections: ((v >> 16) & 0xFFFF) as u16,
+            probe_successes: (v & 0xFFFF) as u16,
+        }
+    }
+
+    fn opened(self) -> Self {
+        Self { state: BreakerState::Open, rejections: 0, probe_successes: 0, ..self }
+    }
+}
+
+/// Clamp a config threshold into the 16-bit counter domain.
+fn clamp(threshold: u32) -> u16 {
+    threshold.min(u16::MAX as u32) as u16
+}
+
+/// A deterministic, lock-free circuit breaker.
 ///
-/// Shared by every clone of an [`crate::OsintClient`] via `Arc`, so
-/// concurrent enrichment workers observe one joint view of feed health.
+/// Shared by every clone of an [`crate::OsintClient`] — and by every
+/// serving worker — via `Arc`, so concurrent callers observe one joint
+/// view of feed health.
 #[derive(Debug)]
 pub struct CircuitBreaker {
     cfg: BreakerConfig,
-    inner: Mutex<Inner>,
+    cell: AtomicU64,
 }
 
 impl CircuitBreaker {
     /// Breaker in the Closed state.
     pub fn new(cfg: BreakerConfig) -> Self {
-        Self {
-            cfg,
-            inner: Mutex::new(Inner {
-                state: BreakerState::Closed,
-                consecutive_faults: 0,
-                rejections: 0,
-                probe_successes: 0,
-            }),
-        }
+        Self { cfg, cell: AtomicU64::new(Packed::CLOSED.encode()) }
     }
 
     /// The configuration this breaker runs with.
@@ -96,10 +143,33 @@ impl CircuitBreaker {
     }
 
     /// Current state (diagnostics only — racy by nature under
-    /// concurrency, exact under the deterministic single-threaded
-    /// enrichment loop).
+    /// concurrency, exact under a deterministic single-threaded
+    /// caller).
     pub fn state(&self) -> BreakerState {
-        self.inner.lock().expect("breaker lock").state
+        Packed::decode(self.cell.load(Ordering::Acquire)).state
+    }
+
+    /// CAS `cur` → `next`; on success run `effects` (obs counters) and
+    /// return `Some(result)`, else `None` to retry the transition loop.
+    fn transition<T>(
+        &self,
+        cur: u64,
+        next: Packed,
+        result: T,
+        effects: impl FnOnce(),
+    ) -> Option<T> {
+        match self.cell.compare_exchange_weak(
+            cur,
+            next.encode(),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => {
+                effects();
+                Some(result)
+            }
+            Err(_) => None,
+        }
     }
 
     /// Ask to run a query. `true` admits it; `false` means the caller
@@ -107,18 +177,28 @@ impl CircuitBreaker {
     /// rejection counts toward the cooldown; the call that exhausts the
     /// cooldown flips to Half-Open but is itself still rejected.
     pub fn admit(&self) -> bool {
-        let mut g = self.inner.lock().expect("breaker lock");
-        match g.state {
-            BreakerState::Closed | BreakerState::HalfOpen => true,
-            BreakerState::Open => {
-                g.rejections += 1;
-                trail_obs::counter_add("osint.breaker.rejected", 1);
-                if g.rejections >= self.cfg.cooldown_rejections {
-                    g.state = BreakerState::HalfOpen;
-                    g.probe_successes = 0;
-                    trail_obs::counter_add("osint.breaker.half_open", 1);
+        loop {
+            let cur = self.cell.load(Ordering::Acquire);
+            let mut s = Packed::decode(cur);
+            match s.state {
+                BreakerState::Closed | BreakerState::HalfOpen => return true,
+                BreakerState::Open => {
+                    s.rejections = s.rejections.saturating_add(1);
+                    let to_half_open = s.rejections >= clamp(self.cfg.cooldown_rejections);
+                    if to_half_open {
+                        s.state = BreakerState::HalfOpen;
+                        s.probe_successes = 0;
+                    }
+                    let done = self.transition(cur, s, false, || {
+                        trail_obs::counter_add("osint.breaker.rejected", 1);
+                        if to_half_open {
+                            trail_obs::counter_add("osint.breaker.half_open", 1);
+                        }
+                    });
+                    if let Some(r) = done {
+                        return r;
+                    }
                 }
-                false
             }
         }
     }
@@ -126,42 +206,75 @@ impl CircuitBreaker {
     /// Report that an admitted query completed without a transient
     /// fault (a permanent gap still counts: the feed *answered*).
     pub fn record_success(&self) {
-        let mut g = self.inner.lock().expect("breaker lock");
-        match g.state {
-            BreakerState::Closed => g.consecutive_faults = 0,
-            BreakerState::HalfOpen => {
-                g.probe_successes += 1;
-                if g.probe_successes >= self.cfg.half_open_successes {
-                    g.state = BreakerState::Closed;
-                    g.consecutive_faults = 0;
-                    trail_obs::counter_add("osint.breaker.closed", 1);
+        loop {
+            let cur = self.cell.load(Ordering::Acquire);
+            let mut s = Packed::decode(cur);
+            match s.state {
+                BreakerState::Closed => {
+                    if s.consecutive_faults == 0 {
+                        return;
+                    }
+                    s.consecutive_faults = 0;
                 }
+                BreakerState::HalfOpen => {
+                    s.probe_successes = s.probe_successes.saturating_add(1);
+                    if s.probe_successes >= clamp(self.cfg.half_open_successes) {
+                        s = Packed::CLOSED;
+                        if self.transition(cur, s, (), || {
+                            trail_obs::counter_add("osint.breaker.closed", 1);
+                        })
+                        .is_some()
+                        {
+                            return;
+                        }
+                        continue;
+                    }
+                }
+                // A success can race in after the breaker opened; ignore.
+                BreakerState::Open => return,
             }
-            // A success can race in after the breaker opened; ignore.
-            BreakerState::Open => {}
+            if self.transition(cur, s, (), || {}).is_some() {
+                return;
+            }
         }
     }
 
     /// Report that an admitted query failed transiently.
     pub fn record_fault(&self) {
-        let mut g = self.inner.lock().expect("breaker lock");
-        match g.state {
-            BreakerState::Closed => {
-                g.consecutive_faults += 1;
-                if g.consecutive_faults >= self.cfg.failure_threshold {
-                    Self::open(&mut g);
+        loop {
+            let cur = self.cell.load(Ordering::Acquire);
+            let mut s = Packed::decode(cur);
+            match s.state {
+                BreakerState::Closed => {
+                    s.consecutive_faults = s.consecutive_faults.saturating_add(1);
+                    let opens = s.consecutive_faults >= clamp(self.cfg.failure_threshold);
+                    if opens {
+                        s = s.opened();
+                    }
+                    if self
+                        .transition(cur, s, (), || {
+                            if opens {
+                                trail_obs::counter_add("osint.breaker.opened", 1);
+                            }
+                        })
+                        .is_some()
+                    {
+                        return;
+                    }
                 }
+                BreakerState::HalfOpen => {
+                    if self
+                        .transition(cur, s.opened(), (), || {
+                            trail_obs::counter_add("osint.breaker.opened", 1);
+                        })
+                        .is_some()
+                    {
+                        return;
+                    }
+                }
+                BreakerState::Open => return,
             }
-            BreakerState::HalfOpen => Self::open(&mut g),
-            BreakerState::Open => {}
         }
-    }
-
-    fn open(g: &mut Inner) {
-        g.state = BreakerState::Open;
-        g.rejections = 0;
-        g.probe_successes = 0;
-        trail_obs::counter_add("osint.breaker.opened", 1);
     }
 }
 
@@ -174,6 +287,7 @@ impl Default for CircuitBreaker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     fn cfg() -> BreakerConfig {
         BreakerConfig { failure_threshold: 3, cooldown_rejections: 4, half_open_successes: 2 }
@@ -266,5 +380,111 @@ mod tests {
         assert_eq!(d.failure_threshold, 5);
         assert_eq!(d.cooldown_rejections, 8);
         assert_eq!(d.half_open_successes, 2);
+    }
+
+    #[test]
+    fn packed_state_roundtrips() {
+        for state in [BreakerState::Closed, BreakerState::Open, BreakerState::HalfOpen] {
+            let s = Packed { state, consecutive_faults: 7, rejections: 65535, probe_successes: 3 };
+            assert_eq!(Packed::decode(s.encode()), s);
+        }
+    }
+
+    #[test]
+    fn saturating_counters_never_wrap() {
+        // failure_threshold above the 16-bit counter domain clamps: the
+        // breaker still opens (at 65535) instead of wrapping to 0 and
+        // never opening.
+        let b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: u32::MAX,
+            cooldown_rejections: 1,
+            half_open_successes: 1,
+        });
+        for _ in 0..70_000 {
+            b.record_fault();
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    /// The re-close liveness drill from the property suite, run at 1
+    /// and 8 threads: after any concurrent barrage of faults, a healed
+    /// feed (successes only) re-closes the breaker within the bound
+    /// implied by its thresholds.
+    #[test]
+    fn recloses_after_concurrent_faults_at_1_and_8_threads() {
+        for threads in [1usize, 8] {
+            let b = Arc::new(CircuitBreaker::new(cfg()));
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    let b = Arc::clone(&b);
+                    scope.spawn(move || {
+                        for _ in 0..200 {
+                            if b.admit() {
+                                b.record_fault();
+                            }
+                        }
+                    });
+                }
+            });
+            // Heal: cooldown + probes healthy calls suffice.
+            let bound = cfg().cooldown_rejections + cfg().half_open_successes + 1;
+            for _ in 0..bound {
+                if b.state() == BreakerState::Closed {
+                    break;
+                }
+                if b.admit() {
+                    b.record_success();
+                }
+            }
+            assert_eq!(b.state(), BreakerState::Closed, "wedged at {threads} threads");
+        }
+    }
+
+    /// Concurrent mixed traffic never panics, never wedges, and the
+    /// state stays a legal member of the machine; afterwards the
+    /// breaker still follows exact sequential semantics.
+    #[test]
+    fn concurrent_mixed_traffic_keeps_exact_sequential_semantics_after() {
+        let b = Arc::new(CircuitBreaker::new(cfg()));
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let b = Arc::clone(&b);
+                scope.spawn(move || {
+                    for i in 0..500usize {
+                        if b.admit() {
+                            if (i + t) % 3 == 0 {
+                                b.record_fault();
+                            } else {
+                                b.record_success();
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        // Drive to Closed, then replay the sequential unit trajectory.
+        let bound = cfg().cooldown_rejections + cfg().half_open_successes + 1;
+        for _ in 0..2 * bound {
+            if b.state() == BreakerState::Closed {
+                break;
+            }
+            if b.admit() {
+                b.record_success();
+            }
+        }
+        b.record_success(); // clear any partial fault run
+        assert_eq!(b.state(), BreakerState::Closed);
+        for _ in 0..3 {
+            assert!(b.admit());
+            b.record_fault();
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        for _ in 0..4 {
+            assert!(!b.admit());
+        }
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record_success();
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
     }
 }

@@ -1,0 +1,530 @@
+//! TSB1 — the immutable serve-bundle frame, and the pure query-scoring
+//! path that runs against it.
+//!
+//! A [`ServeBundle`] freezes everything attribution needs at serve
+//! time: the historical TKG (embedded as a nested TKG2 blob), the
+//! attributed-event table, the APT label space, the per-node
+//! autoencoder codes and the trained GraphSAGE parameters. Once
+//! constructed (or loaded) it is never mutated — every query method
+//! takes `&self`, which is what makes the runtime's lock-free sharing
+//! across worker threads sound.
+//!
+//! Frame layout (little-endian), following TKG2/TSC1:
+//!
+//! ```text
+//! "TSB1" | u32 version | u64 payload_len | u64 fnv1a(payload) | payload
+//! ```
+//!
+//! Loading verifies magic, version, length (in the u64 domain, before
+//! any slicing) and checksum, then bounds-checks every field read and
+//! cross-validates the decoded pieces against each other (code rows vs
+//! node count, layer shapes vs architecture, event ids vs graph).
+//! Corrupt input yields a typed [`PersistError`], never a panic.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use trail::freeze::{self, FrozenModel};
+use trail::Tkg;
+use trail_gnn::{SageConfig, SageModel};
+use trail_graph::algo::bfs::k_hop;
+use trail_graph::persist::{fnv1a_bytes, write_atomic};
+use trail_graph::{persist, Csr, EdgeKind, GraphStore, NodeId, NodeKind, PersistError};
+use trail_ioc::IocKey;
+use trail_linalg::Matrix;
+
+/// Magic bytes: Trail Serve Bundle.
+const MAGIC: [u8; 4] = *b"TSB1";
+/// Format version.
+const VERSION: u32 = 1;
+/// Frame header length: magic + version + payload len + checksum.
+const HEADER_LEN: usize = 4 + 4 + 8 + 8;
+
+/// Bundle result alias.
+pub type Result<T> = std::result::Result<T, PersistError>;
+
+fn malformed(offset: usize, what: &'static str) -> PersistError {
+    PersistError::Malformed { offset, what }
+}
+
+/// One attributed historical event, as frozen into the bundle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BundleEvent {
+    /// The event's node in the embedded graph.
+    pub node: NodeId,
+    /// Resolved APT label.
+    pub apt: u16,
+    /// Source report id (diagnostics only).
+    pub report_id: String,
+}
+
+/// Per-query traversal limits.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryLimits {
+    /// Ego-subgraph radius around the queried IOCs (hops).
+    pub radius: u32,
+    /// Hard cap on subgraph size; BFS order is truncated
+    /// deterministically, so a hub IOC cannot stall the runtime.
+    pub max_members: usize,
+}
+
+impl Default for QueryLimits {
+    fn default() -> Self {
+        Self { radius: 2, max_members: 2048 }
+    }
+}
+
+/// Result of scoring one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribution {
+    /// `(class, score)` over the full label space, best first; scores
+    /// are mean softmax probabilities over the matched IOC nodes and
+    /// sum to 1. Empty when no queried IOC exists in the graph.
+    pub ranked: Vec<(u16, f32)>,
+    /// Queried IOCs found in the graph.
+    pub matched: usize,
+    /// Ego-subgraph size the forward pass ran over.
+    pub members: usize,
+    /// Historical attributed events inside the subgraph.
+    pub events: usize,
+}
+
+/// The frozen, immutable serving artefact.
+pub struct ServeBundle {
+    graph: GraphStore,
+    csr: Csr,
+    class_names: Vec<String>,
+    events: Vec<BundleEvent>,
+    /// Label by node index (`None` for non-event nodes) — the serving
+    /// analogue of the "visible labels" block: all history is visible.
+    event_apt: Vec<Option<u16>>,
+    code_dim: usize,
+    codes: Matrix,
+    sage_cfg: SageConfig,
+    layers: Vec<(Matrix, Matrix, Matrix)>,
+}
+
+// --- encoding helpers (TSC1 idiom) -----------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_matrix(out: &mut Vec<u8>, m: &Matrix) {
+    put_u64(out, m.rows() as u64);
+    put_u64(out, m.cols() as u64);
+    for &v in m.as_slice() {
+        put_u32(out, v.to_bits());
+    }
+}
+
+/// Bounds-checked little-endian reader over the verified payload.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or_else(|| malformed(self.pos, what))?;
+        if end > self.data.len() {
+            return Err(malformed(self.pos, what));
+        }
+        let s = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Length prefix that must plausibly fit in the remaining payload
+    /// (each element needs >= `min_elem_bytes`) — rejects absurd
+    /// counts from corrupt fields before any allocation.
+    fn len(&mut self, min_elem_bytes: usize, what: &'static str) -> Result<usize> {
+        let n = self.u64(what)?;
+        let remaining = (self.data.len() - self.pos) as u64;
+        if n > remaining / min_elem_bytes.max(1) as u64 {
+            return Err(malformed(self.pos, what));
+        }
+        Ok(n as usize)
+    }
+
+    fn str(&mut self, what: &'static str) -> Result<String> {
+        let n = self.u32(what)? as usize;
+        let bytes = self.take(n, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| malformed(self.pos, what))
+    }
+
+    fn matrix(&mut self, what: &'static str) -> Result<Matrix> {
+        let rows = self.u64(what)? as usize;
+        let cols = self.u64(what)? as usize;
+        let n = rows.checked_mul(cols).ok_or_else(|| malformed(self.pos, what))?;
+        if n > (self.data.len() - self.pos) / 4 {
+            return Err(malformed(self.pos, what));
+        }
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(f32::from_bits(self.u32(what)?));
+        }
+        Matrix::from_vec(rows, cols, data).map_err(|_| malformed(self.pos, what))
+    }
+}
+
+impl ServeBundle {
+    /// Freeze a trained system into an immutable bundle.
+    ///
+    /// The graph is round-tripped through its TKG2 encoding rather than
+    /// cloned, so a freshly frozen bundle and one reloaded from disk
+    /// are built from byte-identical graph state.
+    pub fn freeze(tkg: &Tkg, frozen: &FrozenModel) -> Result<Self> {
+        let _span = trail_obs::span("serve.freeze");
+        let graph = persist::from_bytes(&persist::to_bytes(&tkg.graph))
+            .map_err(graph_err)?;
+        let events = tkg
+            .events
+            .iter()
+            .map(|e| BundleEvent { node: e.node, apt: e.apt, report_id: e.report_id.clone() })
+            .collect();
+        Self::assemble(
+            graph,
+            tkg.registry.names().to_vec(),
+            events,
+            frozen.code_dim,
+            frozen.codes.clone(),
+            frozen.sage_cfg,
+            frozen.layers.clone(),
+        )
+    }
+
+    /// Construct from decoded parts, cross-validating everything.
+    fn assemble(
+        graph: GraphStore,
+        class_names: Vec<String>,
+        events: Vec<BundleEvent>,
+        code_dim: usize,
+        codes: Matrix,
+        sage_cfg: SageConfig,
+        layers: Vec<(Matrix, Matrix, Matrix)>,
+    ) -> Result<Self> {
+        let n = graph.node_count();
+        let k = class_names.len();
+        if codes.shape() != (n, code_dim) {
+            return Err(malformed(0, "codes shape vs graph"));
+        }
+        if sage_cfg.n_classes != k {
+            return Err(malformed(0, "n_classes vs class names"));
+        }
+        if sage_cfg.input_dim != code_dim + 5 + k {
+            return Err(malformed(0, "input_dim vs code layout"));
+        }
+        if sage_cfg.layers == 0 || sage_cfg.layers != layers.len() {
+            return Err(malformed(0, "layer count vs architecture"));
+        }
+        let mut d_in = sage_cfg.input_dim;
+        for (l, (w_root, w_nbr, b)) in layers.iter().enumerate() {
+            let d_out = if l == sage_cfg.layers - 1 { sage_cfg.n_classes } else { sage_cfg.hidden };
+            if w_root.shape() != (d_in, d_out)
+                || w_nbr.shape() != (d_in, d_out)
+                || b.shape() != (1, d_out)
+            {
+                return Err(malformed(l, "layer weight shape"));
+            }
+            d_in = d_out;
+        }
+        let mut event_apt = vec![None; n];
+        for e in &events {
+            if e.node.index() >= n {
+                return Err(malformed(e.node.index(), "event node out of range"));
+            }
+            if graph.node(e.node).kind != NodeKind::Event {
+                return Err(malformed(e.node.index(), "event node kind"));
+            }
+            if e.apt as usize >= k {
+                return Err(malformed(e.apt as usize, "event label out of range"));
+            }
+            event_apt[e.node.index()] = Some(e.apt);
+        }
+        let csr = Csr::from_store(&graph);
+        Ok(Self { graph, csr, class_names, events, event_apt, code_dim, codes, sage_cfg, layers })
+    }
+
+    // --- frame -------------------------------------------------------------
+
+    /// Serialise to the framed, checksummed binary form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut p = Vec::with_capacity(1 << 16);
+        let graph_blob = persist::to_bytes(&self.graph);
+        put_u64(&mut p, graph_blob.len() as u64);
+        p.extend_from_slice(&graph_blob);
+
+        put_u16(&mut p, self.class_names.len() as u16);
+        for name in &self.class_names {
+            put_str(&mut p, name);
+        }
+
+        put_u64(&mut p, self.events.len() as u64);
+        for e in &self.events {
+            put_u32(&mut p, e.node.index() as u32);
+            put_u16(&mut p, e.apt);
+            put_str(&mut p, &e.report_id);
+        }
+
+        put_u64(&mut p, self.code_dim as u64);
+        put_matrix(&mut p, &self.codes);
+
+        put_u64(&mut p, self.sage_cfg.input_dim as u64);
+        put_u64(&mut p, self.sage_cfg.hidden as u64);
+        put_u64(&mut p, self.sage_cfg.layers as u64);
+        put_u64(&mut p, self.sage_cfg.n_classes as u64);
+        p.push(self.sage_cfg.l2_normalize as u8);
+
+        put_u64(&mut p, self.layers.len() as u64);
+        for (w_root, w_nbr, b) in &self.layers {
+            put_matrix(&mut p, w_root);
+            put_matrix(&mut p, w_nbr);
+            put_matrix(&mut p, b);
+        }
+
+        let mut out = Vec::with_capacity(HEADER_LEN + p.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(p.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a_bytes(&p).to_le_bytes());
+        out.extend_from_slice(&p);
+        out
+    }
+
+    /// Decode and fully validate a bundle frame.
+    pub fn from_bytes(data: &[u8]) -> Result<Self> {
+        let _span = trail_obs::span("serve.bundle_load");
+        if data.len() < HEADER_LEN {
+            return Err(PersistError::TooShort { have: data.len() });
+        }
+        if data[0..4] != MAGIC {
+            return Err(PersistError::BadMagic { found: data[0..4].try_into().unwrap() });
+        }
+        let version = u32::from_le_bytes(data[4..8].try_into().unwrap());
+        if version != VERSION {
+            return Err(PersistError::UnsupportedVersion { found: version });
+        }
+        // The length field is untrusted on-disk input: compare in the
+        // u64 domain so a value above usize::MAX can never wrap through
+        // an `as usize` conversion (same discipline as TKG2/TSC1).
+        let want = u64::from_le_bytes(data[8..16].try_into().unwrap());
+        let checksum = u64::from_le_bytes(data[16..24].try_into().unwrap());
+        let payload = &data[HEADER_LEN..];
+        if payload.len() as u64 != want {
+            return Err(PersistError::Truncated { want, have: payload.len() });
+        }
+        let actual = fnv1a_bytes(payload);
+        if actual != checksum {
+            return Err(PersistError::ChecksumMismatch { expected: checksum, actual });
+        }
+
+        let mut c = Cursor { data: payload, pos: 0 };
+        let graph_len = c.len(1, "graph blob")?;
+        let graph_blob = c.take(graph_len, "graph blob")?;
+        let graph = persist::from_bytes(graph_blob).map_err(graph_err)?;
+
+        let n_classes = c.u16("class count")? as usize;
+        let mut class_names = Vec::with_capacity(n_classes.min(1 << 16));
+        for _ in 0..n_classes {
+            class_names.push(c.str("class name")?);
+        }
+
+        let n_events = c.len(10, "event count")?;
+        let mut events = Vec::with_capacity(n_events);
+        for _ in 0..n_events {
+            let node = NodeId::from(c.u32("event node")? as usize);
+            let apt = c.u16("event label")?;
+            let report_id = c.str("event report id")?;
+            events.push(BundleEvent { node, apt, report_id });
+        }
+
+        let code_dim = c.u64("code dim")? as usize;
+        let codes = c.matrix("codes")?;
+
+        let sage_cfg = SageConfig {
+            input_dim: c.u64("input_dim")? as usize,
+            hidden: c.u64("hidden")? as usize,
+            layers: c.u64("layers")? as usize,
+            n_classes: c.u64("n_classes")? as usize,
+            l2_normalize: c.u8("l2_normalize")? != 0,
+        };
+
+        let n_layers = c.len(48, "layer count")?;
+        let mut layers = Vec::with_capacity(n_layers);
+        for _ in 0..n_layers {
+            layers.push((c.matrix("W_root")?, c.matrix("W_nbr")?, c.matrix("b")?));
+        }
+        if c.pos != payload.len() {
+            return Err(malformed(c.pos, "trailing bytes"));
+        }
+
+        Self::assemble(graph, class_names, events, code_dim, codes, sage_cfg, layers)
+    }
+
+    /// Write atomically (temp file + fsync + rename), like TKG2/TSC1.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        write_atomic(path, &self.to_bytes())
+    }
+
+    /// Load and validate a bundle from disk.
+    pub fn load(path: &Path) -> Result<Self> {
+        let data = std::fs::read(path).map_err(PersistError::Io)?;
+        Self::from_bytes(&data)
+    }
+
+    // --- accessors ---------------------------------------------------------
+
+    /// The embedded historical graph (read-only).
+    pub fn graph(&self) -> &GraphStore {
+        &self.graph
+    }
+
+    /// APT label names, indexed by class.
+    pub fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
+    /// The frozen attributed events.
+    pub fn events(&self) -> &[BundleEvent] {
+        &self.events
+    }
+
+    /// Number of APT classes.
+    pub fn n_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// The frozen SAGE architecture.
+    pub fn sage_config(&self) -> SageConfig {
+        self.sage_cfg
+    }
+
+    /// Build a runnable model replica carrying the frozen weights.
+    /// Every call yields a bitwise-identical model (see
+    /// [`trail::freeze::instantiate`]), so rankings never depend on
+    /// *which* replica served a request.
+    pub fn instantiate_model(&self) -> SageModel {
+        freeze::instantiate(self.sage_cfg, &self.layers)
+    }
+
+    // --- query path (pure, read-only) --------------------------------------
+
+    /// Resolve a canonical IOC identity to its node, if present.
+    pub fn find_ioc(&self, key: &IocKey) -> Option<NodeId> {
+        self.graph.find_node(Tkg::node_kind(key.kind()), key.text())
+    }
+
+    /// Score one query: the queried IOCs' ego-subgraph is extracted,
+    /// re-indexed locally, and pushed through the quantized forward
+    /// pass; the ranking aggregates the softmax distributions of the
+    /// matched IOC nodes themselves (historical event labels are
+    /// visible input features, exactly as in training).
+    ///
+    /// Strictly read-only against the bundle; the only mutable state is
+    /// the caller-provided model replica's scratch buffers.
+    pub fn attribute(
+        &self,
+        model: &mut SageModel,
+        iocs: &[IocKey],
+        limits: &QueryLimits,
+    ) -> Attribution {
+        let _span = trail_obs::span("serve.attribute");
+        let roots: Vec<NodeId> = iocs.iter().filter_map(|k| self.find_ioc(k)).collect();
+        let matched = roots.len();
+        if roots.is_empty() {
+            return Attribution { ranked: Vec::new(), matched: 0, members: 0, events: 0 };
+        }
+
+        let mut members = k_hop(&self.csr, &roots, limits.radius);
+        members.truncate(limits.max_members.max(1));
+
+        let mut local: HashMap<NodeId, usize> = HashMap::with_capacity(members.len());
+        for (i, &(id, _)) in members.iter().enumerate() {
+            local.insert(id, i);
+        }
+        // Induced edges, one per undirected (possibly parallel) edge:
+        // the symmetrised CSR lists each edge from both endpoints, so
+        // emitting only from the lower local index keeps exactly one.
+        let mut edges: Vec<(NodeId, NodeId, EdgeKind)> = Vec::new();
+        for (i, &(id, _)) in members.iter().enumerate() {
+            for (nbr, kind) in self.csr.neighbors_with_kinds(id) {
+                if let Some(&j) = local.get(&nbr) {
+                    if i < j {
+                        edges.push((NodeId::from(i), NodeId::from(j), kind));
+                    }
+                }
+            }
+        }
+        let sub = Csr::from_edge_list(members.len(), &edges);
+
+        let mut x = Matrix::zeros(members.len(), self.sage_cfg.input_dim);
+        let mut n_events = 0usize;
+        for (i, &(id, _)) in members.iter().enumerate() {
+            let row = x.row_mut(i);
+            row[..self.code_dim].copy_from_slice(self.codes.row(id.index()));
+            row[self.code_dim + self.graph.node(id).kind.index()] = 1.0;
+            if let Some(apt) = self.event_apt[id.index()] {
+                row[self.code_dim + 5 + apt as usize] = 1.0;
+                n_events += 1;
+            }
+        }
+
+        let logits = model.forward_quantized(&sub, &x);
+        let k = self.n_classes();
+        let mut scores = vec![0.0f32; k];
+        for (i, &(_, hop)) in members.iter().enumerate() {
+            if hop != 0 {
+                continue;
+            }
+            let mut proba = logits.row(i).to_vec();
+            trail_linalg::vector::softmax_inplace(&mut proba);
+            for (s, p) in scores.iter_mut().zip(&proba) {
+                *s += p;
+            }
+        }
+        let norm = matched as f32;
+        let mut ranked: Vec<(u16, f32)> =
+            scores.iter().enumerate().map(|(c, &s)| (c as u16, s / norm)).collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        Attribution { ranked, matched, members: members.len(), events: n_events }
+    }
+}
+
+fn graph_err(e: trail_graph::GraphError) -> PersistError {
+    match e {
+        trail_graph::GraphError::Persist(p) => p,
+        _ => PersistError::Malformed { offset: 0, what: "embedded graph" },
+    }
+}

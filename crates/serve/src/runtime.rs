@@ -1,0 +1,167 @@
+//! The in-process request runtime: admission control, per-worker model
+//! replicas, and per-request observability over a shared
+//! [`ServeBundle`].
+//!
+//! Concurrency model: the bundle is immutable and shared by reference;
+//! the only mutable state a query needs is a [`SageModel`]'s quantized
+//! scratch buffers, so the runtime keeps a small pool of replicas
+//! behind `try_lock` — a free replica is always found within one pass
+//! once the pool is at least as wide as the worker count. Replicas are
+//! instantiated deterministically from the frozen weights, so *which*
+//! replica serves a request can never change its ranking.
+//!
+//! Admission reuses the PR 4 [`CircuitBreaker`]: every request asks
+//! `admit()` first; poisoned/failed requests `record_fault()`, so a
+//! burst of bad queries trips the breaker and subsequent requests are
+//! shed without touching the graph, then probed back to Closed.
+//!
+//! Counter discipline (the reconciliation invariant the tests pin):
+//! `serve.issued == serve.admitted + serve.rejected` and
+//! `serve.admitted == serve.completed + serve.failed`, exactly, for
+//! any interleaving — each request increments exactly one branch at
+//! each level of that tree.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use trail_gnn::SageModel;
+use trail_ioc::IocKey;
+use trail_osint::CircuitBreaker;
+
+use crate::bundle::{Attribution, QueryLimits, ServeBundle};
+
+/// One attribution request: the IOCs observed in a fresh incident.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Canonical IOC identities to look up.
+    pub iocs: Vec<IocKey>,
+    /// Fault injection for drills: the request is admitted, then fails
+    /// inside the handler (standing in for unparseable/poison input).
+    pub poison: bool,
+}
+
+impl Query {
+    /// A well-formed query.
+    pub fn new(iocs: Vec<IocKey>) -> Self {
+        Self { iocs, poison: false }
+    }
+
+    /// A request that will fault after admission.
+    pub fn poison() -> Self {
+        Self { iocs: Vec::new(), poison: true }
+    }
+}
+
+/// How one request ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Scored: the APT ranking.
+    Ranked(Attribution),
+    /// Shed by the circuit breaker before touching the graph.
+    Rejected,
+    /// Admitted but failed in the handler.
+    Failed(&'static str),
+}
+
+/// One request's result plus its wall-clock latency.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// What happened.
+    pub outcome: Outcome,
+    /// End-to-end handler latency in microseconds.
+    pub latency_us: u64,
+}
+
+/// Runtime construction parameters.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Model replicas to instantiate (size to the widest worker count
+    /// the runtime will be driven with).
+    pub replicas: usize,
+    /// Per-query traversal limits.
+    pub limits: QueryLimits,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self { replicas: trail_linalg::pool::num_threads().max(2), limits: QueryLimits::default() }
+    }
+}
+
+/// The concurrent, read-only serving runtime.
+pub struct ServeRuntime {
+    bundle: Arc<ServeBundle>,
+    breaker: Arc<CircuitBreaker>,
+    replicas: Vec<Mutex<SageModel>>,
+    limits: QueryLimits,
+}
+
+impl ServeRuntime {
+    /// Build a runtime over a frozen bundle.
+    pub fn new(bundle: Arc<ServeBundle>, breaker: Arc<CircuitBreaker>, cfg: RuntimeConfig) -> Self {
+        let replicas =
+            (0..cfg.replicas.max(1)).map(|_| Mutex::new(bundle.instantiate_model())).collect();
+        Self { bundle, breaker, replicas, limits: cfg.limits }
+    }
+
+    /// The shared bundle.
+    pub fn bundle(&self) -> &ServeBundle {
+        &self.bundle
+    }
+
+    /// The admission breaker.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Run `f` with an exclusive model replica. With at least as many
+    /// replicas as concurrent callers one pass always finds a free
+    /// slot; the yield loop covers transient oversubscription.
+    fn with_replica<T>(&self, f: impl FnOnce(&mut SageModel) -> T) -> T {
+        let mut f = Some(f);
+        loop {
+            for slot in &self.replicas {
+                if let Ok(mut model) = slot.try_lock() {
+                    return (f.take().expect("single use"))(&mut model);
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Handle one request end to end: admission, scoring, outcome
+    /// accounting, latency histogram.
+    pub fn handle(&self, query: &Query) -> Response {
+        let start = Instant::now();
+        trail_obs::counter_add("serve.issued", 1);
+        let outcome = if !self.breaker.admit() {
+            trail_obs::counter_add("serve.rejected", 1);
+            Outcome::Rejected
+        } else {
+            trail_obs::counter_add("serve.admitted", 1);
+            if query.poison {
+                self.breaker.record_fault();
+                trail_obs::counter_add("serve.failed", 1);
+                Outcome::Failed("poison query")
+            } else {
+                let attribution =
+                    self.with_replica(|model| self.bundle.attribute(model, &query.iocs, &self.limits));
+                self.breaker.record_success();
+                trail_obs::counter_add("serve.completed", 1);
+                Outcome::Ranked(attribution)
+            }
+        };
+        let latency_us = start.elapsed().as_micros() as u64;
+        trail_obs::observe("serve.latency_us", trail_obs::bounds::SERVE_LATENCY_US, latency_us);
+        Response { outcome, latency_us }
+    }
+
+    /// Serve a whole batch at a fixed worker-pool width, preserving
+    /// input order in the output.
+    pub fn run_batch(&self, queries: &[Query], concurrency: usize) -> Vec<Response> {
+        let _span = trail_obs::span("serve.batch");
+        trail_linalg::pool::parallel_map_limit(concurrency.max(1), queries.len(), |i| {
+            self.handle(&queries[i])
+        })
+    }
+}

@@ -48,6 +48,7 @@ CRATES=(
   "trail_ml:crates/ml/src/lib.rs"
   "trail_gnn:crates/gnn/src/lib.rs"
   "trail:crates/core/src/lib.rs"
+  "trail_serve:crates/serve/src/lib.rs"
   "trail_bench:crates/bench/src/lib.rs"
   "trail_repro:src/lib.rs"
 )
@@ -125,6 +126,7 @@ build_test t_osint    crates/osint/src/lib.rs
 build_test t_ml       crates/ml/src/lib.rs
 build_test t_gnn      crates/gnn/src/lib.rs
 build_test t_core     crates/core/src/lib.rs
+build_test t_serve    crates/serve/src/lib.rs
 build_test t_bench    crates/bench/src/lib.rs
 build_test t_pool_proptest        crates/linalg/tests/pool_proptest.rs
 build_test t_kernel_proptest      crates/linalg/tests/kernel_proptest.rs

@@ -20,6 +20,13 @@
 # f32 matmul must hold a >=1.5x geomean speedup (and the i8 quantized
 # path >=2x) over the pre-blocking reference kernels on the GNN shapes
 # swept by `kernels` (see BENCH_kernels.json).
+#
+# The perf tier also replays the serving benchmark (`repro serve-bench
+# --quick`): rankings must be bitwise identical across concurrency
+# levels, the request counters must reconcile exactly, and the measured
+# tail latency / throughput are gated against the committed
+# BENCH_serve.json baseline with wide (10x) slack — the gate catches
+# order-of-magnitude regressions, not machine-to-machine noise.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -140,6 +147,47 @@ if [ "$run_perf" -eq 1 ]; then
       exit !ok
     }'; then
     echo "FAIL: kernel speedup gate (see BENCH_kernels.json for the full sweep)" >&2
+    exit 1
+  fi
+
+  echo "== perf tier: serving determinism + latency/throughput floor =="
+  # serve-bench exits non-zero on its own invariants (cross-level
+  # determinism, counter reconciliation, breaker drill); the awk gate
+  # below additionally compares against the committed baseline.
+  (cd "$perf_dir" && "$repro_bin" serve-bench --quick > serve_out.txt)
+  grep '^\[serve' "$perf_dir/serve_out.txt"
+  base_p99="$(sed -n 's/.*"max_p99_us": \([0-9]*\),*/\1/p' BENCH_serve.json | head -1)"
+  base_qps="$(sed -n 's/.*"min_qps": \([0-9.]*\),*/\1/p' BENCH_serve.json | head -1)"
+  if [ -z "$base_p99" ] || [ -z "$base_qps" ]; then
+    echo "FAIL: committed BENCH_serve.json lacks max_p99_us/min_qps baselines" >&2
+    exit 1
+  fi
+  if ! awk -v bp="$base_p99" -v bq="$base_qps" '
+    /^\[serve-summary\] /{
+      for (i = 2; i <= NF; i++) { split($i, kv, "="); v[kv[1]] = kv[2] }
+      found = 1
+    }
+    END{
+      if (!found) { print "no [serve-summary] line" > "/dev/stderr"; exit 1 }
+      ok = 1
+      if (v["levels"] + 0 < 2) {
+        printf "FAIL: only %s concurrency level(s) measured\n", v["levels"] > "/dev/stderr"; ok = 0
+      }
+      if (v["deterministic"] + 0 != 1) {
+        print "FAIL: rankings differ across concurrency levels" > "/dev/stderr"; ok = 0
+      }
+      if (v["reconciled"] + 0 != 1) {
+        print "FAIL: serve counters did not reconcile" > "/dev/stderr"; ok = 0
+      }
+      if (v["max_p99_us"] + 0 > 10 * bp) {
+        printf "FAIL: p99 %sus > 10x baseline %sus\n", v["max_p99_us"], bp > "/dev/stderr"; ok = 0
+      }
+      if (v["min_qps"] + 0 < bq / 10) {
+        printf "FAIL: throughput %s qps < baseline %s / 10\n", v["min_qps"], bq > "/dev/stderr"; ok = 0
+      }
+      exit !ok
+    }' "$perf_dir/serve_out.txt"; then
+    echo "FAIL: serving gate (see BENCH_serve.json for the committed baseline)" >&2
     exit 1
   fi
 fi
