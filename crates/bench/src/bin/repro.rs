@@ -6,7 +6,7 @@
 //!
 //! experiments:
 //!   table2  table3  table4  fig3  fig4  fig7  fig8  fig9  fig10
-//!   sec5    case    chaos   quant   serve-bench   all
+//!   sec5    case    chaos   quant   serve-bench   stream-bench   all
 //! ```
 //!
 //! `quant` (or `--quant`) trains one Table-IV fold and compares f32
@@ -21,6 +21,15 @@
 //! throughput per level land in `BENCH_serve.json`, and the run exits
 //! non-zero if rankings differ across concurrency levels or the
 //! request counters fail to reconcile (see DESIGN.md §12).
+//!
+//! `stream-bench` pushes every post-cutoff report through the
+//! streaming runtime one event at a time with roughly-monthly ticks,
+//! contrasts the amortized per-event cost against a full input rebuild
+//! per event, and re-runs the stream in micro-batches of 64 to check
+//! the two executions land on bitwise-identical TKG and model
+//! fingerprints. The run report lands in `BENCH_stream.json`; the run
+//! exits non-zero on divergence or a ledger that fails to reconcile
+//! (see DESIGN.md §13).
 //!
 //! `--trace` pretty-prints the hierarchical span tree (plus counters
 //! and histograms) collected by `trail-obs` after the run. `--quick`
@@ -185,6 +194,20 @@ fn main() {
             println!("\n[done] total {:?}", total.elapsed());
             std::process::exit(if ok { 0 } else { 1 });
         }
+        "stream-bench" | "stream" => {
+            let ok = trail_bench::stream_bench(sys, &opts, &mut rec);
+            rec.record("total", total.elapsed().as_secs_f64());
+            match rec.write_json("BENCH_repro.json") {
+                Ok(()) => println!("[bench] stage timings written to BENCH_repro.json"),
+                Err(e) => eprintln!("[bench] could not write BENCH_repro.json: {e}"),
+            }
+            if trace {
+                println!("\n=== trace: span tree, counters, histograms ===");
+                print!("{}", trail_obs::snapshot().render_tree());
+            }
+            println!("\n[done] total {:?}", total.elapsed());
+            std::process::exit(if ok { 0 } else { 1 });
+        }
         "fig7" | "fig8" => {
             let t = std::time::Instant::now();
             match &resume_dir {
@@ -242,7 +265,7 @@ fn main() {
 
 fn usage<T>() -> T {
     eprintln!(
-        "usage: repro <table2|table3|table4|fig3|fig4|fig7|fig8|fig9|fig10|sec5|case|chaos|ablations|quant|serve-bench|all> \
+        "usage: repro <table2|table3|table4|fig3|fig4|fig7|fig8|fig9|fig10|sec5|case|chaos|ablations|quant|serve-bench|stream-bench|all> \
          [--scale S] [--seed N] [--folds K] [--faults P] [--resume DIR] [--chaos SEED] [--incremental] [--quant] [--quick] [--trace]"
     );
     std::process::exit(2);

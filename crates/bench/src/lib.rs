@@ -1197,6 +1197,201 @@ pub fn serve_bench(sys: &TrailSystem, opts: &RunOptions, rec: &mut BenchRecorder
     ok
 }
 
+/// `repro stream-bench` — event-at-a-time TKG growth under a latency
+/// budget (DESIGN.md §13). Streams every post-cutoff report through a
+/// [`trail::stream::StreamRuntime`] one event at a time with a
+/// roughly-monthly tick cadence, then contrasts the amortized
+/// per-event cost of keeping the inputs current (push work plus the
+/// ticks' incremental sync: delta merge, dirty-row re-encode, matrix
+/// growth) against the cost a naive design would pay per event: one
+/// full input rebuild — CSR freeze, whole-graph code recompute, GNN
+/// input assembly — exactly the per-window preparation of the study's
+/// full-rebuild path. Per-tick model work (predictions, fine-tune) is
+/// timed and reported separately: both designs pay it per *tick*, so
+/// it does not belong in the per-event comparison. All numbers land in
+/// `BENCH_stream.json`.
+///
+/// The run also proves two invariants and returns `false` (non-zero
+/// exit) if either breaks:
+///
+/// * **equivalence** — a second runtime over an identical world,
+///   consuming the same reports in micro-batches of 64, ends with
+///   bitwise-identical TKG and model fingerprints and tick series;
+/// * **reconciliation** — the latency-budget ledger closes exactly:
+///   `issued == within_budget + exceeded == attributed + dropped`.
+pub fn stream_bench(sys: TrailSystem, opts: &RunOptions, rec: &mut BenchRecorder) -> bool {
+    use trail::stream::{AsofPolicy, StreamConfig, StreamRuntime};
+    use trail_osint::DAYS_PER_MONTH;
+
+    header("stream-bench", "event-at-a-time TKG growth under a latency budget");
+    let cutoff = sys.asof_day;
+    let horizon = sys.client.world().config.horizon_day();
+    let schedule = sys.client.stream_reports(cutoff, horizon);
+    if schedule.is_empty() {
+        eprintln!("[stream] world has no post-cutoff reports to stream");
+        return false;
+    }
+    let study = study_config(opts);
+    // Roughly monthly ticks, expressed as an event-count cadence so the
+    // equivalence run below ticks at identical points by construction.
+    let cadence = (schedule.len() / study.months.max(1) as usize).max(1);
+    let cfg = StreamConfig {
+        study,
+        asof: AsofPolicy::WindowEnd { origin: cutoff, stride: DAYS_PER_MONTH },
+        // The main run ticks manually so push and tick cost separate
+        // cleanly; the equivalence run uses the automatic cadence at
+        // the same boundaries, cross-checking the two trigger paths.
+        tick_every: None,
+        budget_us: 50_000,
+    };
+    println!(
+        "[stream] {} reports, tick every {} events, budget {} us/event",
+        schedule.len(),
+        cadence,
+        cfg.budget_us
+    );
+
+    let mut rt = rec.time("stream_init", || {
+        StreamRuntime::new(opts.rng(), sys, cfg.clone())
+    });
+    let mut push_secs = 0.0f64;
+    let mut tick_secs = 0.0f64;
+    for r in &schedule {
+        let t = Instant::now();
+        rt.push(r);
+        push_secs += t.elapsed().as_secs_f64();
+        if rt.pending_events() >= cadence {
+            let t = Instant::now();
+            rt.tick();
+            tick_secs += t.elapsed().as_secs_f64();
+        }
+    }
+    let t = Instant::now();
+    rt.finish();
+    tick_secs += t.elapsed().as_secs_f64();
+    rec.record("stream_push", push_secs);
+    rec.record("stream_ticks", tick_secs);
+    let ledger = rt.ledger();
+    let amortized_us = (push_secs + rt.sync_seconds()) * 1e6 / ledger.issued.max(1) as f64;
+    println!(
+        "[stream] issued={} attributed={} dropped={} within_budget={} exceeded={} ticks={}",
+        ledger.issued,
+        ledger.attributed,
+        ledger.dropped,
+        ledger.within_budget,
+        ledger.exceeded,
+        rt.tick_reports().len()
+    );
+
+    // The naive baseline: what one event would cost if every arrival
+    // triggered a full input rebuild over the final (largest) graph.
+    // Encoder training is excluded — even a naive design trains once.
+    let rebuild_us = {
+        let tkg = &rt.system().tkg;
+        let mut rng = opts.rng();
+        let (_, encoders, scalers) =
+            trail::embed::train_autoencoders_with_scalers(&mut rng, tkg, &cfg.study.ae);
+        let (_, secs) = rec.time_with("stream_rebuild_baseline", || {
+            let _csr = tkg.csr();
+            let emb = trail::embed::compute_codes_with(tkg, &encoders, &scalers, cfg.study.ae.batch_size);
+            let pairs: Vec<_> = tkg.events.iter().map(|e| (e.node, e.apt)).collect();
+            trail::embed::assemble_gnn_input(tkg, &emb, &pairs)
+        });
+        secs * 1e6
+    };
+    let ratio = rebuild_us / amortized_us.max(1e-9);
+
+    // Equivalence drill: identical world, same seed and config, same
+    // report stream in micro-batches of 64 — must land on the same
+    // bits.
+    let cfg64 = StreamConfig { tick_every: Some(cadence), ..cfg.clone() };
+    let rt64 = rec.time("stream_equivalence_run", || {
+        let mut rt64 = StreamRuntime::new(opts.rng(), opts.build_system(), cfg64);
+        for chunk in schedule.chunks(64) {
+            rt64.push_batch(chunk);
+        }
+        rt64.finish();
+        rt64
+    });
+    let equal = rt.tkg_fingerprint() == rt64.tkg_fingerprint()
+        && rt.model_fingerprint() == rt64.model_fingerprint()
+        && rt.tick_reports() == rt64.tick_reports();
+    let reconciled = ledger.reconciles() && rt64.ledger().reconciles();
+    if !equal {
+        eprintln!(
+            "[stream] DIVERGENCE: event-at-a-time {:#018x}/{:#018x} vs micro-batch-64 \
+             {:#018x}/{:#018x}",
+            rt.tkg_fingerprint(),
+            rt.model_fingerprint(),
+            rt64.tkg_fingerprint(),
+            rt64.model_fingerprint()
+        );
+    }
+    println!(
+        "[stream-summary] events={} ticks={} amortized_us={:.1} rebuild_us={:.1} ratio={:.1} \
+         equal={} reconciled={}",
+        ledger.issued,
+        rt.tick_reports().len(),
+        amortized_us,
+        rebuild_us,
+        ratio,
+        u8::from(equal),
+        u8::from(reconciled)
+    );
+
+    let tick_json: Vec<serde_json::Value> = rt
+        .tick_reports()
+        .iter()
+        .map(|t| {
+            serde_json::json!({
+                "month": t.result.month,
+                "n_events": t.result.n_events,
+                "stale_acc": t.result.stale_acc,
+                "fresh_acc": t.result.fresh_acc,
+                "lp_agree": t.lp_agree,
+            })
+        })
+        .collect();
+    let doc = serde_json::json!({
+        "experiment": "stream-bench",
+        "seed": opts.seed,
+        "scale": opts.scale as f64,
+        "quick": opts.quick,
+        "threads": trail_linalg::pool::num_threads(),
+        "events": ledger.issued,
+        "attributed": ledger.attributed,
+        "dropped": ledger.dropped,
+        "within_budget": ledger.within_budget,
+        "exceeded": ledger.exceeded,
+        "budget_us": cfg.budget_us,
+        "tick_every": cadence,
+        "ticks": rt.tick_reports().len(),
+        "push_seconds": push_secs,
+        "tick_seconds": tick_secs,
+        "sync_seconds": rt.sync_seconds(),
+        "amortized_us": amortized_us,
+        "rebuild_us": rebuild_us,
+        "ratio": ratio,
+        "equal": equal,
+        "reconciled": reconciled,
+        "tkg_fingerprint": format!("{:#018x}", rt.tkg_fingerprint()),
+        "model_fingerprint": format!("{:#018x}", rt.model_fingerprint()),
+        "tick_results": tick_json,
+    });
+    let mut ok = equal && reconciled && ledger.attributed > 0 && !rt.tick_reports().is_empty();
+    match std::fs::write(
+        "BENCH_stream.json",
+        serde_json::to_string_pretty(&doc).expect("stream doc serialises"),
+    ) {
+        Ok(()) => println!("[stream] run report written to BENCH_stream.json"),
+        Err(e) => {
+            eprintln!("[stream] could not write BENCH_stream.json: {e}");
+            ok = false;
+        }
+    }
+    ok
+}
+
 #[cfg(test)]
 mod tests {
     use super::BenchRecorder;

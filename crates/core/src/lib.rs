@@ -31,6 +31,7 @@
 //! * [`embed`] — autoencoder projection + GNN input assembly (§VI-C).
 //! * [`report`] — dataset statistics, reuse histograms (§V, Fig. 4).
 //! * [`longitudinal`] — the months-long study (§VII-C, Figs. 7–8).
+//! * [`stream`] — event-at-a-time ingestion, bitwise-equal to batch.
 //! * [`system`] — the end-to-end orchestrator.
 
 pub mod attribute;
@@ -42,6 +43,7 @@ pub mod freeze;
 pub mod longitudinal;
 pub mod report;
 pub mod sparse;
+pub mod stream;
 pub mod system;
 pub mod tkg;
 

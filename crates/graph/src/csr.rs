@@ -58,8 +58,24 @@ impl Csr {
         let _span = trail_obs::span("graph.csr_merge");
         let old_n = self.node_count();
         let n = g.node_count();
-        debug_assert!(n >= old_n, "stores only grow");
+        // The append-only contract this merge rests on: the store must
+        // be a descendant of the store this CSR froze — at least as
+        // many nodes, at least as many edges, and the frozen edges an
+        // exact prefix. A store that shrank (or was swapped for an
+        // unrelated one) would otherwise slice out of range or silently
+        // interleave half-edges out of order; fail loudly instead.
+        assert!(
+            n >= old_n,
+            "merge_appended: store has {n} nodes but the frozen CSR has {old_n} — \
+             stores only grow, this store is not a descendant of the frozen one"
+        );
         let old_edges = self.half_edge_count() / 2;
+        assert!(
+            old_edges <= g.edges().len(),
+            "merge_appended: frozen CSR froze {old_edges} edges but the store holds only {} — \
+             stores only append, this store is not a descendant of the frozen one",
+            g.edges().len()
+        );
         let delta = &g.edges()[old_edges..];
         let mut degrees = vec![0usize; n];
         for (v, d) in degrees.iter_mut().enumerate().take(old_n) {
@@ -241,6 +257,180 @@ mod tests {
             assert_eq!(csr, Csr::from_store(&g), "diverged at step {step}");
         }
         assert_eq!(csr.degree(hub), 5);
+    }
+
+    // --- merge_appended audit: adversarial delta shapes -------------------
+    //
+    // The streaming runtime delta-merges after *every* tick, so the
+    // merge must stay byte-identical to a full rebuild for every delta
+    // shape ingestion can produce — especially deltas that only
+    // re-touch existing nodes, where a fill-order slip would reorder
+    // half-edges without changing any degree.
+
+    #[test]
+    fn delta_touching_only_existing_nodes_matches_rebuild() {
+        // No new nodes at all: the delta densifies the frozen graph.
+        let mut g = GraphStore::new();
+        let e = g.upsert_node(NodeKind::Event, "e");
+        let ip = g.upsert_node(NodeKind::Ip, "i");
+        let d = g.upsert_node(NodeKind::Domain, "d");
+        let u = g.upsert_node(NodeKind::Url, "http://a.example/x");
+        g.add_edge(e, ip, EdgeKind::InReport).unwrap();
+        let frozen = Csr::from_store(&g);
+
+        g.add_edge(e, d, EdgeKind::InReport).unwrap();
+        g.add_edge(d, ip, EdgeKind::DomainResolvesTo).unwrap();
+        g.add_edge(u, d, EdgeKind::HostedOn).unwrap();
+        g.add_edge(u, ip, EdgeKind::UrlResolvesTo).unwrap();
+        assert_eq!(g.node_count(), frozen.node_count(), "delta added no nodes");
+        assert_eq!(frozen.merge_appended(&g), Csr::from_store(&g));
+    }
+
+    #[test]
+    fn duplicate_edge_is_suppressed_and_degrees_do_not_drift() {
+        let mut g = GraphStore::new();
+        let e = g.upsert_node(NodeKind::Event, "e");
+        let ip = g.upsert_node(NodeKind::Ip, "i");
+        g.add_edge(e, ip, EdgeKind::InReport).unwrap();
+        let frozen = Csr::from_store(&g);
+
+        // Re-adding the identical directed edge is suppressed by the
+        // store, so the merged CSR must be the frozen identity.
+        assert!(!g.add_edge(e, ip, EdgeKind::InReport).unwrap());
+        let merged = frozen.merge_appended(&g);
+        assert_eq!(merged, frozen);
+        assert_eq!(merged.degree(e), 1);
+        assert_eq!(merged.degree(ip), 1);
+    }
+
+    #[test]
+    fn duplicate_undirected_edges_are_structurally_excluded() {
+        // Audit result: a duplicate *undirected* edge would need either
+        // (a) the same directed (src, dst, kind) twice — suppressed by
+        // the store's edge set — or (b) the reversed pair (dst, src,
+        // kind) — but every Table I row has distinct endpoint kinds, so
+        // the reversal is a schema violation. Between them, no delta
+        // can ever inflate an undirected degree with a duplicate, which
+        // is the precondition the streaming runtime's repeated merges
+        // rely on.
+        let mut g = GraphStore::new();
+        let e = g.upsert_node(NodeKind::Event, "e");
+        let ip = g.upsert_node(NodeKind::Ip, "i");
+        g.add_edge(e, ip, EdgeKind::InReport).unwrap();
+        let frozen = Csr::from_store(&g);
+
+        assert!(
+            g.add_edge(ip, e, EdgeKind::InReport).is_err(),
+            "reversed InReport should be a schema violation, not a second edge"
+        );
+        let merged = frozen.merge_appended(&g);
+        assert_eq!(merged, frozen, "rejected duplicate must leave the CSR untouched");
+        assert_eq!(merged.degree(e), 1);
+        assert_eq!(merged.degree(ip), 1);
+    }
+
+    #[test]
+    fn hub_retouched_across_chained_merges_keeps_run_order() {
+        // A hub re-touched by every delta: its adjacency run must grow
+        // strictly in edge order across merges (frozen prefix + delta
+        // suffix), which `PartialEq` against the rebuild pins including
+        // half-edge order, not just the degree multiset.
+        let mut g = GraphStore::new();
+        let hub = g.upsert_node(NodeKind::Ip, "hub");
+        let first = g.upsert_node(NodeKind::Event, "e0");
+        g.add_edge(first, hub, EdgeKind::InReport).unwrap();
+        let mut csr = Csr::from_store(&g);
+        for step in 0..6 {
+            // Each delta interleaves: one brand-new event -> hub edge,
+            // one old-old densification edge every other step.
+            let e = g.upsert_node(NodeKind::Event, &format!("n{step}"));
+            g.add_edge(e, hub, EdgeKind::InReport).unwrap();
+            if step % 2 == 1 {
+                let d = g.upsert_node(NodeKind::Domain, &format!("d{step}"));
+                g.add_edge(d, hub, EdgeKind::DomainResolvesTo).unwrap();
+                g.add_edge(e, d, EdgeKind::InReport).unwrap();
+            }
+            csr = csr.merge_appended(&g);
+            let rebuilt = Csr::from_store(&g);
+            assert_eq!(csr, rebuilt, "merged CSR diverged from rebuild at step {step}");
+            assert_eq!(csr.degree(hub), rebuilt.degree(hub), "hub degree drifted");
+        }
+    }
+
+    #[test]
+    fn node_only_then_edge_only_deltas_merge_exactly() {
+        // Deltas that add nodes but no edges (isolated enrichment
+        // results) followed by deltas that add edges but no nodes.
+        let mut g = GraphStore::new();
+        let e = g.upsert_node(NodeKind::Event, "e");
+        let ip = g.upsert_node(NodeKind::Ip, "i");
+        g.add_edge(e, ip, EdgeKind::InReport).unwrap();
+        let mut csr = Csr::from_store(&g);
+
+        let d = g.upsert_node(NodeKind::Domain, "d");
+        let _asn = g.upsert_node(NodeKind::Asn, "AS1");
+        csr = csr.merge_appended(&g);
+        assert_eq!(csr, Csr::from_store(&g), "node-only delta diverged");
+
+        g.add_edge(d, ip, EdgeKind::DomainResolvesTo).unwrap();
+        g.add_edge(e, d, EdgeKind::InReport).unwrap();
+        csr = csr.merge_appended(&g);
+        assert_eq!(csr, Csr::from_store(&g), "edge-only delta diverged");
+    }
+
+    #[test]
+    fn randomized_growth_soak_matches_rebuild_at_every_snapshot() {
+        // Deterministic LCG-driven growth: random mixture of new nodes,
+        // new-old edges, old-old edges and parallel kinds, merged after
+        // every step and compared byte-for-byte against a rebuild.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move |m: usize| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as usize) % m.max(1)
+        };
+        let mut g = GraphStore::new();
+        let e0 = g.upsert_node(NodeKind::Event, "seed-event");
+        let i0 = g.upsert_node(NodeKind::Ip, "seed-ip");
+        let d0 = g.upsert_node(NodeKind::Domain, "seed-domain");
+        g.add_edge(e0, i0, EdgeKind::InReport).unwrap();
+        let mut events = vec![e0];
+        let mut ips = vec![i0];
+        let mut domains = vec![d0];
+        let mut csr = Csr::from_store(&g);
+        for step in 0..48 {
+            match next(5) {
+                0 => events.push(g.upsert_node(NodeKind::Event, &format!("ev{step}"))),
+                1 => ips.push(g.upsert_node(NodeKind::Ip, &format!("ip{step}"))),
+                2 => domains.push(g.upsert_node(NodeKind::Domain, &format!("dm{step}"))),
+                3 => {
+                    let e = events[next(events.len())];
+                    let i = ips[next(ips.len())];
+                    // Duplicate attempts return Ok(false); both paths fine.
+                    g.add_edge(e, i, EdgeKind::InReport).unwrap();
+                }
+                _ => {
+                    let d = domains[next(domains.len())];
+                    let i = ips[next(ips.len())];
+                    g.add_edge(d, i, EdgeKind::DomainResolvesTo).unwrap();
+                }
+            }
+            csr = csr.merge_appended(&g);
+            assert_eq!(csr, Csr::from_store(&g), "soak diverged at step {step}");
+        }
+        assert!(g.edge_count() > 10, "soak grew too few edges to be meaningful");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a descendant")]
+    fn merging_against_a_shrunk_store_fails_loudly() {
+        let mut g = GraphStore::new();
+        let e = g.upsert_node(NodeKind::Event, "e");
+        let ip = g.upsert_node(NodeKind::Ip, "i");
+        g.add_edge(e, ip, EdgeKind::InReport).unwrap();
+        let frozen = Csr::from_store(&g);
+        // A fresh, unrelated (smaller) store is not a descendant.
+        let other = GraphStore::new();
+        let _ = frozen.merge_appended(&other);
     }
 
     #[test]

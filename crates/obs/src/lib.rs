@@ -51,6 +51,16 @@ pub mod bounds {
     /// (`trail-serve` request histograms).
     pub const SERVE_LATENCY_US: &[u64] =
         &[50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000];
+    /// Per-event streaming-ingest latency in microseconds (collect +
+    /// enrich for one report; `trail::stream` event histograms).
+    pub const STREAM_EVENT_US: &[u64] =
+        &[100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000];
+    /// Streaming tick latency in microseconds (delta CSR merge, dirty
+    /// row re-encode, label-prop check and fine-tune epochs).
+    pub const STREAM_TICK_US: &[u64] = &[
+        1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000, 10_000_000,
+        50_000_000,
+    ];
 }
 
 #[derive(Debug, Default, Clone)]

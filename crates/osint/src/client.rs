@@ -158,6 +158,30 @@ impl OsintClient {
             .collect()
     }
 
+    /// Reports with `lo <= day < hi` in **canonical arrival order**:
+    /// nondecreasing `(created_day, id)`. This is the feed contract the
+    /// streaming runtime (`trail::stream`) ingests under — the order a
+    /// continuous collector would deliver, and the order every
+    /// micro-batch partition of the same span must replay to be
+    /// bitwise-equivalent to a batch ingest. The generator assigns ids
+    /// in generation order and sorts events stably by day, so this
+    /// matches the [`Self::events_between`] batch order exactly; the
+    /// explicit sort makes the contract hold even for a provider that
+    /// delivers within-day reports out of order.
+    pub fn stream_reports(&self, lo: u32, hi: u32) -> Vec<RawReport> {
+        let mut out = self.events_between(lo, hi);
+        out.sort_by(|a, b| {
+            (a.created_day, a.id.as_str()).cmp(&(b.created_day, b.id.as_str()))
+        });
+        out
+    }
+
+    /// Reports created exactly on `day` — a one-day micro-batch, the
+    /// natural polling granularity for incremental enrichment.
+    pub fn events_at(&self, day: u32) -> Vec<RawReport> {
+        self.stream_reports(day, day + 1)
+    }
+
     /// Canonicalise raw query text so every spelling of an indicator
     /// maps to one index key (and one miss/fault stream). Unparseable
     /// text falls back to its trimmed raw form — it will find nothing,

@@ -27,6 +27,15 @@
 # tail latency / throughput are gated against the committed
 # BENCH_serve.json baseline with wide (10x) slack — the gate catches
 # order-of-magnitude regressions, not machine-to-machine noise.
+#
+# The perf tier's streaming gate (`repro stream-bench --quick`) holds
+# the streaming subsystem's cost claim: the amortized per-event cost of
+# keeping the TKG and GNN inputs current must stay at most 1/10 of a
+# full input rebuild per event (the naive alternative), the
+# event-at-a-time and micro-batch runs must land on bitwise-identical
+# fingerprints, the budget ledger must reconcile, and the absolute
+# amortized cost is gated against the committed BENCH_stream.json
+# baseline with the same 10x slack as the serve gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,6 +57,9 @@ cargo test -q --workspace
 
 echo "== tests (ignored tier: overhead budget + large-scale reconciliation) =="
 cargo test -q --workspace -- --include-ignored
+
+echo "== streaming == batch differential suite =="
+cargo test -q --test stream_equivalence_test
 
 echo "== quickstart smoke =="
 cargo run --release --example quickstart >/dev/null
@@ -188,6 +200,49 @@ if [ "$run_perf" -eq 1 ]; then
       exit !ok
     }' "$perf_dir/serve_out.txt"; then
     echo "FAIL: serving gate (see BENCH_serve.json for the committed baseline)" >&2
+    exit 1
+  fi
+
+  echo "== perf tier: streaming amortized cost + stream==batch equivalence =="
+  # stream-bench exits non-zero on its own invariants (bitwise
+  # equivalence between the event-at-a-time and micro-batch runs,
+  # ledger reconciliation); the awk gate additionally holds the
+  # amortized-cost claim and compares against the committed baseline.
+  (cd "$perf_dir" && "$repro_bin" stream-bench --quick > stream_out.txt)
+  grep '^\[stream' "$perf_dir/stream_out.txt"
+  base_amortized="$(sed -n 's/.*"amortized_us": \([0-9.]*\),*/\1/p' BENCH_stream.json | head -1)"
+  if [ -z "$base_amortized" ]; then
+    echo "FAIL: committed BENCH_stream.json lacks an amortized_us baseline" >&2
+    exit 1
+  fi
+  if ! awk -v ba="$base_amortized" '
+    /^\[stream-summary\] /{
+      for (i = 2; i <= NF; i++) { split($i, kv, "="); v[kv[1]] = kv[2] }
+      found = 1
+    }
+    END{
+      if (!found) { print "no [stream-summary] line" > "/dev/stderr"; exit 1 }
+      ok = 1
+      if (v["equal"] + 0 != 1) {
+        print "FAIL: streaming and micro-batch runs diverged" > "/dev/stderr"; ok = 0
+      }
+      if (v["reconciled"] + 0 != 1) {
+        print "FAIL: latency-budget ledger did not reconcile" > "/dev/stderr"; ok = 0
+      }
+      if (v["ticks"] + 0 < 1) {
+        print "FAIL: no fine-tune ticks fired" > "/dev/stderr"; ok = 0
+      }
+      if (v["ratio"] + 0 < 10) {
+        printf "FAIL: amortized per-event cost is only %sx below a full rebuild (need >=10x)\n", \
+          v["ratio"] > "/dev/stderr"; ok = 0
+      }
+      if (v["amortized_us"] + 0 > 10 * ba) {
+        printf "FAIL: amortized %sus/event > 10x baseline %sus\n", \
+          v["amortized_us"], ba > "/dev/stderr"; ok = 0
+      }
+      exit !ok
+    }' "$perf_dir/stream_out.txt"; then
+    echo "FAIL: streaming gate (see BENCH_stream.json for the committed baseline)" >&2
     exit 1
   fi
 fi
