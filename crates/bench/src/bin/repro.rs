@@ -27,9 +27,12 @@
 //! contrasts the amortized per-event cost against a full input rebuild
 //! per event, and re-runs the stream in micro-batches of 64 to check
 //! the two executions land on bitwise-identical TKG and model
-//! fingerprints. The run report lands in `BENCH_stream.json`; the run
-//! exits non-zero on divergence or a ledger that fails to reconcile
-//! (see DESIGN.md §13).
+//! fingerprints. It also measures the TWL1 write-ahead-log append
+//! cost per fsync policy and proves the log scans back equal
+//! (`[wal-summary]`, gated on `recovered_equal`). The run report
+//! lands in `BENCH_stream.json`; the run exits non-zero on
+//! divergence, a ledger that fails to reconcile, or a recovery
+//! mismatch (see DESIGN.md §13–14).
 //!
 //! `--trace` pretty-prints the hierarchical span tree (plus counters
 //! and histograms) collected by `trail-obs` after the run. `--quick`
@@ -51,7 +54,14 @@
 //! fault drill: a seeded plan injects transient faults and analysis
 //! gaps, arms the OSINT circuit breaker, kills the study at the plan's
 //! window boundaries, resumes it, and verifies checkpoint corruption
-//! is rejected. Exits non-zero if any invariant fails.
+//! is rejected. It then drills the durability layer: the WAL is cut
+//! at the plan's byte offsets (mid-append, mid-rotation) and recovery
+//! must replay the durable prefix bitwise; a flipped byte in a sealed
+//! segment must surface as a typed error; a half-written re-frozen
+//! bundle must be refused while the survivor still loads; and two
+//! bundle hot-swaps under concurrent traffic must keep the serve
+//! counter tree reconciling exactly. Exits non-zero if any invariant
+//! fails.
 //!
 //! Every run also writes `BENCH_repro.json` into the working
 //! directory: per-stage wall-clock seconds plus run metadata (thread

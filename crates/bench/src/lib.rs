@@ -681,9 +681,358 @@ pub fn chaos(opts: &RunOptions, chaos_seed: u64, rec: &mut BenchRecorder) -> boo
             ok = false;
         }
     }
+    // WAL + hot-swap drills: kill the durable stream at hostile byte
+    // offsets, corrupt sealed segments, kill refreeze mid-write, and
+    // swap bundles under concurrent load.
+    ok &= rec.time("chaos_wal_drill", || wal_drill(opts, &plan));
+
     std::fs::remove_dir_all(&base).ok();
     if ok {
         println!("[chaos] all invariants held for seed {chaos_seed:#x}");
+    }
+    ok
+}
+
+/// Copy every regular file of `src` into `dst` (flat — WAL dirs have
+/// no subdirectories).
+fn copy_flat_dir(src: &Path, dst: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dst)?;
+    for entry in std::fs::read_dir(src)? {
+        let entry = entry?;
+        std::fs::copy(entry.path(), dst.join(entry.file_name()))?;
+    }
+    Ok(())
+}
+
+/// WAL segment files of `dir` in index order (the names sort).
+fn wal_segments(dir: &Path) -> Vec<std::path::PathBuf> {
+    let mut segs: Vec<_> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("wal-") && n.ends_with(".twl"))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    segs.sort();
+    segs
+}
+
+/// Simulate a kill with exactly `keep` bytes of the log durable:
+/// truncate the segment holding the boundary, remove later segments.
+fn cut_wal_at(dir: &Path, keep: u64) {
+    let mut remaining = keep;
+    let segs = wal_segments(dir);
+    for (i, path) in segs.iter().enumerate() {
+        let len = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        if remaining >= len {
+            remaining -= len;
+            continue;
+        }
+        let f = std::fs::OpenOptions::new().write(true).open(path).expect("cut segment");
+        f.set_len(remaining).expect("truncate segment");
+        for later in &segs[i + 1..] {
+            std::fs::remove_file(later).ok();
+        }
+        return;
+    }
+}
+
+/// The PR 9 durability drill: prove the WAL's kill-at-any-offset
+/// recovery contract and the serve layer's swap invariants against the
+/// plan's seeded hostility. Runs on a tiny world (the drill builds
+/// several runtimes; each must stay cheap) with the plan's fault knobs
+/// applied.
+fn wal_drill(opts: &RunOptions, plan: &ChaosPlan) -> bool {
+    use trail::stream::wal::{self, DurableStream, WalConfig, WalError};
+    use trail::stream::{AsofPolicy, StreamConfig, StreamRuntime};
+    use trail_osint::DAYS_PER_MONTH;
+    use trail_serve::{LoadMix, QueryLimits, RuntimeConfig, ServeBundle, ServeRuntime};
+
+    let mut ok = true;
+    let mut wcfg = WorldConfig::tiny(opts.seed);
+    plan.apply(&mut wcfg);
+    let world = Arc::new(World::generate(wcfg));
+    let cutoff = world.config.cutoff_day;
+    let horizon = world.config.horizon_day();
+    let schedule = OsintClient::new(Arc::clone(&world)).stream_reports(cutoff, horizon);
+    if schedule.is_empty() {
+        println!("[chaos] FAIL: wal drill world has no post-cutoff reports");
+        return false;
+    }
+    let study = StudyConfig {
+        months: 2,
+        gnn_layers: 2,
+        gnn: GnnEvalConfig {
+            hidden: 12,
+            train: trail_gnn::TrainConfig { lr: 0.02, epochs: 15, patience: 0 },
+            val_fraction: 0.0,
+            l2_normalize: true,
+            label_visible_fraction: 0.5,
+        },
+        ae: AutoencoderConfig { hidden: 16, code: 6, epochs: 1, batch_size: 64, lr: 1e-3 },
+        fine_tune: trail_gnn::FineTune { lr: 0.01, epochs: 3 },
+    };
+    let cadence = (schedule.len() / 2).max(1);
+    let cfg = StreamConfig {
+        study,
+        asof: AsofPolicy::WindowEnd { origin: cutoff, stride: DAYS_PER_MONTH },
+        tick_every: Some(cadence),
+        // Effectively unbounded: the ledger's budget split stays
+        // deterministic, so recovered ledgers can be compared whole.
+        budget_us: u64::MAX >> 1,
+    };
+    let make_rt = || {
+        StreamRuntime::new(
+            opts.rng(),
+            TrailSystem::build(OsintClient::new(Arc::clone(&world)), cutoff),
+            cfg.clone(),
+        )
+    };
+    let root = std::env::temp_dir()
+        .join(format!("trail-chaos-wal-{:x}-{}", plan.seed, std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    // Small segments so the seeded cut points land mid-append,
+    // mid-header and mid-rotation across many segment boundaries.
+    let wal_cfg = |dir: &Path| WalConfig {
+        dir: dir.to_path_buf(),
+        segment_bytes: 512,
+        fsync: wal::FsyncPolicy::Always,
+    };
+
+    // Reference: one uninterrupted durable run, capturing the exact
+    // state (fingerprints + ledger + ticks) after every push — the
+    // oracle each recovered prefix must land on bitwise.
+    let ref_dir = root.join("reference");
+    let mut drt = match DurableStream::create(wal_cfg(&ref_dir), make_rt()) {
+        Ok(d) => d,
+        Err(e) => {
+            println!("[chaos] FAIL: wal create: {e}");
+            return false;
+        }
+    };
+    let mut states = Vec::with_capacity(schedule.len() + 1);
+    let state_of = |rt: &StreamRuntime| {
+        (rt.tkg_fingerprint(), rt.model_fingerprint(), rt.ledger(), rt.ticks_fired())
+    };
+    states.push(state_of(drt.runtime()));
+    for r in &schedule {
+        if let Err(e) = drt.push(r) {
+            println!("[chaos] FAIL: wal append: {e}");
+            return false;
+        }
+        states.push(state_of(drt.runtime()));
+    }
+    let total: u64 = wal_segments(&ref_dir)
+        .iter()
+        .map(|p| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0))
+        .sum();
+    let n_segments = wal_segments(&ref_dir).len();
+    println!(
+        "[chaos] wal reference: {} records, {} segments, {} bytes",
+        schedule.len(),
+        n_segments,
+        total
+    );
+
+    // Kill drill: the plan's seeded offsets plus two structural cuts —
+    // mid-rotation (exactly at the first segment boundary) and
+    // mid-append (a dozen bytes into the next record's header).
+    let seg0 = std::fs::metadata(&wal_segments(&ref_dir)[0]).map(|m| m.len()).unwrap_or(0);
+    let mut cuts: Vec<u64> = plan.wal_cut_points.iter().map(|&c| c % (total + 1)).collect();
+    cuts.push(seg0);
+    cuts.push((seg0 + 12).min(total));
+    for &keep in &cuts {
+        let dir = root.join(format!("cut-{keep}"));
+        if let Err(e) = copy_flat_dir(&ref_dir, &dir) {
+            println!("[chaos] FAIL: copying log for cut {keep}: {e}");
+            return false;
+        }
+        cut_wal_at(&dir, keep);
+        match DurableStream::recover(wal_cfg(&dir), make_rt()) {
+            Ok((rec_rt, report)) => {
+                let k = report.records as usize;
+                if k > schedule.len() {
+                    println!("[chaos] FAIL: cut {keep} recovered {k} > {} records", schedule.len());
+                    ok = false;
+                } else if state_of(rec_rt.runtime()) != states[k] {
+                    println!(
+                        "[chaos] FAIL: cut {keep}: recovered state diverges from the \
+                         uninterrupted run after {k} events"
+                    );
+                    ok = false;
+                } else {
+                    println!(
+                        "[chaos] kill at byte {keep}: {k} records replayed bitwise{}",
+                        if report.tear.is_some() { " (torn tail truncated)" } else { "" }
+                    );
+                }
+            }
+            Err(e) => {
+                println!("[chaos] FAIL: recovery after cut {keep} errored: {e}");
+                ok = false;
+            }
+        }
+    }
+
+    // Sealed-segment corruption: a flipped byte in a *sealed* segment
+    // is not a torn tail — recovery must refuse with a typed error
+    // naming the segment, never truncate it away silently.
+    if n_segments > 1 {
+        for &off in &plan.wal_corrupt_offsets {
+            let dir = root.join(format!("corrupt-{off:x}"));
+            if copy_flat_dir(&ref_dir, &dir).is_err() {
+                ok = false;
+                continue;
+            }
+            let seg = wal_segments(&dir)[0].clone();
+            let mut bytes = std::fs::read(&seg).expect("sealed segment readable");
+            let p = (off % bytes.len() as u64) as usize;
+            bytes[p] ^= 0x10;
+            std::fs::write(&seg, &bytes).expect("rewrite sealed segment");
+            match wal::scan(&dir) {
+                Err(WalError::CorruptSealed { segment: 0, .. }) => {
+                    println!("[chaos] sealed-segment flip at byte {p}: typed corruption error");
+                }
+                Err(e) => {
+                    println!("[chaos] FAIL: flip at {p} gave the wrong error: {e}");
+                    ok = false;
+                }
+                Ok((records, _)) => {
+                    println!(
+                        "[chaos] FAIL: flip at {p} scanned cleanly ({} records)",
+                        records.len()
+                    );
+                    ok = false;
+                }
+            }
+        }
+    } else {
+        println!("[chaos] FAIL: only one WAL segment; corruption drill needs a sealed one");
+        ok = false;
+    }
+
+    // Refreeze drill: freeze the live stream into a bundle. A crash
+    // mid-refreeze is the atomic-write story — the old bundle file
+    // survives intact — and a partially-written/corrupted bundle must
+    // be refused by the typed loader.
+    let bundle0 = match ServeBundle::refreeze(drt.runtime_mut()) {
+        Ok(b) => b,
+        Err(e) => {
+            println!("[chaos] FAIL: refreeze: {e}");
+            std::fs::remove_dir_all(&root).ok();
+            return false;
+        }
+    };
+    let bundle_path = root.join("live.tsb");
+    if let Err(e) = bundle0.save(&bundle_path) {
+        println!("[chaos] FAIL: bundle save: {e}");
+        std::fs::remove_dir_all(&root).ok();
+        return false;
+    }
+    let saved = std::fs::read(&bundle_path).expect("bundle readable");
+    for &off in &plan.corrupt_offsets {
+        let p = (off % saved.len() as u64) as usize;
+        let mut bad = saved.clone();
+        bad[p] ^= 0x40;
+        if ServeBundle::from_bytes(&bad).is_ok() {
+            println!("[chaos] FAIL: refreeze flip at byte {p} loaded cleanly");
+            ok = false;
+        }
+    }
+    let half = saved.len() / 2;
+    if ServeBundle::from_bytes(&saved[..half]).is_ok() {
+        println!("[chaos] FAIL: half-written refreeze bundle loaded cleanly");
+        ok = false;
+    }
+    if ServeBundle::load(&bundle_path).is_err() {
+        println!("[chaos] FAIL: surviving bundle no longer loads");
+        ok = false;
+    } else {
+        println!(
+            "[chaos] refreeze drill: {} damaged bundles rejected, survivor loads",
+            plan.corrupt_offsets.len() + 1
+        );
+    }
+
+    // Swap drill: install the refrozen bundle twice under concurrent
+    // traffic. Every response must name a generation, the counter tree
+    // must reconcile exactly across the swap boundaries, and a restart
+    // from the saved bundle (the kill-during-swap story: the slot is
+    // in-memory, the bundle file is the durable artefact) must serve
+    // the same rankings as a fresh runtime over the same bytes.
+    let obs_before = trail_obs::snapshot();
+    let runtime = ServeRuntime::new(
+        Arc::new(bundle0),
+        Arc::new(CircuitBreaker::default()),
+        RuntimeConfig { replicas: 4, limits: QueryLimits::default() },
+    );
+    let mix = LoadMix { queries: 96, poison_fraction: 0.0, ..LoadMix::default() };
+    let queries = trail_serve::loadgen::generate(&runtime, &mix);
+    let reloaded = Arc::new(ServeBundle::load(&bundle_path).expect("checked above"));
+    let responses = std::thread::scope(|s| {
+        let worker = s.spawn(|| runtime.run_batch(&queries, 4));
+        for _ in 0..2 {
+            std::thread::yield_now();
+            runtime.install(Arc::clone(&reloaded));
+        }
+        worker.join().expect("load worker")
+    });
+    let delta = trail_obs::snapshot().delta_since(&obs_before);
+    let issued = delta.counter("serve.issued");
+    let admitted = delta.counter("serve.admitted");
+    let rejected = delta.counter("serve.rejected");
+    let completed = delta.counter("serve.completed");
+    let failed = delta.counter("serve.failed");
+    let swaps = delta.counter("serve.swaps");
+    let per_gen: u64 = runtime.generation_stats().iter().map(|&(_, c)| c).sum();
+    let tree_ok = issued == admitted + rejected
+        && admitted == completed + failed
+        && issued == responses.len() as u64
+        && per_gen == completed
+        && swaps == 2
+        && runtime.generation() == 2
+        && responses.iter().all(|r| r.generation <= 2);
+    if !tree_ok {
+        println!(
+            "[chaos] FAIL: swap counters broke: issued={issued} admitted={admitted} \
+             rejected={rejected} completed={completed} failed={failed} swaps={swaps} \
+             per_gen={per_gen}"
+        );
+        ok = false;
+    } else {
+        println!(
+            "[chaos] swap drill: {issued} requests across {} generations, counters reconcile",
+            swaps + 1
+        );
+    }
+    // Restart-after-swap-kill: a fresh runtime over the durable bundle
+    // answers exactly like the running one for non-rejected queries.
+    let restarted = ServeRuntime::new(
+        reloaded,
+        Arc::new(CircuitBreaker::default()),
+        RuntimeConfig { replicas: 2, limits: QueryLimits::default() },
+    );
+    for (q, r) in queries.iter().zip(&responses).take(8) {
+        let again = restarted.handle(q);
+        if let (trail_serve::Outcome::Ranked(a), trail_serve::Outcome::Ranked(b)) =
+            (&r.outcome, &again.outcome)
+        {
+            if a != b {
+                println!("[chaos] FAIL: restarted runtime ranks differently");
+                ok = false;
+                break;
+            }
+        }
+    }
+
+    std::fs::remove_dir_all(&root).ok();
+    if ok {
+        println!("[chaos] wal/swap drills held for seed {:#x}", plan.seed);
     }
     ok
 }
@@ -1218,7 +1567,11 @@ pub fn serve_bench(sys: &TrailSystem, opts: &RunOptions, rec: &mut BenchRecorder
 ///   consuming the same reports in micro-batches of 64, ends with
 ///   bitwise-identical TKG and model fingerprints and tick series;
 /// * **reconciliation** — the latency-budget ledger closes exactly:
-///   `issued == within_budget + exceeded == attributed + dropped`.
+///   `issued == within_budget + exceeded == attributed + dropped`;
+/// * **durability** — the schedule written through the TWL1 WAL scans
+///   back equal under every fsync policy (`[wal-summary]
+///   recovered_equal`), and a torn tail truncates to exactly the
+///   durable prefix.
 pub fn stream_bench(sys: TrailSystem, opts: &RunOptions, rec: &mut BenchRecorder) -> bool {
     use trail::stream::{AsofPolicy, StreamConfig, StreamRuntime};
     use trail_osint::DAYS_PER_MONTH;
@@ -1339,6 +1692,94 @@ pub fn stream_bench(sys: TrailSystem, opts: &RunOptions, rec: &mut BenchRecorder
         u8::from(reconciled)
     );
 
+    // WAL microbench: the pure durability overhead (frame encode +
+    // append + fsync) per event under each policy, over the same
+    // report schedule — no runtime attached, so the numbers isolate
+    // what `DurableStream` adds to a push. Afterwards the `Always` log
+    // is scanned back and must replay the schedule exactly, and a torn
+    // tail must truncate to the durable prefix.
+    let (wal_us, recovered_equal, torn_ok) = {
+        use trail::stream::wal::{self, FsyncPolicy, Wal, WalConfig};
+        let root = std::env::temp_dir().join(format!("trail-walbench-{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        let policies = [
+            ("always", FsyncPolicy::Always),
+            ("every32", FsyncPolicy::EveryN(32)),
+            ("ontick", FsyncPolicy::OnTick),
+        ];
+        let mut wal_us = [f64::NAN; 3];
+        let mut io_ok = true;
+        for (i, (name, policy)) in policies.iter().enumerate() {
+            let cfg = WalConfig {
+                dir: root.join(name),
+                segment_bytes: 4 << 20,
+                fsync: *policy,
+            };
+            let run = || -> Result<f64, wal::WalError> {
+                let mut w = Wal::create(cfg.clone())?;
+                let t = Instant::now();
+                for (j, r) in schedule.iter().enumerate() {
+                    w.append(r)?;
+                    if matches!(policy, FsyncPolicy::OnTick) && (j + 1) % cadence == 0 {
+                        w.sync()?;
+                    }
+                }
+                w.sync()?;
+                Ok(t.elapsed().as_secs_f64() * 1e6 / schedule.len() as f64)
+            };
+            match run() {
+                Ok(us) => wal_us[i] = us,
+                Err(e) => {
+                    eprintln!("[stream] WAL bench ({name}) errored: {e}");
+                    io_ok = false;
+                }
+            }
+        }
+        let recovered_equal = match wal::scan(&root.join("always")) {
+            Ok((recovered, rep)) => rep.tear.is_none() && recovered == schedule,
+            Err(e) => {
+                eprintln!("[stream] WAL recovery scan errored: {e}");
+                false
+            }
+        };
+        // Tear the every32 log three bytes into its last record: the
+        // scan must truncate to exactly the first N-1 records.
+        let torn_ok = {
+            let seg = root.join("every32").join("wal-00000000.twl");
+            let torn = std::fs::metadata(&seg)
+                .and_then(|m| {
+                    std::fs::OpenOptions::new()
+                        .write(true)
+                        .open(&seg)
+                        .and_then(|f| f.set_len(m.len().saturating_sub(3)).map(|()| ()))
+                })
+                .is_ok();
+            torn && match wal::scan(&root.join("every32")) {
+                Ok((recovered, rep)) => {
+                    rep.tear.is_some()
+                        && recovered.len() == schedule.len() - 1
+                        && recovered[..] == schedule[..schedule.len() - 1]
+                }
+                Err(e) => {
+                    eprintln!("[stream] torn-tail scan errored: {e}");
+                    false
+                }
+            }
+        };
+        std::fs::remove_dir_all(&root).ok();
+        (wal_us, recovered_equal && io_ok, torn_ok)
+    };
+    println!(
+        "[wal-summary] records={} always_us={:.1} every32_us={:.1} ontick_us={:.1} \
+         recovered_equal={} torn_tail_ok={}",
+        schedule.len(),
+        wal_us[0],
+        wal_us[1],
+        wal_us[2],
+        u8::from(recovered_equal),
+        u8::from(torn_ok)
+    );
+
     let tick_json: Vec<serde_json::Value> = rt
         .tick_reports()
         .iter()
@@ -1352,6 +1793,13 @@ pub fn stream_bench(sys: TrailSystem, opts: &RunOptions, rec: &mut BenchRecorder
             })
         })
         .collect();
+    let wal_json = serde_json::json!({
+        "always_us": wal_us[0],
+        "every32_us": wal_us[1],
+        "ontick_us": wal_us[2],
+        "recovered_equal": recovered_equal,
+        "torn_tail_ok": torn_ok,
+    });
     let doc = serde_json::json!({
         "experiment": "stream-bench",
         "seed": opts.seed,
@@ -1374,11 +1822,17 @@ pub fn stream_bench(sys: TrailSystem, opts: &RunOptions, rec: &mut BenchRecorder
         "ratio": ratio,
         "equal": equal,
         "reconciled": reconciled,
+        "wal": wal_json,
         "tkg_fingerprint": format!("{:#018x}", rt.tkg_fingerprint()),
         "model_fingerprint": format!("{:#018x}", rt.model_fingerprint()),
         "tick_results": tick_json,
     });
-    let mut ok = equal && reconciled && ledger.attributed > 0 && !rt.tick_reports().is_empty();
+    let mut ok = equal
+        && reconciled
+        && recovered_equal
+        && torn_ok
+        && ledger.attributed > 0
+        && !rt.tick_reports().is_empty();
     match std::fs::write(
         "BENCH_stream.json",
         serde_json::to_string_pretty(&doc).expect("stream doc serialises"),

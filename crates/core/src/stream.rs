@@ -53,6 +53,16 @@
 //! `dropped` counts collector rejections (unresolved/conflicting tags),
 //! which are themselves surfaced, deterministic, and identical to the
 //! batch collector's verdicts.
+//!
+//! ## Durability
+//!
+//! The replay story above assumes the feed can be replayed. The
+//! [`wal`] module removes that assumption: a TWL1 write-ahead log
+//! persists every pushed report *before* it is processed, and
+//! [`DurableStream`] recovers the surviving prefix after a crash —
+//! truncating at the first torn record — into a state bitwise
+//! identical to an uninterrupted run over that prefix. See the module
+//! docs for the frame format, fsync policies and crash windows.
 
 use std::time::Instant;
 
@@ -74,6 +84,12 @@ use crate::enrich::{Enricher, IngestStats};
 use crate::longitudinal::{MonthResult, StudyConfig, StudyOutput};
 use crate::system::TrailSystem;
 use crate::tkg::Tkg;
+
+pub mod wal;
+
+pub use wal::{
+    DurableStream, FsyncPolicy, RecoveryReport, Tear, Wal, WalConfig, WalError,
+};
 
 /// Which day enrichment analyses are evaluated *as of* for a report.
 ///
@@ -546,6 +562,40 @@ impl StreamRuntime {
     /// Fingerprint of the fresh (fine-tuned) model's weights.
     pub fn model_fingerprint(&self) -> u64 {
         model_fingerprint(&self.fresh_model)
+    }
+
+    /// Freeze the live fine-tuned state into the plain-data artefact
+    /// `trail-serve` packages into a bundle (the re-freeze half of
+    /// bundle hot-swap; see [`crate::freeze::refreeze`]).
+    ///
+    /// Catches the incremental state up first (delta CSR merge +
+    /// dirty-row re-encode), then clones the current codes and the
+    /// fresh model's weights. Draws no RNG and fires no tick, so
+    /// freezing never perturbs the stream/batch equivalence contract —
+    /// `&mut` only because [`Self::sync`] folds pending graph growth
+    /// into the caches.
+    pub fn freeze_fresh(&mut self) -> crate::freeze::FrozenModel {
+        let _span = trail_obs::span("stream.refreeze");
+        self.sync();
+        let sage_cfg = SageConfig {
+            input_dim: self.x.cols(),
+            hidden: self.cfg.study.gnn.hidden,
+            layers: self.cfg.study.gnn_layers,
+            n_classes: self.sys.tkg.n_classes(),
+            l2_normalize: self.cfg.study.gnn.l2_normalize,
+        };
+        let layers = self
+            .fresh_model
+            .weights()
+            .iter()
+            .map(|(r, n, b)| ((*r).clone(), (*n).clone(), (*b).clone()))
+            .collect();
+        crate::freeze::FrozenModel {
+            codes: self.code_cache.codes().clone(),
+            code_dim: self.code_dim,
+            sage_cfg,
+            layers,
+        }
     }
 
     /// The budget ledger so far.

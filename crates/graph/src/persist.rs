@@ -326,15 +326,38 @@ pub fn save(g: &GraphStore, path: &Path) -> Result<()> {
     Ok(write_atomic(path, &to_bytes(g))?)
 }
 
-/// Atomically replace `path` with `data` (temp file + rename).
+/// Atomically replace `path` with `data` (unique temp file + fsynced
+/// rename).
+///
+/// Two durability details are load-bearing:
+///
+/// * The temp name is suffixed with the pid and a process-local
+///   counter, so concurrent writers targeting the same path each get
+///   their own temp file — with a fixed suffix, writer B's `create`
+///   truncates writer A's half-written temp and A's rename then
+///   installs B-sized garbage *as the surviving snapshot*.
+/// * After the rename, the **parent directory** is fsynced. On
+///   ext4/xfs a rename is a directory mutation; syncing only the file
+///   leaves a crash window where the old directory entry comes back
+///   and the "committed" snapshot silently reverts.
+///
+/// Concurrent writers still race on *which* complete snapshot
+/// survives (last rename wins) — atomicity here means the survivor is
+/// always one writer's complete bytes, never an interleaving.
 pub fn write_atomic(path: &Path, data: &[u8]) -> std::result::Result<(), PersistError> {
     use std::io::Write;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     let file_name = path.file_name().ok_or_else(|| {
         PersistError::Io(std::io::Error::new(std::io::ErrorKind::InvalidInput, "no file name"))
     })?;
     let mut tmp_name = file_name.to_owned();
-    tmp_name.push(".tmp");
+    tmp_name.push(format!(
+        ".{}.{}.tmp",
+        std::process::id(),
+        TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
     let tmp = match dir {
         Some(d) => d.join(&tmp_name),
         None => std::path::PathBuf::from(&tmp_name),
@@ -344,7 +367,11 @@ pub fn write_atomic(path: &Path, data: &[u8]) -> std::result::Result<(), Persist
         f.write_all(data)?;
         f.sync_all()?;
         drop(f);
-        std::fs::rename(&tmp, path)
+        std::fs::rename(&tmp, path)?;
+        if let Some(d) = dir {
+            std::fs::File::open(d)?.sync_all()?;
+        }
+        Ok(())
     })();
     if result.is_err() {
         std::fs::remove_file(&tmp).ok();
@@ -496,10 +523,65 @@ mod tests {
         save(&sample(), &path).unwrap();
         let g2 = load(&path).unwrap();
         assert_eq!(g2.node_count(), 2);
-        // Saving over an existing snapshot leaves no temp file behind.
+        // Saving over an existing snapshot leaves no temp file behind,
+        // whatever unique suffix it used.
         save(&sample(), &path).unwrap();
-        assert!(!dir.join("g.tkg.tmp").exists());
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
         std::fs::remove_file(&path).ok();
+    }
+
+    /// The PR 9 regression: with a fixed `.tmp` suffix, two concurrent
+    /// writers to the same path shared one temp file — writer B's
+    /// `create` truncated writer A's half-written temp, and A's rename
+    /// could then install B-sized garbage as the surviving snapshot.
+    /// With pid+counter suffixes the survivor must always be one
+    /// writer's complete payload, bitwise.
+    #[test]
+    fn concurrent_writers_never_corrupt_the_survivor() {
+        let dir = std::env::temp_dir()
+            .join(format!("trail_graph_persist_race_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.tkg");
+        // Distinct payload sizes per writer: a cross-writer truncation
+        // or interleaving cannot reproduce any complete payload.
+        let payloads: Vec<Vec<u8>> = (0..4u8)
+            .map(|w| {
+                let mut g = GraphStore::new();
+                for i in 0..(4 + w as usize * 3) {
+                    g.upsert_node(NodeKind::Ip, &format!("10.0.{w}.{i}"));
+                }
+                to_bytes(&g)
+            })
+            .collect();
+        for round in 0..8 {
+            let survivors: Vec<Vec<u8>> = std::thread::scope(|s| {
+                let handles: Vec<_> = payloads
+                    .iter()
+                    .map(|p| {
+                        let path = path.clone();
+                        s.spawn(move || write_atomic(&path, p).unwrap())
+                    })
+                    .collect();
+                handles.into_iter().for_each(|h| h.join().unwrap());
+                payloads.clone()
+            });
+            let got = std::fs::read(&path).unwrap();
+            assert!(
+                survivors.iter().any(|p| *p == got),
+                "round {round}: surviving snapshot matches no writer's payload \
+                 ({} bytes)",
+                got.len()
+            );
+            // And it still parses as a complete snapshot.
+            from_bytes(&got).unwrap();
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

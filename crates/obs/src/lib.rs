@@ -61,6 +61,11 @@ pub mod bounds {
         1_000, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000, 5_000_000, 10_000_000,
         50_000_000,
     ];
+    /// Per-record write-ahead-log append latency in microseconds
+    /// (frame encode + write + fsync under the configured policy;
+    /// `trail::stream::wal` append histograms).
+    pub const WAL_APPEND_US: &[u64] =
+        &[5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000];
 }
 
 #[derive(Debug, Default, Clone)]

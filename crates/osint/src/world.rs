@@ -1189,6 +1189,17 @@ pub struct ChaosPlan {
     /// Byte offsets (modulo snapshot length at use time) to flip in the
     /// snapshot-corruption drill.
     pub corrupt_offsets: Vec<u64>,
+    /// Byte offsets (modulo total WAL length at use time) at which the
+    /// streaming writer is "killed" in the WAL drill: the log is cut
+    /// there — mid-append, mid-header, mid-rotation, wherever the
+    /// offset lands — and recovery must replay the durable prefix
+    /// bitwise.
+    pub wal_cut_points: Vec<u64>,
+    /// Byte offsets (modulo sealed-segment length at use time) to flip
+    /// in a *sealed* WAL segment: recovery must surface a typed
+    /// corruption error naming the segment, never a panic or a silent
+    /// skip.
+    pub wal_corrupt_offsets: Vec<u64>,
 }
 
 /// splitmix64 finalizer — the standard 64-bit mixer; good avalanche,
@@ -1216,6 +1227,8 @@ impl ChaosPlan {
         let k2 = k1 + 1 + (mix64(seed ^ 0x0222) % 2) as u32;
         let corrupt_offsets =
             (0..4).map(|i| mix64(seed ^ (0xc0_44 + i))).collect();
+        let wal_cut_points = (0..4).map(|i| mix64(seed ^ (0x3a1_0 + i))).collect();
+        let wal_corrupt_offsets = (0..2).map(|i| mix64(seed ^ (0xf1_1b + i))).collect();
         Self {
             seed,
             transient_fault_prob,
@@ -1223,6 +1236,8 @@ impl ChaosPlan {
             feed_dead,
             kill_windows: vec![k1, k2],
             corrupt_offsets,
+            wal_cut_points,
+            wal_corrupt_offsets,
         }
     }
 
@@ -1251,6 +1266,8 @@ mod tests {
             assert_eq!(a.kill_windows.len(), 2);
             assert!(a.kill_windows[0] < a.kill_windows[1]);
             assert_eq!(a.corrupt_offsets.len(), 4);
+            assert_eq!(a.wal_cut_points.len(), 4);
+            assert_eq!(a.wal_corrupt_offsets.len(), 2);
         }
         // Some seed in a small range exercises the dead-feed branch and
         // some seed does not.

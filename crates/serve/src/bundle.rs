@@ -223,6 +223,16 @@ impl ServeBundle {
         )
     }
 
+    /// Re-freeze a live stream's current state into a bundle — the
+    /// packaging half of zero-downtime hot swap (the producer half is
+    /// [`trail::freeze::refreeze`]). The result passes the same
+    /// cross-validation as any other bundle and is ready for
+    /// [`crate::ServeRuntime::install`]; the stream keeps running.
+    pub fn refreeze(rt: &mut trail::stream::StreamRuntime) -> Result<Self> {
+        let frozen = freeze::refreeze(rt);
+        Self::freeze(&rt.system().tkg, &frozen)
+    }
+
     /// Construct from decoded parts, cross-validating everything.
     fn assemble(
         graph: GraphStore,

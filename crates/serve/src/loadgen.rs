@@ -47,7 +47,8 @@ impl Default for LoadMix {
 
 /// Collect the bundle graph's IOC identities, in node order.
 fn known_iocs(runtime: &ServeRuntime) -> Vec<IocKey> {
-    let graph = runtime.bundle().graph();
+    let bundle = runtime.bundle();
+    let graph = bundle.graph();
     let mut keys = Vec::new();
     for kind in IocKind::ALL {
         let nk = match kind {

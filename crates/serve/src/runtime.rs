@@ -1,14 +1,24 @@
-//! The in-process request runtime: admission control, per-worker model
-//! replicas, and per-request observability over a shared
-//! [`ServeBundle`].
+//! The in-process request runtime: admission control, generation-
+//! stamped hot-swappable bundles, per-generation model replicas, and
+//! per-request observability.
 //!
-//! Concurrency model: the bundle is immutable and shared by reference;
-//! the only mutable state a query needs is a [`SageModel`]'s quantized
-//! scratch buffers, so the runtime keeps a small pool of replicas
-//! behind `try_lock` — a free replica is always found within one pass
-//! once the pool is at least as wide as the worker count. Replicas are
-//! instantiated deterministically from the frozen weights, so *which*
-//! replica serves a request can never change its ranking.
+//! Concurrency model: every installed bundle lives inside a
+//! [`Generation`] — the bundle `Arc`, a replica pool instantiated
+//! *from that bundle*, and a per-generation completion counter. The
+//! runtime holds the current generation behind a `Mutex<Arc<..>>`
+//! slot (std-only arc-swap: lock, clone, unlock — the lock is held
+//! for a pointer clone, never across scoring). A request **pins** one
+//! generation up front and uses it end to end, so a query can never
+//! observe generation N's replicas with generation N+1's graph, and
+//! in-flight queries complete on the generation they started on while
+//! [`ServeRuntime::install`] publishes the next one. Rankings are a
+//! pure function of `(generation, query)`.
+//!
+//! Replica pools are keyed by generation — they live *inside* the
+//! `Generation` — which is what makes a swap safe: the old pool drains
+//! with its in-flight queries and is freed when the last pinned `Arc`
+//! drops; the new pool was built from the new bundle before the slot
+//! flipped.
 //!
 //! Admission reuses the PR 4 [`CircuitBreaker`]: every request asks
 //! `admit()` first; poisoned/failed requests `record_fault()`, so a
@@ -19,8 +29,12 @@
 //! `serve.issued == serve.admitted + serve.rejected` and
 //! `serve.admitted == serve.completed + serve.failed`, exactly, for
 //! any interleaving — each request increments exactly one branch at
-//! each level of that tree.
+//! each level of that tree. Swaps add two more ledgers:
+//! `serve.swaps` counts installs after the initial bundle, and the
+//! per-generation completion counts (kept after a generation retires)
+//! sum to `serve.completed` exactly, across any number of swaps.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -63,20 +77,25 @@ pub enum Outcome {
     Failed(&'static str),
 }
 
-/// One request's result plus its wall-clock latency.
+/// One request's result plus its wall-clock latency and the bundle
+/// generation that served it.
 #[derive(Debug, Clone)]
 pub struct Response {
     /// What happened.
     pub outcome: Outcome,
     /// End-to-end handler latency in microseconds.
     pub latency_us: u64,
+    /// The generation pinned for this request. Stamped on *every*
+    /// outcome — rejected requests too — so a swap boundary is visible
+    /// in the response stream itself.
+    pub generation: u64,
 }
 
 /// Runtime construction parameters.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
-    /// Model replicas to instantiate (size to the widest worker count
-    /// the runtime will be driven with).
+    /// Model replicas to instantiate per generation (size to the
+    /// widest worker count the runtime will be driven with).
     pub replicas: usize,
     /// Per-query traversal limits.
     pub limits: QueryLimits,
@@ -88,35 +107,34 @@ impl Default for RuntimeConfig {
     }
 }
 
-/// The concurrent, read-only serving runtime.
-pub struct ServeRuntime {
+/// One installed bundle and everything derived from it. Immutable
+/// after construction except the replica scratch state and the
+/// completion counter; freed when the slot has moved on *and* the last
+/// in-flight request drops its pin.
+struct Generation {
+    /// Monotonic install index, 0 for the construction-time bundle.
+    gen: u64,
     bundle: Arc<ServeBundle>,
-    breaker: Arc<CircuitBreaker>,
+    /// Replicas instantiated from *this* bundle's weights — keying the
+    /// pool by generation is what prevents a stale replica (old
+    /// weights) from scoring against a new graph after a swap.
     replicas: Vec<Mutex<SageModel>>,
-    limits: QueryLimits,
+    /// Completions on this generation. Shared with the runtime's
+    /// stats ledger so the count survives the generation's retirement.
+    completed: Arc<AtomicU64>,
 }
 
-impl ServeRuntime {
-    /// Build a runtime over a frozen bundle.
-    pub fn new(bundle: Arc<ServeBundle>, breaker: Arc<CircuitBreaker>, cfg: RuntimeConfig) -> Self {
+impl Generation {
+    fn build(gen: u64, bundle: Arc<ServeBundle>, replicas: usize) -> Self {
         let replicas =
-            (0..cfg.replicas.max(1)).map(|_| Mutex::new(bundle.instantiate_model())).collect();
-        Self { bundle, breaker, replicas, limits: cfg.limits }
+            (0..replicas.max(1)).map(|_| Mutex::new(bundle.instantiate_model())).collect();
+        Self { gen, bundle, replicas, completed: Arc::new(AtomicU64::new(0)) }
     }
 
-    /// The shared bundle.
-    pub fn bundle(&self) -> &ServeBundle {
-        &self.bundle
-    }
-
-    /// The admission breaker.
-    pub fn breaker(&self) -> &CircuitBreaker {
-        &self.breaker
-    }
-
-    /// Run `f` with an exclusive model replica. With at least as many
-    /// replicas as concurrent callers one pass always finds a free
-    /// slot; the yield loop covers transient oversubscription.
+    /// Run `f` with an exclusive model replica of this generation.
+    /// With at least as many replicas as concurrent callers one pass
+    /// always finds a free slot; the yield loop covers transient
+    /// oversubscription.
     fn with_replica<T>(&self, f: impl FnOnce(&mut SageModel) -> T) -> T {
         let mut f = Some(f);
         loop {
@@ -128,11 +146,98 @@ impl ServeRuntime {
             std::thread::yield_now();
         }
     }
+}
 
-    /// Handle one request end to end: admission, scoring, outcome
-    /// accounting, latency histogram.
+/// The concurrent, read-only serving runtime with zero-downtime bundle
+/// hot swap.
+pub struct ServeRuntime {
+    /// The generation slot. Locked only to clone the `Arc` out (pin)
+    /// or store a new one (install) — never across scoring.
+    current: Mutex<Arc<Generation>>,
+    breaker: Arc<CircuitBreaker>,
+    limits: QueryLimits,
+    replica_count: usize,
+    /// `(generation, completions)` for every generation ever
+    /// installed, in install order. Entries share the `Arc` with the
+    /// live generation, so the ledger keeps counting while the
+    /// generation drains and keeps the total after it is freed.
+    stats: Mutex<Vec<(u64, Arc<AtomicU64>)>>,
+}
+
+impl ServeRuntime {
+    /// Build a runtime over a frozen bundle (generation 0).
+    pub fn new(bundle: Arc<ServeBundle>, breaker: Arc<CircuitBreaker>, cfg: RuntimeConfig) -> Self {
+        let g = Generation::build(0, bundle, cfg.replicas);
+        let stats = Mutex::new(vec![(0, g.completed.clone())]);
+        Self {
+            current: Mutex::new(Arc::new(g)),
+            breaker,
+            limits: cfg.limits,
+            replica_count: cfg.replicas.max(1),
+            stats,
+        }
+    }
+
+    /// Atomically install a new bundle as the next generation and
+    /// return its generation number. The incoming generation's replica
+    /// pool is fully built *before* the slot flips, so no request can
+    /// ever pin a generation whose replicas do not match its bundle.
+    /// In-flight requests keep serving their pinned generation; new
+    /// requests observe the new one. Bumps `serve.swaps`.
+    pub fn install(&self, bundle: Arc<ServeBundle>) -> u64 {
+        let _span = trail_obs::span("serve.swap");
+        let next = self.current.lock().expect("generation slot").gen + 1;
+        // Build outside the lock: instantiation is the expensive part
+        // and must not block readers.
+        let g = Arc::new(Generation::build(next, bundle, self.replica_count));
+        self.stats.lock().expect("stats ledger").push((next, g.completed.clone()));
+        *self.current.lock().expect("generation slot") = g;
+        trail_obs::counter_add("serve.swaps", 1);
+        next
+    }
+
+    /// Pin the current generation: one short lock, one `Arc` clone.
+    fn pin(&self) -> Arc<Generation> {
+        self.current.lock().expect("generation slot").clone()
+    }
+
+    /// The currently installed bundle (a pinned `Arc`, stable even if
+    /// a swap lands immediately after the call returns).
+    pub fn bundle(&self) -> Arc<ServeBundle> {
+        self.pin().bundle.clone()
+    }
+
+    /// The current generation number.
+    pub fn generation(&self) -> u64 {
+        self.pin().gen
+    }
+
+    /// Completions per generation, in install order, including retired
+    /// generations. The per-generation half of the swap
+    /// reconciliation: the sum equals `serve.completed` exactly.
+    pub fn generation_stats(&self) -> Vec<(u64, u64)> {
+        self.stats
+            .lock()
+            .expect("stats ledger")
+            .iter()
+            .map(|(g, c)| (*g, c.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// The admission breaker.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// Handle one request end to end: pin a generation, admission,
+    /// scoring, outcome accounting, latency histogram. The pinned
+    /// generation is the *only* bundle/replica state the request ever
+    /// touches.
     pub fn handle(&self, query: &Query) -> Response {
         let start = Instant::now();
+        // Pin before admission so every response — rejected ones
+        // included — names the generation that judged it.
+        let gen = self.pin();
         trail_obs::counter_add("serve.issued", 1);
         let outcome = if !self.breaker.admit() {
             trail_obs::counter_add("serve.rejected", 1);
@@ -144,16 +249,17 @@ impl ServeRuntime {
                 trail_obs::counter_add("serve.failed", 1);
                 Outcome::Failed("poison query")
             } else {
-                let attribution =
-                    self.with_replica(|model| self.bundle.attribute(model, &query.iocs, &self.limits));
+                let attribution = gen
+                    .with_replica(|model| gen.bundle.attribute(model, &query.iocs, &self.limits));
                 self.breaker.record_success();
                 trail_obs::counter_add("serve.completed", 1);
+                gen.completed.fetch_add(1, Ordering::Relaxed);
                 Outcome::Ranked(attribution)
             }
         };
         let latency_us = start.elapsed().as_micros() as u64;
         trail_obs::observe("serve.latency_us", trail_obs::bounds::SERVE_LATENCY_US, latency_us);
-        Response { outcome, latency_us }
+        Response { outcome, latency_us, generation: gen.gen }
     }
 
     /// Serve a whole batch at a fixed worker-pool width, preserving

@@ -9,7 +9,13 @@
 # The chaos tier replays the seeded fault drills of tests/chaos_test.rs
 # (fixed seeds 1, 4 and 6: survivable feed with mid-study kills, fully
 # dead feed, snapshot corruption) and smoke-checks that `repro --resume`
-# rejects a corrupted checkpoint cleanly instead of loading it.
+# rejects a corrupted checkpoint cleanly instead of loading it. It also
+# runs the PR 9 durability drills: tests/wal_recovery_test.rs kills the
+# durable stream at arbitrary WAL byte offsets (mid-append,
+# mid-rotation, sealed-segment corruption) and demands bitwise-exact
+# prefix recovery, and tests/hot_swap_test.rs re-freezes a live stream
+# into a serving bundle and hot-swaps it twice under concurrent load
+# with exactly-reconciling counters.
 #
 # The perf tier holds the memory-and-recompute guarantees: the
 # counting-allocator proof that steady-state GNN epochs never touch the
@@ -35,7 +41,11 @@
 # event-at-a-time and micro-batch runs must land on bitwise-identical
 # fingerprints, the budget ledger must reconcile, and the absolute
 # amortized cost is gated against the committed BENCH_stream.json
-# baseline with the same 10x slack as the serve gate.
+# baseline with the same 10x slack as the serve gate. The same run's
+# `[wal-summary]` line gates the write-ahead log: the report schedule
+# written through the TWL1 log must scan back equal
+# (recovered_equal==1) and a torn tail must truncate to exactly the
+# durable prefix (torn_tail_ok==1).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -81,6 +91,12 @@ fi
 if [ "$run_chaos" -eq 1 ]; then
   echo "== chaos tier: seeded fault drills (seeds 1, 4, 6) =="
   cargo test -q --test chaos_test
+
+  echo "== chaos tier: WAL kill/corruption drills (kill-at-any-byte recovery) =="
+  cargo test -q --test wal_recovery_test
+
+  echo "== chaos tier: live re-freeze + hot swap under concurrent load =="
+  cargo test -q --test hot_swap_test
 
   echo "== chaos tier: corrupted-snapshot resume smoke =="
   smoke_dir="$(mktemp -d)"
@@ -243,6 +259,28 @@ if [ "$run_perf" -eq 1 ]; then
       exit !ok
     }' "$perf_dir/stream_out.txt"; then
     echo "FAIL: streaming gate (see BENCH_stream.json for the committed baseline)" >&2
+    exit 1
+  fi
+
+  echo "== perf tier: WAL append cost + recovery replay equality =="
+  grep '^\[wal' "$perf_dir/stream_out.txt"
+  if ! awk '
+    /^\[wal-summary\] /{
+      for (i = 2; i <= NF; i++) { split($i, kv, "="); v[kv[1]] = kv[2] }
+      found = 1
+    }
+    END{
+      if (!found) { print "no [wal-summary] line" > "/dev/stderr"; exit 1 }
+      ok = 1
+      if (v["recovered_equal"] + 0 != 1) {
+        print "FAIL: WAL recovery did not replay the schedule bitwise" > "/dev/stderr"; ok = 0
+      }
+      if (v["torn_tail_ok"] + 0 != 1) {
+        print "FAIL: torn WAL tail did not truncate to the durable prefix" > "/dev/stderr"; ok = 0
+      }
+      exit !ok
+    }' "$perf_dir/stream_out.txt"; then
+    echo "FAIL: WAL durability gate" >&2
     exit 1
   fi
 fi
