@@ -6,8 +6,25 @@
 //!
 //! experiments:
 //!   table2  table3  table4  fig3  fig4  fig7  fig8  fig9  fig10
-//!   sec5    case    chaos   quant   serve-bench   stream-bench   all
+//!   sec5    case    chaos   quant   serve-bench   stream-bench
+//!   scale-bench   all
 //! ```
+//!
+//! `scale-bench` exercises the paper-scale ingest path: one world is
+//! ingested sequentially and then shard-parallel (8 hash shards) at
+//! 1/2/8 worker threads; each sharded build must be bitwise-identical
+//! to the sequential reference with an exactly-equal ingest taxonomy.
+//! It also audits the compact u32 CSR against a pointer-width
+//! reference layout and reports adjacency bytes/node. Results land in
+//! `BENCH_scale.json` plus a `[scale-summary]` line consumed by
+//! `verify.sh --perf`; the run exits non-zero if any equality
+//! invariant breaks (see DESIGN.md §15).
+//!
+//! `--sampled CAP` switches GNN training to the opt-in neighbor-
+//! sampled mini-batch path (capped k-hop subgraph of the supervised
+//! events, CAP=0 for hop-limited but uncapped). Prediction always
+//! runs on the full graph; accuracy is epsilon-close to the exact
+//! protocol, not bitwise-identical.
 //!
 //! `quant` (or `--quant`) trains one Table-IV fold and compares f32
 //! inference against the i8-quantized forward path: max-abs logit
@@ -114,6 +131,11 @@ fn main() {
                 opts.transient_fault_prob =
                     args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(usage);
             }
+            "--sampled" => {
+                i += 1;
+                opts.sampled_neighbor_cap =
+                    Some(args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(usage));
+            }
             "--quant" => experiment = String::from("quant"),
             "--incremental" => opts.incremental = true,
             "--quick" => opts.quick = true,
@@ -134,6 +156,24 @@ fn main() {
     rec.set_meta("folds", opts.folds as u64);
     rec.set_meta("quick", opts.quick);
     rec.set_meta("faults", opts.transient_fault_prob as f64);
+
+    // scale-bench builds the world itself (it times several competing
+    // ingest paths); dispatch it before the default system build.
+    if experiment == "scale-bench" || experiment == "scale" {
+        let total = std::time::Instant::now();
+        let ok = trail_bench::scale_bench(&opts, &mut rec);
+        rec.record("total", total.elapsed().as_secs_f64());
+        match rec.write_json("BENCH_repro.json") {
+            Ok(()) => println!("[bench] stage timings written to BENCH_repro.json"),
+            Err(e) => eprintln!("[bench] could not write BENCH_repro.json: {e}"),
+        }
+        if trace {
+            println!("\n=== trace: span tree, counters, histograms ===");
+            print!("{}", trail_obs::snapshot().render_tree());
+        }
+        println!("\n[done] total {:?}", total.elapsed());
+        std::process::exit(if ok { 0 } else { 1 });
+    }
 
     // The chaos drill builds its own fault-injected world; dispatch it
     // before the default (fault-free) system build.
@@ -275,8 +315,8 @@ fn main() {
 
 fn usage<T>() -> T {
     eprintln!(
-        "usage: repro <table2|table3|table4|fig3|fig4|fig7|fig8|fig9|fig10|sec5|case|chaos|ablations|quant|serve-bench|stream-bench|all> \
-         [--scale S] [--seed N] [--folds K] [--faults P] [--resume DIR] [--chaos SEED] [--incremental] [--quant] [--quick] [--trace]"
+        "usage: repro <table2|table3|table4|fig3|fig4|fig7|fig8|fig9|fig10|sec5|case|chaos|ablations|quant|serve-bench|stream-bench|scale-bench|all> \
+         [--scale S] [--seed N] [--folds K] [--faults P] [--resume DIR] [--chaos SEED] [--sampled CAP] [--incremental] [--quant] [--quick] [--trace]"
     );
     std::process::exit(2);
 }

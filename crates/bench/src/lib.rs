@@ -42,6 +42,12 @@ pub struct RunOptions {
     /// reusable input matrix. Bitwise-identical output, cheaper
     /// per-window preparation.
     pub incremental: bool,
+    /// Opt-in sampled GNN training (`--sampled CAP`): train the
+    /// Table-IV GNNs on the capped k-hop subgraph of the supervised
+    /// events instead of the full graph. Prediction stays full-graph;
+    /// accuracy is epsilon-close, not bitwise (see the sampled-training
+    /// agreement test). `None` keeps the exact full-graph protocol.
+    pub sampled_neighbor_cap: Option<usize>,
 }
 
 impl Default for RunOptions {
@@ -53,6 +59,7 @@ impl Default for RunOptions {
             quick: false,
             transient_fault_prob: 0.0,
             incremental: false,
+            sampled_neighbor_cap: None,
         }
     }
 }
@@ -107,17 +114,20 @@ impl RunOptions {
 
     /// GNN evaluation settings matched to the mode.
     pub fn gnn_settings(&self) -> GnnEvalConfig {
-        if self.quick {
+        let mut cfg = if self.quick {
             GnnEvalConfig {
                 hidden: 32,
                 train: trail_gnn::TrainConfig { lr: 2e-2, epochs: 80, patience: 0 },
                 val_fraction: 0.1,
                 l2_normalize: true,
                 label_visible_fraction: 0.7,
+                sampled_neighbor_cap: None,
             }
         } else {
             GnnEvalConfig::default()
-        }
+        };
+        cfg.sampled_neighbor_cap = self.sampled_neighbor_cap;
+        cfg
     }
 
     /// Autoencoder settings matched to the mode.
@@ -773,6 +783,7 @@ fn wal_drill(opts: &RunOptions, plan: &ChaosPlan) -> bool {
             val_fraction: 0.0,
             l2_normalize: true,
             label_visible_fraction: 0.5,
+            sampled_neighbor_cap: None,
         },
         ae: AutoencoderConfig { hidden: 16, code: 6, epochs: 1, batch_size: 64, lr: 1e-3 },
         fine_tune: trail_gnn::FineTune { lr: 0.01, epochs: 3 },
@@ -1840,6 +1851,162 @@ pub fn stream_bench(sys: TrailSystem, opts: &RunOptions, rec: &mut BenchRecorder
         Ok(()) => println!("[stream] run report written to BENCH_stream.json"),
         Err(e) => {
             eprintln!("[stream] could not write BENCH_stream.json: {e}");
+            ok = false;
+        }
+    }
+    ok
+}
+
+/// `repro scale-bench` — sharded parallel ingest + compact storage at
+/// paper scale (DESIGN.md §15). Builds one world, ingests it four
+/// ways — the sequential reference plus the shard-parallel path at
+/// 1/2/8 worker threads over a fixed 8-shard partition — and proves
+/// the determinism contract on every run: each sharded build must be
+/// *bitwise* identical to the sequential one (the persisted graph
+/// bytes, not just a fingerprint) with an exactly-equal ingest
+/// taxonomy. It then audits the compact storage layer: the u32 CSR
+/// must agree element-for-element with a pointer-width [`trail_graph::WideCsr`]
+/// built from the same store, and its adjacency bytes/node are
+/// reported against the wide baseline. Allocation-event deltas (the
+/// counting-allocator RSS proxy) land next to each build.
+///
+/// Everything is written to `BENCH_scale.json` plus one grep-able
+/// `[scale-summary]` line for the `verify.sh --perf` gate. Returns
+/// `false` (non-zero exit) if any equality invariant breaks. The
+/// 8-thread speedup is reported but only *gated* when the machine has
+/// the cores to show it (the `cores` field records that).
+pub fn scale_bench(opts: &RunOptions, rec: &mut BenchRecorder) -> bool {
+    header("scale-bench", "sharded parallel ingest + compact graph storage");
+    let mut wcfg = WorldConfig::default().scaled(opts.scale);
+    wcfg.seed = opts.seed;
+    wcfg.transient_fault_prob = opts.transient_fault_prob;
+    let world = rec.time("scale_world_gen", || Arc::new(World::generate(wcfg)));
+    let client = OsintClient::new(Arc::clone(&world));
+    let cutoff = world.config.cutoff_day;
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Sequential reference: the exact single-threaded build path.
+    let allocs0 = trail_obs::alloc::allocation_count();
+    let (seq, seq_secs) =
+        rec.time_with("scale_sequential_build", || TrailSystem::build(client.clone(), cutoff));
+    let seq_allocs = trail_obs::alloc::allocation_count() - allocs0;
+    let events = seq.tkg.events.len();
+    let seq_bytes = trail_graph::persist::to_bytes(&seq.tkg.graph);
+    let seq_evps = events as f64 / seq_secs.max(1e-9);
+    println!(
+        "[scale] sequential: {} events, {} nodes, {} edges in {seq_secs:.2}s \
+         ({seq_evps:.1} events/s, {seq_allocs} allocation events)",
+        events,
+        seq.tkg.graph.node_count(),
+        seq.tkg.graph.edge_count()
+    );
+
+    // Shard-parallel builds over a fixed partition: varying only the
+    // worker thread count keeps the work identical, so wall-clock
+    // differences measure parallel scaling and nothing else.
+    const N_SHARDS: usize = 8;
+    let mut shard_equal = true;
+    let mut levels = Vec::new();
+    for &threads in &[1usize, 2, 8] {
+        let allocs0 = trail_obs::alloc::allocation_count();
+        let (sys, secs) = rec.time_with(&format!("scale_sharded_t{threads}"), || {
+            TrailSystem::build_with_shards(client.clone(), cutoff, N_SHARDS, threads)
+        });
+        let allocs = trail_obs::alloc::allocation_count() - allocs0;
+        let equal = sys.ingest_stats == seq.ingest_stats
+            && trail_graph::persist::to_bytes(&sys.tkg.graph) == seq_bytes;
+        if !equal {
+            eprintln!("[scale] DIVERGENCE: {threads}-thread sharded build != sequential");
+        }
+        shard_equal &= equal;
+        let evps = events as f64 / secs.max(1e-9);
+        println!(
+            "[scale] sharded t{threads}: {secs:.2}s ({evps:.1} events/s, \
+             {allocs} allocation events, bitwise_equal={})",
+            u8::from(equal)
+        );
+        levels.push((threads, secs, evps, allocs, equal));
+    }
+    let t1_secs = levels[0].1;
+    let t8_secs = levels[2].1;
+    let speedup8 = t1_secs / t8_secs.max(1e-9);
+
+    // Compact-storage audit: the u32 CSR against the pointer-width
+    // reference layout over the same store.
+    let csr = seq.tkg.csr();
+    let wide = trail_graph::WideCsr::from_store(&seq.tkg.graph);
+    let structural_ok = wide.agrees_with(&csr);
+    let n_nodes = csr.node_count().max(1);
+    let bpn_compact = csr.heap_bytes() as f64 / n_nodes as f64;
+    let bpn_wide = wide.heap_bytes() as f64 / n_nodes as f64;
+    let compact_ratio = bpn_compact / bpn_wide.max(1e-9);
+    let feature_bytes = seq.tkg.feature_heap_bytes();
+    println!(
+        "[scale] adjacency: {bpn_wide:.1} bytes/node wide -> {bpn_compact:.1} bytes/node \
+         compact (ratio {compact_ratio:.3}, structural agreement {}); feature arena {} bytes",
+        u8::from(structural_ok),
+        feature_bytes
+    );
+
+    println!(
+        "[scale-summary] events={events} shards={N_SHARDS} cores={cores} \
+         shard_equal={} structural_ok={} evps_seq={seq_evps:.1} evps_t1={:.1} evps_t2={:.1} \
+         evps_t8={:.1} speedup8={speedup8:.3} bpn_wide={bpn_wide:.1} bpn_compact={bpn_compact:.1} \
+         compact_ratio={compact_ratio:.4}",
+        u8::from(shard_equal),
+        u8::from(structural_ok),
+        levels[0].2,
+        levels[1].2,
+        levels[2].2,
+    );
+
+    let level_json: Vec<serde_json::Value> = levels
+        .iter()
+        .map(|&(threads, secs, evps, allocs, equal)| {
+            serde_json::json!({
+                "threads": threads,
+                "seconds": secs,
+                "events_per_sec": evps,
+                "allocations": allocs,
+                "bitwise_equal": equal,
+            })
+        })
+        .collect();
+    let seq_json = serde_json::json!({
+        "seconds": seq_secs,
+        "events_per_sec": seq_evps,
+        "allocations": seq_allocs,
+    });
+    let doc = serde_json::json!({
+        "experiment": "scale-bench",
+        "seed": opts.seed,
+        "scale": opts.scale as f64,
+        "quick": opts.quick,
+        "faults": opts.transient_fault_prob as f64,
+        "cores": cores,
+        "pool_threads": trail_linalg::pool::num_threads(),
+        "events": events,
+        "nodes": seq.tkg.graph.node_count(),
+        "edges": seq.tkg.graph.edge_count(),
+        "shards": N_SHARDS,
+        "shard_equal": shard_equal,
+        "structural_ok": structural_ok,
+        "sequential": seq_json,
+        "sharded": level_json,
+        "speedup8": speedup8,
+        "bytes_per_node_wide": bpn_wide,
+        "bytes_per_node_compact": bpn_compact,
+        "compact_ratio": compact_ratio,
+        "feature_arena_bytes": feature_bytes,
+    });
+    let mut ok = shard_equal && structural_ok && events > 0 && bpn_compact < bpn_wide;
+    match std::fs::write(
+        "BENCH_scale.json",
+        serde_json::to_string_pretty(&doc).expect("scale doc serialises"),
+    ) {
+        Ok(()) => println!("[scale] run report written to BENCH_scale.json"),
+        Err(e) => {
+            eprintln!("[scale] could not write BENCH_scale.json: {e}");
             ok = false;
         }
     }

@@ -21,7 +21,7 @@ use trail_ml::smote::{smote, SmoteConfig};
 use trail_ml::{Classifier, GradientBoostedTrees, RandomForest, StandardScaler};
 
 use crate::embed::{assemble_gnn_input, NodeEmbeddings};
-use crate::sparse::densify;
+use crate::sparse::{densify, SparseRef};
 use crate::tkg::Tkg;
 
 /// Which classical model family to train.
@@ -161,7 +161,7 @@ pub fn ioc_datasets<R: Rng + ?Sized>(
             let mut samples: Vec<(NodeId, u16)> = tkg
                 .featured_nodes(kind)
                 .into_iter()
-                .filter(|&(id, _)| tkg.graph.node(id).first_order)
+                .filter(|&(id, _)| tkg.graph.node(id).first_order())
                 .filter_map(|(id, _)| match tkg.reporting_apts(id).as_slice() {
                     [one] => Some((id, *one)),
                     _ => None,
@@ -172,7 +172,7 @@ pub fn ioc_datasets<R: Rng + ?Sized>(
                 samples.truncate(max_samples);
             }
             let dims = Tkg::dims_of(kind);
-            let rows: Vec<&crate::sparse::SparseVec> =
+            let rows: Vec<SparseRef<'_>> =
                 samples.iter().map(|&(id, _)| tkg.features(id).expect("featured")).collect();
             let x = densify(&rows, dims);
             let y: Vec<u16> = samples.iter().map(|&(_, apt)| apt).collect();
@@ -359,7 +359,7 @@ pub fn eval_event_ml<R: Rng + ?Sized>(
         for kind in IocKind::ALL {
             let mut samples: Vec<(NodeId, u16)> = Vec::new();
             for (id, _) in tkg.featured_nodes(kind) {
-                if !tkg.graph.node(id).first_order {
+                if !tkg.graph.node(id).first_order() {
                     continue;
                 }
                 let reporters: Vec<NodeId> = tkg
@@ -386,7 +386,7 @@ pub fn eval_event_ml<R: Rng + ?Sized>(
                 continue;
             }
             let dims = Tkg::dims_of(kind);
-            let rows: Vec<&crate::sparse::SparseVec> =
+            let rows: Vec<SparseRef<'_>> =
                 samples.iter().map(|&(id, _)| tkg.features(id).expect("featured")).collect();
             let x = densify(&rows, dims);
             let y: Vec<u16> = samples.iter().map(|&(_, apt)| apt).collect();
@@ -428,7 +428,7 @@ pub fn eval_event_ml<R: Rng + ?Sized>(
                 if iocs.is_empty() {
                     continue;
                 }
-                let rows: Vec<&crate::sparse::SparseVec> =
+                let rows: Vec<SparseRef<'_>> =
                     iocs.iter().map(|&id| tkg.features(id).expect("featured")).collect();
                 let x = scaler.transform(&densify(&rows, Tkg::dims_of(kind)));
                 for p in clf.predict(&x) {
@@ -510,6 +510,12 @@ pub struct GnnEvalConfig {
     /// Fraction of train-event labels visible per masked-training
     /// epoch (the rest are that epoch's prediction targets).
     pub label_visible_fraction: f32,
+    /// Opt-in sampled mini-batch training: `Some(cap)` trains on the
+    /// capped k-hop neighbourhood subgraph of the supervised events
+    /// (`trail_gnn::train_sage_masked_sampled`) instead of the full
+    /// graph; prediction always runs full-graph. `None` (the default)
+    /// keeps the exact full-graph protocol.
+    pub sampled_neighbor_cap: Option<usize>,
 }
 
 impl Default for GnnEvalConfig {
@@ -520,6 +526,7 @@ impl Default for GnnEvalConfig {
             val_fraction: 0.0,
             l2_normalize: false,
             label_visible_fraction: 0.7,
+            sampled_neighbor_cap: None,
         }
     }
 }
@@ -563,16 +570,29 @@ pub fn eval_event_gnn<R: Rng + ?Sized>(
             offset: embeddings.code_dim + 5,
             visible_fraction: cfg.label_visible_fraction,
         };
-        let (mut model, _) = trail_gnn::train_sage_masked(
-            rng,
-            &csr,
-            &mut x_train,
-            sage_cfg,
-            &train_pairs,
-            &val_pairs,
-            &cfg.train,
-            masking,
-        );
+        let (mut model, _) = match cfg.sampled_neighbor_cap {
+            Some(cap) => trail_gnn::train_sage_masked_sampled(
+                rng,
+                &csr,
+                &x_train,
+                sage_cfg,
+                &train_pairs,
+                &val_pairs,
+                &cfg.train,
+                masking,
+                cap,
+            ),
+            None => trail_gnn::train_sage_masked(
+                rng,
+                &csr,
+                &mut x_train,
+                sage_cfg,
+                &train_pairs,
+                &val_pairs,
+                &cfg.train,
+                masking,
+            ),
+        };
 
         // Test input: train + val labels visible, test masked.
         let visible: Vec<(NodeId, u16)> =
@@ -621,9 +641,14 @@ pub fn eval_event_gnn_thresholded<R: Rng + ?Sized>(
             offset: embeddings.code_dim + 5,
             visible_fraction: cfg.label_visible_fraction,
         };
-        let (mut model, _) = trail_gnn::train_sage_masked(
-            rng, &csr, &mut x, sage_cfg, &train_pairs, &[], &cfg.train, masking,
-        );
+        let (mut model, _) = match cfg.sampled_neighbor_cap {
+            Some(cap) => trail_gnn::train_sage_masked_sampled(
+                rng, &csr, &x, sage_cfg, &train_pairs, &[], &cfg.train, masking, cap,
+            ),
+            None => trail_gnn::train_sage_masked(
+                rng, &csr, &mut x, sage_cfg, &train_pairs, &[], &cfg.train, masking,
+            ),
+        };
         let targets: Vec<NodeId> = test_ev.iter().map(|&i| tkg.events[i].node).collect();
         let preds = trail_gnn::train::predict_events(&mut model, &csr, &x, &targets);
         let mut attributed = 0usize;
@@ -669,7 +694,7 @@ mod tests {
         for ds in &datasets {
             for (row, &node) in ds.nodes.iter().enumerate() {
                 let rec = sys.tkg.graph.node(node);
-                assert!(rec.first_order);
+                assert!(rec.first_order());
                 let apts = sys.tkg.reporting_apts(node);
                 assert_eq!(apts.len(), 1);
                 assert_eq!(apts[0], ds.data.y[row]);
@@ -747,6 +772,7 @@ mod tests {
             val_fraction: 0.1,
             l2_normalize: true,
             label_visible_fraction: 0.5,
+            sampled_neighbor_cap: None,
         };
         let scores = eval_event_gnn(&mut rng, &sys.tkg, &emb, 2, &cfg, 3);
         let (acc, _) = scores.acc_mean_std();

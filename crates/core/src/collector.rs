@@ -75,7 +75,18 @@ pub struct CollectStats {
 
 /// Filter and parse raw reports against the registry.
 pub fn collect(reports: &[RawReport], registry: &AptRegistry) -> (Vec<CollectedEvent>, CollectStats) {
-    let mut out = Vec::with_capacity(reports.len());
+    collect_iter(reports, registry)
+}
+
+/// [`collect`] over any borrowed report stream — e.g. the zero-clone
+/// [`trail_osint::OsintClient::reports_before`] view — so collection
+/// never forces the raw report set to be materialised twice.
+pub fn collect_iter<'a>(
+    reports: impl IntoIterator<Item = &'a RawReport>,
+    registry: &AptRegistry,
+) -> (Vec<CollectedEvent>, CollectStats) {
+    let reports = reports.into_iter();
+    let mut out = Vec::with_capacity(reports.size_hint().0);
     let mut stats = CollectStats::default();
     for raw in reports {
         let mut labels: Vec<u16> = raw.tags.iter().filter_map(|t| registry.resolve(t)).collect();

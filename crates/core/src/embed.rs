@@ -14,7 +14,7 @@ use trail_linalg::Matrix;
 use trail_ml::nn::autoencoder::{Autoencoder, AutoencoderConfig};
 use trail_ml::nn::Adam;
 
-use crate::sparse::densify;
+use crate::sparse::{densify, SparseRef};
 use crate::tkg::Tkg;
 
 /// Per-node code vectors for every featured IOC node.
@@ -59,9 +59,9 @@ impl ScalerStats {
     }
 
     /// Accumulate featured rows in the given order.
-    pub fn extend(&mut self, featured: &[(NodeId, &crate::sparse::SparseVec)]) {
+    pub fn extend(&mut self, featured: &[(NodeId, SparseRef<'_>)]) {
         for (_, sv) in featured {
-            for &(i, v) in &sv.entries {
+            for &(i, v) in sv.entries {
                 self.sums[i as usize] += v as f64;
                 self.sumsq[i as usize] += (v as f64) * (v as f64);
             }
@@ -92,7 +92,7 @@ impl ScalerStats {
 
 impl SparseScaler {
     /// Fit over the featured rows of one kind.
-    pub fn fit(featured: &[(NodeId, &crate::sparse::SparseVec)], dims: usize) -> Self {
+    pub fn fit(featured: &[(NodeId, SparseRef<'_>)], dims: usize) -> Self {
         let mut stats = ScalerStats::new(dims);
         stats.extend(featured);
         stats.finalize()
@@ -184,11 +184,10 @@ pub fn compute_codes_with(
         // densify + scale + encode pipeline fans out across the pool;
         // only the write-back into the interleaved `codes` rows stays
         // sequential.
-        let chunks: Vec<&[(NodeId, &crate::sparse::SparseVec)]> =
+        let chunks: Vec<&[(NodeId, SparseRef<'_>)]> =
             featured.chunks(batch_size.max(1)).collect();
         let encoded: Vec<Matrix> = trail_linalg::pool::parallel_map(chunks.len(), |ci| {
-            let rows: Vec<&crate::sparse::SparseVec> =
-                chunks[ci].iter().map(|&(_, sv)| sv).collect();
+            let rows: Vec<SparseRef<'_>> = chunks[ci].iter().map(|&(_, sv)| sv).collect();
             let mut dense = densify(&rows, dims);
             scaler.transform_inplace(&mut dense);
             ae.encode(&dense)
@@ -312,7 +311,7 @@ impl CodeCache {
         for ((kind, ae), scaler) in IocKind::ALL.iter().zip(encoders).zip(scalers) {
             let dims = Tkg::dims_of(*kind);
             let featured = tkg.featured_nodes(*kind);
-            let mut dirty: Vec<(NodeId, &crate::sparse::SparseVec, u64)> = Vec::new();
+            let mut dirty: Vec<(NodeId, SparseRef<'_>, u64)> = Vec::new();
             for &(node, sv) in &featured {
                 let fp = sv.fingerprint();
                 let i = node.index();
@@ -328,10 +327,10 @@ impl CodeCache {
             // Same densify + scale + encode pipeline as the full build;
             // every step is row-local, so encoding only the dirty rows
             // (in whatever chunking) reproduces the full-batch bits.
-            let chunks: Vec<&[(NodeId, &crate::sparse::SparseVec, u64)]> =
+            let chunks: Vec<&[(NodeId, SparseRef<'_>, u64)]> =
                 dirty.chunks(batch_size.max(1)).collect();
             let encoded: Vec<Matrix> = trail_linalg::pool::parallel_map(chunks.len(), |ci| {
-                let rows: Vec<&crate::sparse::SparseVec> =
+                let rows: Vec<SparseRef<'_>> =
                     chunks[ci].iter().map(|&(_, sv, _)| sv).collect();
                 let mut dense = densify(&rows, dims);
                 scaler.transform_inplace(&mut dense);
@@ -358,7 +357,7 @@ fn train_on_sparse<R: Rng + ?Sized>(
     rng: &mut R,
     ae: &mut Autoencoder,
     scaler: &SparseScaler,
-    featured: &[(NodeId, &crate::sparse::SparseVec)],
+    featured: &[(NodeId, SparseRef<'_>)],
     dims: usize,
     cfg: &AutoencoderConfig,
 ) {
@@ -368,8 +367,7 @@ fn train_on_sparse<R: Rng + ?Sized>(
     for _ in 0..cfg.epochs {
         order.shuffle(rng);
         for chunk in order.chunks(cfg.batch_size.max(1)) {
-            let rows: Vec<&crate::sparse::SparseVec> =
-                chunk.iter().map(|&i| featured[i].1).collect();
+            let rows: Vec<SparseRef<'_>> = chunk.iter().map(|&i| featured[i].1).collect();
             let mut dense = densify(&rows, dims);
             scaler.transform_inplace(&mut dense);
             ae.train_batch(&dense, &mut adam);

@@ -11,17 +11,32 @@
 //!
 //! Identity discipline: relational strings arrive in whatever spelling
 //! the feed uses (mixed case, trailing dots, defanged). Every string is
-//! parsed into its canonical [`IocKey`] before it touches the graph —
-//! both for upserts and for the depth-2 "already present?" lookups — so
-//! a noisy spelling can never orphan an edge or split a node.
+//! parsed into its canonical [`IocKey`](trail_ioc::IocKey) before it
+//! touches the graph — both for upserts and for the depth-2 "already
+//! present?" lookups — so a noisy spelling can never orphan an edge or
+//! split a node.
 //!
 //! Failure discipline: analysis queries distinguish *permanent* gaps
 //! (`Ok(None)` — the exchange has no record) from *transient* faults
 //! (`Err` — rate-limit/timeout; a retry may succeed). The enricher
 //! retries transient faults up to [`RetryPolicy::max_attempts`] with
 //! exponential backoff, and [`IngestStats`] accounts for every outcome.
+//!
+//! ## Query/apply split
+//!
+//! Internally every analysis is factored into a pure **query** step —
+//! issue the lookup under the retry policy, parse the relational
+//! strings, encode features — and a graph-mutating **apply** step. The
+//! query step depends only on the canonical key (outcomes, fault
+//! schedules and gaps are all deterministic per key and attempt), never
+//! on graph state, so its result can be memoised in a [`QueryMap`] and
+//! replayed later. The sequential path runs query-then-apply inline;
+//! the sharded build (`crate::shard`) computes the query maps in
+//! parallel and replays them through the *same* apply code, which is
+//! why it is bitwise-identical to the sequential build.
 
 use std::cell::Cell;
+use std::collections::HashMap;
 
 use trail_graph::{EdgeKind, NodeId, NodeKind};
 use trail_ioc::domain::DomainIoc;
@@ -174,6 +189,123 @@ impl IngestStats {
     }
 }
 
+/// Terminal outcome of one fallible analysis query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QueryOutcome {
+    /// The analysis succeeded on some attempt.
+    Success,
+    /// The exchange answered "no record"; retrying cannot help.
+    PermanentMiss,
+    /// Every admitted attempt faulted transiently.
+    TransientMiss,
+    /// The circuit breaker shed the query before it reached the feed.
+    BreakerRejected,
+}
+
+/// Retry accounting of one query: what [`Enricher`] charged on the way
+/// to the terminal outcome. Charged into an event's [`IngestStats`] at
+/// apply time; all fields are commutative adds, so replaying a memoised
+/// cost yields the same totals as the live query.
+#[derive(Debug, Clone, Copy)]
+struct QueryCost {
+    retried: usize,
+    backoff_ms: u64,
+    outcome: QueryOutcome,
+}
+
+impl QueryCost {
+    fn charge(&self, stats: &mut IngestStats) {
+        stats.retried += self.retried;
+        stats.backoff_ms += self.backoff_ms;
+        match self.outcome {
+            QueryOutcome::Success => {}
+            QueryOutcome::PermanentMiss => stats.missed_permanent += 1,
+            QueryOutcome::TransientMiss => stats.missed_transient += 1,
+            QueryOutcome::BreakerRejected => stats.breaker_rejected += 1,
+        }
+    }
+}
+
+/// Parsed relational output of a successful URL analysis.
+#[derive(Debug)]
+struct UrlPayload {
+    resolved: Vec<IpIoc>,
+    dropped: usize,
+    features: Option<SparseVec>,
+}
+
+/// Memoisable result of one URL analysis query.
+#[derive(Debug)]
+pub(crate) struct UrlRecord {
+    cost: QueryCost,
+    payload: Option<UrlPayload>,
+}
+
+/// Parsed relational output of a successful domain analysis.
+#[derive(Debug)]
+struct DomainPayload {
+    resolved: Vec<IpIoc>,
+    dropped_resolved: usize,
+    hosted: Vec<UrlIoc>,
+    dropped_hosted: usize,
+    features: Option<SparseVec>,
+}
+
+/// Memoisable result of one domain analysis query.
+#[derive(Debug)]
+pub(crate) struct DomainRecord {
+    cost: QueryCost,
+    payload: Option<DomainPayload>,
+}
+
+/// Parsed relational output of a successful IP analysis.
+#[derive(Debug)]
+struct IpPayload {
+    asn: Option<u32>,
+    historic: Vec<DomainIoc>,
+    dropped: usize,
+    features: Option<SparseVec>,
+}
+
+/// Memoisable result of one IP analysis query.
+#[derive(Debug)]
+pub(crate) struct IpRecord {
+    cost: QueryCost,
+    payload: Option<IpPayload>,
+}
+
+/// One shard's memoised analysis results, keyed by canonical IOC text.
+/// Query outcomes are pure per key (see the module docs), so a record
+/// computed by any worker equals the record the sequential walk would
+/// have produced at any position.
+#[derive(Debug, Default)]
+pub(crate) struct QueryMap {
+    urls: HashMap<String, UrlRecord>,
+    domains: HashMap<String, DomainRecord>,
+    ips: HashMap<String, IpRecord>,
+}
+
+impl QueryMap {
+    /// Number of memoised analyses across all kinds.
+    #[allow(dead_code)] // exercised by the record/replay tests
+    pub(crate) fn len(&self) -> usize {
+        self.urls.len() + self.domains.len() + self.ips.len()
+    }
+}
+
+/// How [`Enricher`] sources its analysis queries during an ingest.
+pub(crate) enum QueryLog<'m> {
+    /// Compute every query live (the plain sequential path).
+    Live,
+    /// Compute live, memoising one record per canonical key — the
+    /// shard workers' mode. Repeat keys are served from the map, which
+    /// is both the dedup win and provably outcome-identical.
+    Record(&'m mut QueryMap),
+    /// Serve queries from a prepared map; a miss falls back to a live
+    /// query, which is identical by purity (the merge replay mode).
+    Replay(&'m QueryMap),
+}
+
 impl<'a> Enricher<'a> {
     /// New enricher querying analyses as of `asof_day`, with the
     /// default retry policy.
@@ -208,9 +340,27 @@ impl<'a> Enricher<'a> {
         })
     }
 
+    /// Whether this enricher's query outcomes depend on cross-query
+    /// state (a circuit breaker or a fault budget). When true, query
+    /// results are order-dependent and must not be memoised/replayed —
+    /// the sharded build falls back to the sequential path.
+    pub fn order_dependent(&self) -> bool {
+        self.client.breaker().is_some() || self.budget.is_some()
+    }
+
     /// Ingest one collected event: create the event node, attach
     /// first-order IOCs, run two-hop enrichment, store features.
     pub fn ingest(&self, tkg: &mut Tkg, event: &CollectedEvent) -> IngestStats {
+        self.ingest_logged(tkg, event, &mut QueryLog::Live)
+    }
+
+    /// [`Self::ingest`] with an explicit query source (see [`QueryLog`]).
+    pub(crate) fn ingest_logged(
+        &self,
+        tkg: &mut Tkg,
+        event: &CollectedEvent,
+        log: &mut QueryLog<'_>,
+    ) -> IngestStats {
         let _ingest = trail_obs::span("enrich.ingest");
         let mut stats = IngestStats::default();
         let event_node = tkg.graph.upsert_node(NodeKind::Event, &event.report.id);
@@ -237,9 +387,15 @@ impl<'a> Enricher<'a> {
             let _pass = trail_obs::span("depth1");
             for (node, ioc) in &first_order {
                 match ioc {
-                    Ioc::Url(url) => self.enrich_url(tkg, *node, url, true, &mut secondary, &mut stats),
-                    Ioc::Domain(d) => self.enrich_domain(tkg, *node, d, true, &mut secondary, &mut stats),
-                    Ioc::Ip(ip) => self.enrich_ip(tkg, *node, ip, true, &mut secondary, &mut stats),
+                    Ioc::Url(url) => {
+                        self.enrich_url(tkg, *node, url, true, &mut secondary, &mut stats, log)
+                    }
+                    Ioc::Domain(d) => {
+                        self.enrich_domain(tkg, *node, d, true, &mut secondary, &mut stats, log)
+                    }
+                    Ioc::Ip(ip) => {
+                        self.enrich_ip(tkg, *node, ip, true, &mut secondary, &mut stats, log)
+                    }
                 }
             }
         }
@@ -251,9 +407,15 @@ impl<'a> Enricher<'a> {
             let _pass = trail_obs::span("depth2");
             for (node, ioc) in &secondary {
                 match ioc {
-                    Ioc::Domain(d) => self.enrich_domain(tkg, *node, d, false, &mut sink, &mut stats),
-                    Ioc::Ip(ip) => self.enrich_ip(tkg, *node, ip, false, &mut sink, &mut stats),
-                    Ioc::Url(url) => self.enrich_url(tkg, *node, url, false, &mut sink, &mut stats),
+                    Ioc::Domain(d) => {
+                        self.enrich_domain(tkg, *node, d, false, &mut sink, &mut stats, log)
+                    }
+                    Ioc::Ip(ip) => {
+                        self.enrich_ip(tkg, *node, ip, false, &mut sink, &mut stats, log)
+                    }
+                    Ioc::Url(url) => {
+                        self.enrich_url(tkg, *node, url, false, &mut sink, &mut stats, log)
+                    }
                 }
             }
         }
@@ -262,30 +424,31 @@ impl<'a> Enricher<'a> {
     }
 
     /// Run one fallible analysis query under the retry policy and the
-    /// enrichment-wide budget, accounting every outcome in `stats`.
+    /// enrichment-wide budget, returning the retry cost alongside the
+    /// result.
     ///
     /// Outcome taxonomy (exactly one per query):
     /// * `Ok(Some)` — success; stop.
-    /// * `Ok(None)` — permanent gap (`missed_permanent`); retrying
-    ///   cannot help, stop.
+    /// * `Ok(None)` — permanent gap; retrying cannot help, stop.
     /// * transient `Err` — retry with backoff until the attempt cap or
-    ///   the budget runs out, then `missed_transient`.
-    /// * non-transient `Err` (breaker rejection) — `breaker_rejected`;
-    ///   abandoned immediately, since retrying against an open breaker
-    ///   is exactly the load it exists to shed.
-    fn with_retries<T>(
+    ///   the budget runs out, then a transient miss.
+    /// * non-transient `Err` (breaker rejection) — abandoned
+    ///   immediately, since retrying against an open breaker is exactly
+    ///   the load it exists to shed.
+    fn run_query<T>(
         &self,
-        stats: &mut IngestStats,
         mut attempt_fn: impl FnMut(u32) -> Result<Option<T>, OsintError>,
-    ) -> Option<T> {
+    ) -> (QueryCost, Option<T>) {
         let max = if self.budget_exhausted() { 1 } else { self.retry.max_attempts.max(1) };
-        let mut outcome = None;
+        let mut cost =
+            QueryCost { retried: 0, backoff_ms: 0, outcome: QueryOutcome::TransientMiss };
+        let mut result = None;
         let mut attempts: u64 = 0;
         'attempts: for attempt in 0..max {
             if attempt > 0 {
-                stats.retried += 1;
+                cost.retried += 1;
                 let backoff = self.retry.backoff_ms(attempt);
-                stats.backoff_ms += backoff;
+                cost.backoff_ms += backoff;
                 self.spent_backoff_ms.set(self.spent_backoff_ms.get() + backoff);
                 trail_obs::observe(
                     "enrich.retry_backoff_ms",
@@ -297,27 +460,28 @@ impl<'a> Enricher<'a> {
             self.spent_attempts.set(self.spent_attempts.get() + 1);
             match attempt_fn(attempt) {
                 Ok(Some(t)) => {
-                    outcome = Some(t);
+                    cost.outcome = QueryOutcome::Success;
+                    result = Some(t);
                     break 'attempts;
                 }
                 Ok(None) => {
-                    stats.missed_permanent += 1;
+                    cost.outcome = QueryOutcome::PermanentMiss;
                     break 'attempts;
                 }
                 Err(e) if e.is_transient() => {
                     if attempt + 1 == max || self.budget_exhausted() {
-                        stats.missed_transient += 1;
+                        cost.outcome = QueryOutcome::TransientMiss;
                         break 'attempts;
                     }
                 }
                 Err(_) => {
-                    stats.breaker_rejected += 1;
+                    cost.outcome = QueryOutcome::BreakerRejected;
                     break 'attempts;
                 }
             }
         }
         trail_obs::observe("enrich.attempts_per_query", trail_obs::bounds::ATTEMPTS, attempts);
-        outcome
+        (cost, result)
     }
 
     /// Resolve a depth-2 relational reference against the graph by
@@ -331,6 +495,217 @@ impl<'a> Enricher<'a> {
         found
     }
 
+    /// Pure query step for one URL: analysis under retries, children
+    /// parsed, features encoded. Depends only on the canonical key (and
+    /// `asof_day`), never on graph state.
+    fn query_url(
+        &self,
+        want_features: bool,
+        encoder: &trail_ioc::features::UrlEncoder,
+        url: &UrlIoc,
+    ) -> UrlRecord {
+        let (cost, analysis) = self.run_query(|attempt| {
+            self.client.try_analyze_url(&url.text, self.asof_day, attempt)
+        });
+        let payload = analysis.map(|a| {
+            let mut resolved = Vec::with_capacity(a.resolved_ips.len());
+            let mut dropped = 0;
+            for ip_text in &a.resolved_ips {
+                match IpIoc::parse(ip_text) {
+                    Ok(ip) => resolved.push(ip),
+                    Err(_) => dropped += 1,
+                }
+            }
+            let features =
+                want_features.then(|| SparseVec::from_dense(&encoder.encode(url, &a)));
+            UrlPayload { resolved, dropped, features }
+        });
+        UrlRecord { cost, payload }
+    }
+
+    /// Pure query step for one domain (see [`Self::query_url`]).
+    fn query_domain(
+        &self,
+        want_features: bool,
+        encoder: &trail_ioc::features::DomainEncoder,
+        domain: &DomainIoc,
+    ) -> DomainRecord {
+        let (cost, analysis) = self.run_query(|attempt| {
+            self.client.try_analyze_domain(&domain.text, self.asof_day, attempt)
+        });
+        let payload = analysis.map(|a| {
+            let mut resolved = Vec::with_capacity(a.resolved_ips.len());
+            let mut dropped_resolved = 0;
+            for ip_text in &a.resolved_ips {
+                match IpIoc::parse(ip_text) {
+                    Ok(ip) => resolved.push(ip),
+                    Err(_) => dropped_resolved += 1,
+                }
+            }
+            let mut hosted = Vec::with_capacity(a.hosted_urls.len());
+            let mut dropped_hosted = 0;
+            for u_text in &a.hosted_urls {
+                match UrlIoc::parse(u_text) {
+                    Ok(u) => hosted.push(u),
+                    Err(_) => dropped_hosted += 1,
+                }
+            }
+            let features =
+                want_features.then(|| SparseVec::from_dense(&encoder.encode(domain, &a)));
+            DomainPayload { resolved, dropped_resolved, hosted, dropped_hosted, features }
+        });
+        DomainRecord { cost, payload }
+    }
+
+    /// Pure query step for one IP (see [`Self::query_url`]).
+    fn query_ip(
+        &self,
+        want_features: bool,
+        encoder: &trail_ioc::features::IpEncoder,
+        ip: &IpIoc,
+    ) -> IpRecord {
+        let (cost, analysis) = self.run_query(|attempt| {
+            self.client.try_analyze_ip(&ip.text, self.asof_day, attempt)
+        });
+        let payload = analysis.map(|a| {
+            let mut historic = Vec::with_capacity(a.historic_domains.len());
+            let mut dropped = 0;
+            for d_text in &a.historic_domains {
+                match DomainIoc::parse(d_text) {
+                    Ok(d) => historic.push(d),
+                    Err(_) => dropped += 1,
+                }
+            }
+            let features = want_features.then(|| SparseVec::from_dense(&encoder.encode(ip, &a)));
+            IpPayload { asn: a.asn, historic, dropped, features }
+        });
+        IpRecord { cost, payload }
+    }
+
+    /// Graph-mutating apply step for a URL query result.
+    fn apply_url(
+        &self,
+        tkg: &mut Tkg,
+        node: NodeId,
+        expand: bool,
+        rec: &UrlRecord,
+        secondary: &mut Vec<(NodeId, Ioc)>,
+        stats: &mut IngestStats,
+    ) {
+        rec.cost.charge(stats);
+        let Some(p) = &rec.payload else {
+            return;
+        };
+        for ip in &p.resolved {
+            let ioc = Ioc::Ip(ip.clone());
+            let ip_node = if expand {
+                Some(self.secondary_node(tkg, ioc, secondary))
+            } else {
+                self.find_linked(tkg, ioc.key_ref(), stats)
+            };
+            if let Some(ip_node) = ip_node {
+                if tkg.graph.add_edge(node, ip_node, EdgeKind::UrlResolvesTo).expect("schema") {
+                    stats.edges += 1;
+                }
+            }
+        }
+        stats.dropped_unparseable += p.dropped;
+        if let Some(f) = &p.features {
+            if !tkg.has_features(node) {
+                tkg.set_features(node, f.clone());
+            }
+        }
+    }
+
+    /// Graph-mutating apply step for a domain query result.
+    fn apply_domain(
+        &self,
+        tkg: &mut Tkg,
+        node: NodeId,
+        expand: bool,
+        rec: &DomainRecord,
+        secondary: &mut Vec<(NodeId, Ioc)>,
+        stats: &mut IngestStats,
+    ) {
+        rec.cost.charge(stats);
+        let Some(p) = &rec.payload else {
+            return;
+        };
+        for ip in &p.resolved {
+            let ioc = Ioc::Ip(ip.clone());
+            let ip_node = if expand {
+                Some(self.secondary_node(tkg, ioc, secondary))
+            } else {
+                // Two-hop cap: only link to IPs already in the graph.
+                self.find_linked(tkg, ioc.key_ref(), stats)
+            };
+            if let Some(ip_node) = ip_node {
+                if tkg.graph.add_edge(node, ip_node, EdgeKind::DomainResolvesTo).expect("schema") {
+                    stats.edges += 1;
+                }
+            }
+        }
+        stats.dropped_unparseable += p.dropped_resolved;
+        // Secondary URLs from the domain's url_list (expansion only).
+        if expand {
+            for u in &p.hosted {
+                let u_node = self.secondary_node(tkg, Ioc::Url(u.clone()), secondary);
+                if tkg.graph.add_edge(u_node, node, EdgeKind::HostedOn).expect("schema") {
+                    stats.edges += 1;
+                }
+            }
+            stats.dropped_unparseable += p.dropped_hosted;
+        }
+        if let Some(f) = &p.features {
+            if !tkg.has_features(node) {
+                tkg.set_features(node, f.clone());
+            }
+        }
+    }
+
+    /// Graph-mutating apply step for an IP query result.
+    fn apply_ip(
+        &self,
+        tkg: &mut Tkg,
+        node: NodeId,
+        expand: bool,
+        rec: &IpRecord,
+        secondary: &mut Vec<(NodeId, Ioc)>,
+        stats: &mut IngestStats,
+    ) {
+        rec.cost.charge(stats);
+        let Some(p) = &rec.payload else {
+            return;
+        };
+        // ASN node (whois/dig output) — cheap metadata, always linked.
+        if let Some(asn) = p.asn {
+            let asn_node = tkg.graph.upsert_node(NodeKind::Asn, &format!("AS{asn}"));
+            if tkg.graph.add_edge(node, asn_node, EdgeKind::InGroup).expect("schema") {
+                stats.edges += 1;
+            }
+        }
+        for d in &p.historic {
+            let ioc = Ioc::Domain(d.clone());
+            let d_node = if expand {
+                Some(self.secondary_node(tkg, ioc, secondary))
+            } else {
+                self.find_linked(tkg, ioc.key_ref(), stats)
+            };
+            if let Some(d_node) = d_node {
+                if tkg.graph.add_edge(node, d_node, EdgeKind::ARecord).expect("schema") {
+                    stats.edges += 1;
+                }
+            }
+        }
+        stats.dropped_unparseable += p.dropped;
+        if let Some(f) = &p.features {
+            if !tkg.has_features(node) {
+                tkg.set_features(node, f.clone());
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn enrich_url(
         &self,
         tkg: &mut Tkg,
@@ -339,6 +714,7 @@ impl<'a> Enricher<'a> {
         expand: bool,
         secondary: &mut Vec<(NodeId, Ioc)>,
         stats: &mut IngestStats,
+        log: &mut QueryLog<'_>,
     ) {
         // Lexical relation, no lookup needed: HostedOn.
         if let Some(domain) = url.hosted_domain() {
@@ -354,34 +730,30 @@ impl<'a> Enricher<'a> {
                 }
             }
         }
-        let Some(analysis) = self.with_retries(stats, |attempt| {
-            self.client.try_analyze_url(&url.text, self.asof_day, attempt)
-        }) else {
-            return;
-        };
-        for ip_text in &analysis.resolved_ips {
-            let Ok(ip) = IpIoc::parse(ip_text) else {
-                stats.dropped_unparseable += 1;
-                continue;
-            };
-            let ioc = Ioc::Ip(ip);
-            let ip_node = if expand {
-                Some(self.secondary_node(tkg, ioc, secondary))
-            } else {
-                self.find_linked(tkg, ioc.key_ref(), stats)
-            };
-            if let Some(ip_node) = ip_node {
-                if tkg.graph.add_edge(node, ip_node, EdgeKind::UrlResolvesTo).expect("schema") {
-                    stats.edges += 1;
-                }
+        match log {
+            QueryLog::Live => {
+                let rec = self.query_url(!tkg.has_features(node), &tkg.url_encoder, url);
+                self.apply_url(tkg, node, expand, &rec, secondary, stats);
             }
-        }
-        if !tkg.has_features(node) {
-            let dense = tkg.url_encoder.encode(url, &analysis);
-            tkg.set_features(node, SparseVec::from_dense(&dense));
+            QueryLog::Record(map) => {
+                if !map.urls.contains_key(&url.text) {
+                    let rec = self.query_url(true, &tkg.url_encoder, url);
+                    map.urls.insert(url.text.clone(), rec);
+                }
+                let rec = &map.urls[&url.text];
+                self.apply_url(tkg, node, expand, rec, secondary, stats);
+            }
+            QueryLog::Replay(map) => match map.urls.get(&url.text) {
+                Some(rec) => self.apply_url(tkg, node, expand, rec, secondary, stats),
+                None => {
+                    let rec = self.query_url(true, &tkg.url_encoder, url);
+                    self.apply_url(tkg, node, expand, &rec, secondary, stats);
+                }
+            },
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn enrich_domain(
         &self,
         tkg: &mut Tkg,
@@ -390,49 +762,33 @@ impl<'a> Enricher<'a> {
         expand: bool,
         secondary: &mut Vec<(NodeId, Ioc)>,
         stats: &mut IngestStats,
+        log: &mut QueryLog<'_>,
     ) {
-        let Some(analysis) = self.with_retries(stats, |attempt| {
-            self.client.try_analyze_domain(&domain.text, self.asof_day, attempt)
-        }) else {
-            return;
-        };
-        for ip_text in &analysis.resolved_ips {
-            let Ok(ip) = IpIoc::parse(ip_text) else {
-                stats.dropped_unparseable += 1;
-                continue;
-            };
-            let ioc = Ioc::Ip(ip);
-            let ip_node = if expand {
-                Some(self.secondary_node(tkg, ioc, secondary))
-            } else {
-                // Two-hop cap: only link to IPs already in the graph.
-                self.find_linked(tkg, ioc.key_ref(), stats)
-            };
-            if let Some(ip_node) = ip_node {
-                if tkg.graph.add_edge(node, ip_node, EdgeKind::DomainResolvesTo).expect("schema") {
-                    stats.edges += 1;
-                }
+        match log {
+            QueryLog::Live => {
+                let rec =
+                    self.query_domain(!tkg.has_features(node), &tkg.domain_encoder, domain);
+                self.apply_domain(tkg, node, expand, &rec, secondary, stats);
             }
-        }
-        // Secondary URLs from the domain's url_list (expansion only).
-        if expand {
-            for u_text in &analysis.hosted_urls {
-                let Ok(u) = UrlIoc::parse(u_text) else {
-                    stats.dropped_unparseable += 1;
-                    continue;
-                };
-                let u_node = self.secondary_node(tkg, Ioc::Url(u), secondary);
-                if tkg.graph.add_edge(u_node, node, EdgeKind::HostedOn).expect("schema") {
-                    stats.edges += 1;
+            QueryLog::Record(map) => {
+                if !map.domains.contains_key(&domain.text) {
+                    let rec = self.query_domain(true, &tkg.domain_encoder, domain);
+                    map.domains.insert(domain.text.clone(), rec);
                 }
+                let rec = &map.domains[&domain.text];
+                self.apply_domain(tkg, node, expand, rec, secondary, stats);
             }
-        }
-        if !tkg.has_features(node) {
-            let dense = tkg.domain_encoder.encode(domain, &analysis);
-            tkg.set_features(node, SparseVec::from_dense(&dense));
+            QueryLog::Replay(map) => match map.domains.get(&domain.text) {
+                Some(rec) => self.apply_domain(tkg, node, expand, rec, secondary, stats),
+                None => {
+                    let rec = self.query_domain(true, &tkg.domain_encoder, domain);
+                    self.apply_domain(tkg, node, expand, &rec, secondary, stats);
+                }
+            },
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn enrich_ip(
         &self,
         tkg: &mut Tkg,
@@ -441,39 +797,28 @@ impl<'a> Enricher<'a> {
         expand: bool,
         secondary: &mut Vec<(NodeId, Ioc)>,
         stats: &mut IngestStats,
+        log: &mut QueryLog<'_>,
     ) {
-        let Some(analysis) = self.with_retries(stats, |attempt| {
-            self.client.try_analyze_ip(&ip.text, self.asof_day, attempt)
-        }) else {
-            return;
-        };
-        // ASN node (whois/dig output) — cheap metadata, always linked.
-        if let Some(asn) = analysis.asn {
-            let asn_node = tkg.graph.upsert_node(NodeKind::Asn, &format!("AS{asn}"));
-            if tkg.graph.add_edge(node, asn_node, EdgeKind::InGroup).expect("schema") {
-                stats.edges += 1;
+        match log {
+            QueryLog::Live => {
+                let rec = self.query_ip(!tkg.has_features(node), &tkg.ip_encoder, ip);
+                self.apply_ip(tkg, node, expand, &rec, secondary, stats);
             }
-        }
-        for d_text in &analysis.historic_domains {
-            let Ok(d) = DomainIoc::parse(d_text) else {
-                stats.dropped_unparseable += 1;
-                continue;
-            };
-            let ioc = Ioc::Domain(d);
-            let d_node = if expand {
-                Some(self.secondary_node(tkg, ioc, secondary))
-            } else {
-                self.find_linked(tkg, ioc.key_ref(), stats)
-            };
-            if let Some(d_node) = d_node {
-                if tkg.graph.add_edge(node, d_node, EdgeKind::ARecord).expect("schema") {
-                    stats.edges += 1;
+            QueryLog::Record(map) => {
+                if !map.ips.contains_key(&ip.text) {
+                    let rec = self.query_ip(true, &tkg.ip_encoder, ip);
+                    map.ips.insert(ip.text.clone(), rec);
                 }
+                let rec = &map.ips[&ip.text];
+                self.apply_ip(tkg, node, expand, rec, secondary, stats);
             }
-        }
-        if !tkg.has_features(node) {
-            let dense = tkg.ip_encoder.encode(ip, &analysis);
-            tkg.set_features(node, SparseVec::from_dense(&dense));
+            QueryLog::Replay(map) => match map.ips.get(&ip.text) {
+                Some(rec) => self.apply_ip(tkg, node, expand, rec, secondary, stats),
+                None => {
+                    let rec = self.query_ip(true, &tkg.ip_encoder, ip);
+                    self.apply_ip(tkg, node, expand, &rec, secondary, stats);
+                }
+            },
         }
     }
 
@@ -541,7 +886,7 @@ mod tests {
         let some_secondary = tkg
             .graph
             .iter_nodes()
-            .any(|(_, n)| !n.first_order && matches!(n.kind, NodeKind::Ip | NodeKind::Domain));
+            .any(|(_, n)| !n.first_order() && matches!(n.kind, NodeKind::Ip | NodeKind::Domain));
         assert!(some_secondary);
     }
 
@@ -674,6 +1019,7 @@ mod tests {
 
         let mut tkg = Tkg::new(AptRegistry::new(client.world().config.n_apts));
         let enricher = Enricher::new(&client, client.world().config.cutoff_day);
+        assert!(enricher.order_dependent(), "breaker-guarded enrichment is order-dependent");
         let mut total = IngestStats::default();
         for e in events.iter().take(20) {
             total.absorb(&enricher.ingest(&mut tkg, e));
@@ -708,6 +1054,7 @@ mod tests {
             );
             if let Some(b) = budget {
                 enricher = enricher.with_budget(b);
+                assert!(enricher.order_dependent(), "budgeted enrichment is order-dependent");
             }
             let mut total = IngestStats::default();
             for e in events.iter().take(20) {
@@ -744,5 +1091,51 @@ mod tests {
         assert_eq!(IngestStats::default().degradation(), 0.0);
         let json = s.to_json();
         assert_eq!(json["breaker_rejected"].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn record_then_replay_reproduces_the_live_ingest_exactly() {
+        // The shard-equivalence contract at its smallest: record every
+        // query into a map on one pass, replay the same events through
+        // the map on a fresh TKG, and demand identical graphs and stats.
+        let (client, events) = setup_with(|cfg| cfg.transient_fault_prob = 0.25);
+        let cutoff = client.world().config.cutoff_day;
+        let n = events.len().min(25);
+
+        let mut live_tkg = Tkg::new(AptRegistry::new(client.world().config.n_apts));
+        let live_enricher = Enricher::new(&client, cutoff);
+        assert!(!live_enricher.order_dependent());
+        let mut live_total = IngestStats::default();
+        for e in events.iter().take(n) {
+            live_total.absorb(&live_enricher.ingest(&mut live_tkg, e));
+        }
+
+        let mut map = QueryMap::default();
+        {
+            let mut scratch = Tkg::new(AptRegistry::new(client.world().config.n_apts));
+            let rec_enricher = Enricher::new(&client, cutoff);
+            let mut log = QueryLog::Record(&mut map);
+            for e in events.iter().take(n) {
+                rec_enricher.ingest_logged(&mut scratch, e, &mut log);
+            }
+        }
+        assert!(map.len() > 0, "recording pass memoised nothing");
+
+        let mut replay_tkg = Tkg::new(AptRegistry::new(client.world().config.n_apts));
+        let replay_enricher = Enricher::new(&client, cutoff);
+        let mut replay_total = IngestStats::default();
+        {
+            let mut log = QueryLog::Replay(&map);
+            for e in events.iter().take(n) {
+                replay_total
+                    .absorb(&replay_enricher.ingest_logged(&mut replay_tkg, e, &mut log));
+            }
+        }
+        assert_eq!(replay_total, live_total, "stats taxonomy diverged under replay");
+        assert_eq!(replay_tkg.graph.node_count(), live_tkg.graph.node_count());
+        assert_eq!(replay_tkg.graph.edge_count(), live_tkg.graph.edge_count());
+        let live_bytes = trail_graph::persist::to_bytes(&live_tkg.graph);
+        let replay_bytes = trail_graph::persist::to_bytes(&replay_tkg.graph);
+        assert_eq!(live_bytes, replay_bytes, "snapshots not bitwise-identical");
     }
 }

@@ -103,8 +103,12 @@ pub fn train_frozen_from<R: Rng + ?Sized>(
         offset: emb.code_dim + 5,
         visible_fraction: gnn_cfg.label_visible_fraction,
     };
-    let (model, _) =
-        train_sage_masked(rng, &csr, &mut x, sage_cfg, &pairs, &[], &gnn_cfg.train, masking);
+    let (model, _) = match gnn_cfg.sampled_neighbor_cap {
+        Some(cap) => trail_gnn::train_sage_masked_sampled(
+            rng, &csr, &x, sage_cfg, &pairs, &[], &gnn_cfg.train, masking, cap,
+        ),
+        None => train_sage_masked(rng, &csr, &mut x, sage_cfg, &pairs, &[], &gnn_cfg.train, masking),
+    };
     let layers = model.weights().iter().map(|(r, n, b)| ((*r).clone(), (*n).clone(), (*b).clone())).collect();
     FrozenModel { codes: emb.codes, code_dim: emb.code_dim, sage_cfg, layers }
 }

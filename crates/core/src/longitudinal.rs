@@ -809,6 +809,7 @@ mod tests {
                 val_fraction: 0.0,
                 l2_normalize: true,
                 label_visible_fraction: 0.5,
+                sampled_neighbor_cap: None,
             },
             ae: AutoencoderConfig { hidden: 16, code: 6, epochs: 1, batch_size: 64, lr: 1e-3 },
             fine_tune: FineTune { lr: 0.01, epochs: 3 },

@@ -22,7 +22,7 @@ impl ReuseHistogram {
     pub fn compute(tkg: &Tkg) -> Self {
         let mut buckets: [std::collections::BTreeMap<usize, usize>; 5] = Default::default();
         for (id, rec) in tkg.graph.iter_nodes() {
-            if !rec.first_order {
+            if !rec.first_order() {
                 continue;
             }
             let reuse = tkg.reuse_count(id);
@@ -138,7 +138,7 @@ pub fn graph_stats(tkg: &Tkg, csr: &Csr) -> GraphStats {
 pub fn first_order_subgraph(tkg: &Tkg) -> trail_graph::GraphStore {
     let (sub, _) = tkg
         .graph
-        .subgraph(|_, rec| rec.first_order || rec.kind == NodeKind::Event);
+        .subgraph(|_, rec| rec.first_order() || rec.kind == NodeKind::Event);
     sub
 }
 

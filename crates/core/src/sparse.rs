@@ -54,23 +54,47 @@ impl SparseVec {
     /// the logical width. Equal vectors always fingerprint equally, so
     /// the incremental code cache can key encoded rows on it.
     pub fn fingerprint(&self) -> u64 {
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        let mut step = |b: u8| {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0100_0000_01b3);
-        };
-        for &b in &self.dims.to_le_bytes() {
-            step(b);
+        self.as_ref().fingerprint()
+    }
+
+    /// Value at index `i`.
+    pub fn get(&self, i: u32) -> f32 {
+        self.as_ref().get(i)
+    }
+
+    /// Borrow as a [`SparseRef`] view.
+    #[inline]
+    pub fn as_ref(&self) -> SparseRef<'_> {
+        SparseRef { dims: self.dims, entries: &self.entries }
+    }
+}
+
+/// Borrowed view of a sparse vector: the storage-agnostic form every
+/// feature consumer works with. An owned [`SparseVec`] and an arena
+/// span (see [`FeatureArena`]) present identically through it, and the
+/// fingerprint runs over the same bytes either way — the incremental
+/// code cache's dirty-row detection depends on that.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparseRef<'a> {
+    /// Logical width.
+    pub dims: u32,
+    /// `(index, value)` entries, strictly increasing by index.
+    pub entries: &'a [(u32, f32)],
+}
+
+impl SparseRef<'_> {
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Materialise as a dense vector.
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dims as usize];
+        for &(i, v) in self.entries {
+            out[i as usize] = v;
         }
-        for &(i, v) in &self.entries {
-            for &b in &i.to_le_bytes() {
-                step(b);
-            }
-            for &b in &v.to_bits().to_le_bytes() {
-                step(b);
-            }
-        }
-        h
+        out
     }
 
     /// Value at index `i`.
@@ -80,6 +104,120 @@ impl SparseVec {
             .map(|pos| self.entries[pos].1)
             .unwrap_or(0.0)
     }
+
+    /// See [`SparseVec::fingerprint`]; byte-identical for equal content.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut step = |b: u8| {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        };
+        for &b in &self.dims.to_le_bytes() {
+            step(b);
+        }
+        for &(i, v) in self.entries {
+            for &b in &i.to_le_bytes() {
+                step(b);
+            }
+            for &b in &v.to_bits().to_le_bytes() {
+                step(b);
+            }
+        }
+        h
+    }
+}
+
+/// Arena feature store: one slab of `(index, value)` entries plus a
+/// span table, replacing a `HashMap<NodeId, SparseVec>` whose per-node
+/// `Vec` allocations (3 words of header + a separate heap block each)
+/// dominated feature-store memory at paper scale. Insert-only,
+/// first-write-wins, matching the enrichment idempotency contract.
+#[derive(Debug, Clone, Default)]
+pub struct FeatureArena {
+    /// Concatenated entry storage for all stored vectors.
+    entries: Vec<(u32, f32)>,
+    /// `(start, len, dims)` per stored vector, in insertion order.
+    spans: Vec<(u32, u32, u32)>,
+    /// Node index → span index; `u32::MAX` = no features.
+    slot: Vec<u32>,
+}
+
+const NO_SPAN: u32 = u32::MAX;
+
+impl FeatureArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store `sv` for node index `node` unless it already has features
+    /// (first write wins). Returns whether the write happened.
+    pub fn insert_if_absent(&mut self, node: usize, sv: &SparseVec) -> bool {
+        if self.slot.len() <= node {
+            self.slot.resize(node + 1, NO_SPAN);
+        }
+        if self.slot[node] != NO_SPAN {
+            return false;
+        }
+        // Entry offsets share the u32 discipline of the CSR: accumulate
+        // in u64, fail loudly at the boundary instead of wrapping.
+        let start = self.entries.len() as u64;
+        assert!(
+            start + sv.entries.len() as u64 <= u64::from(u32::MAX),
+            "feature arena entry count overflows the u32 span domain"
+        );
+        self.entries.extend_from_slice(&sv.entries);
+        self.slot[node] =
+            u32::try_from(self.spans.len()).expect("span table bounded by node count");
+        self.spans.push((start as u32, sv.entries.len() as u32, sv.dims));
+        true
+    }
+
+    /// Borrow the features of node index `node`, if stored.
+    #[inline]
+    pub fn get(&self, node: usize) -> Option<SparseRef<'_>> {
+        let span = *self.slot.get(node)?;
+        if span == NO_SPAN {
+            return None;
+        }
+        let (start, len, dims) = self.spans[span as usize];
+        Some(SparseRef {
+            dims,
+            entries: &self.entries[start as usize..(start + len) as usize],
+        })
+    }
+
+    /// True when the node has stored features.
+    #[inline]
+    pub fn contains(&self, node: usize) -> bool {
+        self.slot.get(node).is_some_and(|&s| s != NO_SPAN)
+    }
+
+    /// Number of featured nodes.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Iterate `(node index, features)` in ascending node order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, SparseRef<'_>)> {
+        self.slot
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s != NO_SPAN)
+            .map(move |(node, _)| (node, self.get(node).expect("slot points at a span")))
+    }
+
+    /// Heap bytes held by the arena (entry slab + span table + slots).
+    pub fn heap_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<(u32, f32)>()
+            + self.spans.len() * std::mem::size_of::<(u32, u32, u32)>()
+            + self.slot.len() * std::mem::size_of::<u32>()
+    }
 }
 
 /// Gather sparse rows into a dense [`trail_linalg::Matrix`].
@@ -87,7 +225,7 @@ impl SparseVec {
 /// Row-parallel over the shared worker pool: each dense row is filled
 /// from exactly one sparse vector, so the result is independent of
 /// the thread count.
-pub fn densify(rows: &[&SparseVec], dims: usize) -> trail_linalg::Matrix {
+pub fn densify(rows: &[SparseRef<'_>], dims: usize) -> trail_linalg::Matrix {
     let mut m = trail_linalg::Matrix::zeros(rows.len(), dims);
     if dims == 0 {
         return m;
@@ -96,7 +234,7 @@ pub fn densify(rows: &[&SparseVec], dims: usize) -> trail_linalg::Matrix {
         for (i, out) in band.chunks_exact_mut(dims).enumerate() {
             let sv = rows[row0 + i];
             debug_assert_eq!(sv.dims as usize, dims);
-            for &(j, v) in &sv.entries {
+            for &(j, v) in sv.entries {
                 out[j as usize] = v;
             }
         }
@@ -130,7 +268,7 @@ mod tests {
     fn densify_batches() {
         let a = SparseVec::from_dense(&[1.0, 0.0, 0.0]);
         let b = SparseVec::from_dense(&[0.0, 0.0, 2.0]);
-        let m = densify(&[&a, &b], 3);
+        let m = densify(&[a.as_ref(), b.as_ref()], 3);
         assert_eq!(m.row(0), &[1.0, 0.0, 0.0]);
         assert_eq!(m.row(1), &[0.0, 0.0, 2.0]);
     }
@@ -140,5 +278,49 @@ mod tests {
         let sv = SparseVec::from_dense(&[0.0; 4]);
         assert_eq!(sv.nnz(), 0);
         assert_eq!(sv.to_dense(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn ref_view_matches_owned_vector() {
+        let sv = SparseVec::from_dense(&[0.0, 1.5, 0.0, -2.0]);
+        let r = sv.as_ref();
+        assert_eq!(r.nnz(), sv.nnz());
+        assert_eq!(r.to_dense(), sv.to_dense());
+        assert_eq!(r.get(3), -2.0);
+        assert_eq!(r.get(0), 0.0);
+        // Byte-identical fingerprints: the code cache keys on this.
+        assert_eq!(r.fingerprint(), sv.fingerprint());
+    }
+
+    #[test]
+    fn arena_first_write_wins_and_iterates_in_id_order() {
+        let mut arena = FeatureArena::new();
+        let a = SparseVec::from_dense(&[1.0, 0.0]);
+        let b = SparseVec::from_dense(&[0.0, 2.0]);
+        assert!(arena.insert_if_absent(5, &a));
+        assert!(arena.insert_if_absent(2, &b));
+        assert!(!arena.insert_if_absent(5, &b), "second write must lose");
+        assert_eq!(arena.len(), 2);
+        assert!(arena.contains(2));
+        assert!(!arena.contains(3));
+        assert!(!arena.contains(999));
+        assert_eq!(arena.get(5).unwrap().get(0), 1.0);
+        assert_eq!(arena.get(5).unwrap().fingerprint(), a.fingerprint());
+        assert!(arena.get(7).is_none());
+        let order: Vec<usize> = arena.iter().map(|(n, _)| n).collect();
+        assert_eq!(order, vec![2, 5], "iteration must be ascending by node index");
+        assert!(arena.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn arena_stores_empty_vectors_distinct_from_absent() {
+        let mut arena = FeatureArena::new();
+        let empty = SparseVec::from_dense(&[0.0; 3]);
+        assert!(arena.insert_if_absent(0, &empty));
+        assert!(arena.contains(0));
+        let r = arena.get(0).unwrap();
+        assert_eq!(r.nnz(), 0);
+        assert_eq!(r.dims, 3);
+        assert_eq!(r.fingerprint(), empty.fingerprint());
     }
 }

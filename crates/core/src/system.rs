@@ -2,8 +2,9 @@
 
 use trail_osint::OsintClient;
 
-use crate::collector::{collect, AptRegistry, CollectStats, CollectedEvent};
+use crate::collector::{collect_iter, AptRegistry, CollectStats, CollectedEvent};
 use crate::enrich::{Enricher, IngestStats};
+use crate::shard;
 use crate::tkg::Tkg;
 
 /// A built TRAIL system: the knowledge graph plus its data source.
@@ -25,8 +26,8 @@ impl TrailSystem {
     /// Build the TKG from every report created before `until_day`.
     pub fn build(client: OsintClient, until_day: u32) -> Self {
         let registry = AptRegistry::new(client.world().config.n_apts);
-        let reports = client.events_before(until_day);
-        let (events, collect_stats) = collect(&reports, &registry);
+        let (events, collect_stats) =
+            collect_iter(client.reports_before(until_day), &registry);
         let mut tkg = Tkg::new(registry);
         let mut ingest_stats = IngestStats::default();
         {
@@ -38,12 +39,43 @@ impl TrailSystem {
         Self { client, tkg, asof_day: until_day, collect_stats, ingest_stats }
     }
 
+    /// [`Self::build`] with shard-parallel enrichment: `threads` shards
+    /// are queried concurrently on the shared worker pool, then merged
+    /// sequentially. Bitwise-identical to [`Self::build`] — same graph
+    /// snapshot, same features, same [`IngestStats`] — at any thread
+    /// count (see `crate::shard` for the argument).
+    pub fn build_sharded(client: OsintClient, until_day: u32, threads: usize) -> Self {
+        let threads = threads.max(1);
+        Self::build_with_shards(client, until_day, threads, threads)
+    }
+
+    /// [`Self::build_sharded`] with the shard count decoupled from the
+    /// worker thread count. Falls back to the sequential [`Self::build`]
+    /// when the client carries a circuit breaker — breaker state makes
+    /// query outcomes order-dependent, which the shard replay cannot
+    /// reproduce.
+    pub fn build_with_shards(
+        client: OsintClient,
+        until_day: u32,
+        n_shards: usize,
+        threads: usize,
+    ) -> Self {
+        if client.breaker().is_some() {
+            return Self::build(client, until_day);
+        }
+        let registry = AptRegistry::new(client.world().config.n_apts);
+        let (events, collect_stats) =
+            collect_iter(client.reports_before(until_day), &registry);
+        let (tkg, ingest_stats) =
+            shard::build_tkg_sharded(&client, until_day, &events, n_shards.max(1), threads);
+        Self { client, tkg, asof_day: until_day, collect_stats, ingest_stats }
+    }
+
     /// Ingest the reports of a later window into the existing TKG
     /// (the monthly update of the longitudinal study). Returns the
     /// collected events and per-event ingest statistics.
     pub fn ingest_window(&mut self, lo: u32, hi: u32) -> Vec<(CollectedEvent, IngestStats)> {
-        let reports = self.client.events_between(lo, hi);
-        let (events, stats) = collect(&reports, &self.tkg.registry);
+        let (events, stats) = collect_iter(self.client.reports_between(lo, hi), &self.tkg.registry);
         self.collect_stats.kept += stats.kept;
         self.collect_stats.unresolved += stats.unresolved;
         self.collect_stats.conflicting += stats.conflicting;
@@ -118,6 +150,41 @@ mod tests {
         let horizon = sys.client.world().config.horizon_day();
         sys.ingest_window(cutoff, horizon);
         assert!(sys.ingest_stats.first_order > built.first_order);
+    }
+
+    #[test]
+    fn sharded_build_matches_sequential_build() {
+        let c = client();
+        let cutoff = c.world().config.cutoff_day;
+        let seq = TrailSystem::build(c.clone(), cutoff);
+        let seq_bytes = trail_graph::persist::to_bytes(&seq.tkg.graph);
+        for threads in [1usize, 2, 8] {
+            let par = TrailSystem::build_sharded(c.clone(), cutoff, threads);
+            assert_eq!(par.ingest_stats, seq.ingest_stats, "{threads} threads");
+            assert_eq!(par.collect_stats, seq.collect_stats);
+            assert_eq!(
+                trail_graph::persist::to_bytes(&par.tkg.graph),
+                seq_bytes,
+                "graph diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_build_with_breaker_falls_back_to_sequential() {
+        use trail_osint::CircuitBreaker;
+        let world = Arc::new(World::generate(WorldConfig::tiny(55)));
+        let breaker = Arc::new(CircuitBreaker::default());
+        let c = OsintClient::with_breaker(world, breaker);
+        let cutoff = c.world().config.cutoff_day;
+        let seq = TrailSystem::build(c.clone(), cutoff);
+        let par = TrailSystem::build_sharded(c, cutoff, 4);
+        // Same clean feed, so the fallback build agrees with sequential.
+        assert_eq!(par.ingest_stats, seq.ingest_stats);
+        assert_eq!(
+            trail_graph::persist::to_bytes(&par.tkg.graph),
+            trail_graph::persist::to_bytes(&seq.tkg.graph)
+        );
     }
 
     #[test]

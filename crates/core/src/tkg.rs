@@ -1,15 +1,13 @@
 //! The TRAIL Knowledge Graph: typed graph + per-node feature store +
 //! event metadata (paper Section IV-C).
 
-use std::collections::HashMap;
-
 use trail_graph::ids::LabelId;
 use trail_graph::{Csr, GraphStore, NodeId, NodeKind};
 use trail_ioc::features::{DomainEncoder, IpEncoder, UrlEncoder, DOMAIN_DIMS, IP_DIMS, URL_DIMS};
 use trail_ioc::{IocKey, IocKeyRef, IocKind};
 
 use crate::collector::AptRegistry;
-use crate::sparse::SparseVec;
+use crate::sparse::{FeatureArena, SparseRef, SparseVec};
 
 /// Metadata of one ingested event.
 #[derive(Debug, Clone)]
@@ -32,7 +30,9 @@ pub struct Tkg {
     pub registry: AptRegistry,
     /// Ingested events in ingestion order.
     pub events: Vec<EventInfo>,
-    features: HashMap<NodeId, SparseVec>,
+    /// Per-node features in one arena slab (see [`FeatureArena`]) —
+    /// no per-node heap allocations at paper scale.
+    features: FeatureArena,
     /// Shared URL feature encoder (stable slot names).
     pub url_encoder: UrlEncoder,
     /// Shared IP feature encoder.
@@ -48,7 +48,7 @@ impl Tkg {
             graph: GraphStore::new(),
             registry,
             events: Vec::new(),
-            features: HashMap::new(),
+            features: FeatureArena::new(),
             url_encoder: UrlEncoder::default(),
             ip_encoder: IpEncoder::default(),
             domain_encoder: DomainEncoder::default(),
@@ -74,17 +74,22 @@ impl Tkg {
     /// Store an IOC node's feature vector (first write wins — repeated
     /// enrichment of a shared IOC is idempotent).
     pub fn set_features(&mut self, node: NodeId, features: SparseVec) {
-        self.features.entry(node).or_insert(features);
+        self.features.insert_if_absent(node.index(), &features);
     }
 
     /// True when the node already has features.
     pub fn has_features(&self, node: NodeId) -> bool {
-        self.features.contains_key(&node)
+        self.features.contains(node.index())
     }
 
     /// Borrow a node's features, if any were stored.
-    pub fn features(&self, node: NodeId) -> Option<&SparseVec> {
-        self.features.get(&node)
+    pub fn features(&self, node: NodeId) -> Option<SparseRef<'_>> {
+        self.features.get(node.index())
+    }
+
+    /// Heap bytes held by the feature store.
+    pub fn feature_heap_bytes(&self) -> usize {
+        self.features.heap_bytes()
     }
 
     /// Feature width for an IOC kind.
@@ -136,21 +141,20 @@ impl Tkg {
 
     /// Borrow an IOC's features by canonical identity, if its node
     /// exists and was enriched.
-    pub fn features_by_key(&self, key: &IocKey) -> Option<&SparseVec> {
+    pub fn features_by_key(&self, key: &IocKey) -> Option<SparseRef<'_>> {
         self.find_ioc(key).and_then(|node| self.features(node))
     }
 
-    /// All nodes of an IOC kind that carry features, with the features.
-    pub fn featured_nodes(&self, kind: IocKind) -> Vec<(NodeId, &SparseVec)> {
+    /// All nodes of an IOC kind that carry features, with the features,
+    /// in ascending node-id order (the arena iterates by node index, so
+    /// no sort is needed).
+    pub fn featured_nodes(&self, kind: IocKind) -> Vec<(NodeId, SparseRef<'_>)> {
         let nk = Self::node_kind(kind);
-        let mut out: Vec<(NodeId, &SparseVec)> = self
-            .features
+        self.features
             .iter()
-            .filter(|(id, _)| self.graph.node(**id).kind == nk)
-            .map(|(&id, sv)| (id, sv))
-            .collect();
-        out.sort_by_key(|&(id, _)| id);
-        out
+            .filter(|&(idx, _)| self.graph.node(NodeId::from(idx)).kind == nk)
+            .map(|(idx, sv)| (NodeId::from(idx), sv))
+            .collect()
     }
 
     /// Freeze the graph into a CSR for traversal / learning.
@@ -166,7 +170,7 @@ impl Tkg {
             .in_neighbors(node)
             .iter()
             .filter(|(_, kind)| *kind == trail_graph::EdgeKind::InReport)
-            .filter_map(|(src, _)| self.graph.node(*src).label)
+            .filter_map(|(src, _)| self.graph.node(*src).label())
             .map(|l| l.0)
             .collect();
         apts.sort_unstable();
@@ -194,7 +198,7 @@ impl Tkg {
         let mut reuse_n = [0usize; 5];
         for (id, rec) in self.graph.iter_nodes() {
             let k = rec.kind.index();
-            if rec.first_order {
+            if rec.first_order() {
                 first_order[k] += 1;
                 reuse_sum[k] += self.reuse_count(id);
                 reuse_n[k] += 1;

@@ -24,6 +24,6 @@ pub mod train;
 pub use labelprop::LabelPropagation;
 pub use sage::{SageConfig, SageModel};
 pub use train::{
-    fine_tune, fine_tune_masked, predict_events, train_sage, train_sage_masked, FineTune,
-    LabelMasking, TrainConfig,
+    fine_tune, fine_tune_masked, predict_events, train_sage, train_sage_masked,
+    train_sage_masked_sampled, FineTune, LabelMasking, TrainConfig,
 };

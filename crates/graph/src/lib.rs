@@ -18,7 +18,7 @@ pub mod schema;
 pub mod store;
 pub mod sym;
 
-pub use csr::Csr;
+pub use csr::{Csr, WideCsr};
 pub use ids::NodeId;
 pub use persist::PersistError;
 pub use schema::{EdgeKind, NodeKind};

@@ -204,14 +204,14 @@ pub fn to_bytes(g: &GraphStore) -> Vec<u8> {
     for (_, rec) in g.iter_nodes() {
         payload.push(rec.kind.index() as u8);
         put_str(&mut payload, g.resolve(rec.key));
-        match rec.label {
+        match rec.label() {
             Some(l) => {
                 payload.push(1);
                 payload.extend_from_slice(&l.0.to_le_bytes());
             }
             None => payload.push(0),
         }
-        payload.push(rec.first_order as u8);
+        payload.push(rec.first_order() as u8);
     }
     put_u64(&mut payload, g.edge_count() as u64);
     for e in g.edges() {
@@ -265,11 +265,16 @@ fn checked_decode(data: &[u8]) -> std::result::Result<GraphStore, PersistError> 
 
 fn decode_payload(payload: &[u8]) -> std::result::Result<GraphStore, PersistError> {
     let mut c = Cursor { data: payload, pos: 0 };
-    let n_nodes = c.u64("node count")? as usize;
+    // Plausibility-check untrusted counts in the u64 domain *before*
+    // the usize cast — on a 32-bit target `count as usize` wraps, and a
+    // wrapped value could sneak under the bound (same discipline as the
+    // hostile length-field check in `checked_decode`).
+    let n_nodes_raw = c.u64("node count")?;
     // 8 bytes per node minimum keeps hostile counts from reserving RAM.
-    if n_nodes > payload.len() / 8 + 1 {
+    if n_nodes_raw > payload.len() as u64 / 8 + 1 {
         return Err(c.err("implausible node count"));
     }
+    let n_nodes = n_nodes_raw as usize;
     let mut g = GraphStore::with_capacity(n_nodes, 0);
     for _ in 0..n_nodes {
         let kind_idx = c.u8("node kind")? as usize;
@@ -294,10 +299,11 @@ fn decode_payload(payload: &[u8]) -> std::result::Result<GraphStore, PersistErro
             _ => return Err(c.err("invalid first-order flag")),
         }
     }
-    let n_edges = c.u64("edge count")? as usize;
-    if n_edges > payload.len() / 9 + 1 {
+    let n_edges_raw = c.u64("edge count")?;
+    if n_edges_raw > payload.len() as u64 / 9 + 1 {
         return Err(c.err("implausible edge count"));
     }
+    let n_edges = n_edges_raw as usize;
     for _ in 0..n_edges {
         let src = NodeId(c.u32("edge src")?);
         let dst = NodeId(c.u32("edge dst")?);
@@ -409,9 +415,9 @@ mod tests {
         assert_eq!(g2.node_count(), 2);
         assert_eq!(g2.edge_count(), 1);
         let e = g2.find_node(NodeKind::Event, "evt").unwrap();
-        assert_eq!(g2.node(e).label, Some(LabelId(5)));
+        assert_eq!(g2.node(e).label(), Some(LabelId(5)));
         let ip = g2.find_node(NodeKind::Ip, "1.2.3.4").unwrap();
-        assert!(g2.node(ip).first_order);
+        assert!(g2.node(ip).first_order());
         assert_eq!(g2.out_neighbors(e), &[(ip, EdgeKind::InReport)]);
     }
 

@@ -13,16 +13,95 @@ use crate::{GraphError, Result};
 /// and whether it was reported directly in an event ("first order") or
 /// only discovered during enrichment ("secondary", 75 % of the paper's
 /// graph). Resolve `key` to its text via [`GraphStore::key`].
+///
+/// The label and first-order flag are packed into one `u32` behind
+/// [`NodeRecord::label`] / [`NodeRecord::first_order`]: a padded
+/// `Option<LabelId>` plus a `bool` cost 6 bytes (and alignment padding)
+/// per node, which at the paper's 2.1 M nodes is pure waste for two
+/// bits and 16 label bits. The serde representation is unchanged (the
+/// shadow [`NodeRecordRepr`] keeps the `{kind, key, label,
+/// first_order}` wire shape), so snapshots are layout-agnostic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(from = "NodeRecordRepr", into = "NodeRecordRepr")]
 pub struct NodeRecord {
     /// Node kind per the Figure 2 schema.
     pub kind: NodeKind,
     /// Interned natural key — the IOC text (e.g. `"198.51.100.7"`).
     pub key: Sym,
+    /// Bits 0..16: label value; bit 16: label present; bit 17: first
+    /// order. Always mutate through the methods below.
+    meta: u32,
+}
+
+const META_LABEL_MASK: u32 = 0xFFFF;
+const META_HAS_LABEL: u32 = 1 << 16;
+const META_FIRST_ORDER: u32 = 1 << 17;
+
+impl NodeRecord {
+    /// A fresh record: no label, not first-order.
+    #[inline]
+    pub fn new(kind: NodeKind, key: Sym) -> Self {
+        Self { kind, key, meta: 0 }
+    }
+
     /// APT label; only ever set on [`NodeKind::Event`] nodes.
-    pub label: Option<LabelId>,
+    #[inline]
+    pub fn label(&self) -> Option<LabelId> {
+        (self.meta & META_HAS_LABEL != 0).then(|| LabelId((self.meta & META_LABEL_MASK) as u16))
+    }
+
     /// True when the node appeared directly in some incident report.
-    pub first_order: bool,
+    #[inline]
+    pub fn first_order(&self) -> bool {
+        self.meta & META_FIRST_ORDER != 0
+    }
+
+    #[inline]
+    fn set_label(&mut self, label: LabelId) {
+        self.meta = (self.meta & !(META_LABEL_MASK | META_HAS_LABEL))
+            | u32::from(label.0)
+            | META_HAS_LABEL;
+    }
+
+    #[inline]
+    fn clear_label(&mut self) {
+        self.meta &= !(META_LABEL_MASK | META_HAS_LABEL);
+    }
+
+    #[inline]
+    fn mark_first_order(&mut self) {
+        self.meta |= META_FIRST_ORDER;
+    }
+}
+
+/// Serde wire shape of [`NodeRecord`] — the pre-packing field layout,
+/// kept stable so snapshot formats don't depend on the in-memory
+/// packing.
+#[derive(Serialize, Deserialize)]
+struct NodeRecordRepr {
+    kind: NodeKind,
+    key: Sym,
+    label: Option<LabelId>,
+    first_order: bool,
+}
+
+impl From<NodeRecordRepr> for NodeRecord {
+    fn from(r: NodeRecordRepr) -> Self {
+        let mut rec = NodeRecord::new(r.kind, r.key);
+        if let Some(l) = r.label {
+            rec.set_label(l);
+        }
+        if r.first_order {
+            rec.mark_first_order();
+        }
+        rec
+    }
+}
+
+impl From<NodeRecord> for NodeRecordRepr {
+    fn from(rec: NodeRecord) -> Self {
+        Self { kind: rec.kind, key: rec.key, label: rec.label(), first_order: rec.first_order() }
+    }
 }
 
 /// A directed, typed edge.
@@ -103,7 +182,7 @@ impl GraphStore {
             return (id, false);
         }
         let id = NodeId::from(self.nodes.len());
-        self.nodes.push(NodeRecord { kind, key: sym, label: None, first_order: false });
+        self.nodes.push(NodeRecord::new(kind, sym));
         self.key_index.insert((kind, sym), id);
         self.out.push(Vec::new());
         self.inn.push(Vec::new());
@@ -137,21 +216,21 @@ impl GraphStore {
     /// Set the APT label of an event node.
     pub fn set_label(&mut self, id: NodeId, label: LabelId) -> Result<()> {
         let rec = self.nodes.get_mut(id.index()).ok_or(GraphError::UnknownNode(id))?;
-        rec.label = Some(label);
+        rec.set_label(label);
         Ok(())
     }
 
     /// Clear a node's label (used when masking folds).
     pub fn clear_label(&mut self, id: NodeId) {
         if let Some(rec) = self.nodes.get_mut(id.index()) {
-            rec.label = None;
+            rec.clear_label();
         }
     }
 
     /// Mark a node as first-order (directly reported in an event).
     pub fn mark_first_order(&mut self, id: NodeId) {
         if let Some(rec) = self.nodes.get_mut(id.index()) {
-            rec.first_order = true;
+            rec.mark_first_order();
         }
     }
 
@@ -247,10 +326,10 @@ impl GraphStore {
         for (id, rec) in self.iter_nodes() {
             if keep(id, rec) {
                 let new_id = sub.upsert_node(rec.kind, self.syms.resolve(rec.key));
-                if let Some(l) = rec.label {
+                if let Some(l) = rec.label() {
                     sub.set_label(new_id, l).expect("fresh node");
                 }
-                if rec.first_order {
+                if rec.first_order() {
                     sub.mark_first_order(new_id);
                 }
                 mapping[id.index()] = Some(new_id);
@@ -357,10 +436,57 @@ mod tests {
         let (mut g, e, ip, _) = tiny();
         g.set_label(e, LabelId(3)).unwrap();
         g.mark_first_order(ip);
-        assert_eq!(g.node(e).label, Some(LabelId(3)));
-        assert!(g.node(ip).first_order);
+        assert_eq!(g.node(e).label(), Some(LabelId(3)));
+        assert!(g.node(ip).first_order());
         g.clear_label(e);
-        assert_eq!(g.node(e).label, None);
+        assert_eq!(g.node(e).label(), None);
+        // first_order survives label churn (independent meta bits).
+        g.mark_first_order(e);
+        g.set_label(e, LabelId(0xFFFF)).unwrap();
+        assert_eq!(g.node(e).label(), Some(LabelId(0xFFFF)));
+        assert!(g.node(e).first_order());
+        g.clear_label(e);
+        assert!(g.node(e).first_order());
+    }
+
+    #[test]
+    fn node_record_wire_repr_round_trips_without_the_packed_field() {
+        // Snapshots travel through `NodeRecordRepr` (the serde
+        // from/into shadow), which keeps the unpacked
+        // `{kind, key, label, first_order}` shape. The conversion pair
+        // must be a lossless round trip so the packed `meta` layout
+        // never leaks into the wire format.
+        let (mut g, e, ip, _) = tiny();
+        g.set_label(e, LabelId(7)).unwrap();
+        g.mark_first_order(ip);
+
+        let repr = NodeRecordRepr::from(*g.node(e));
+        assert_eq!(repr.label, Some(LabelId(7)));
+        assert!(!repr.first_order);
+        let back = NodeRecord::from(repr);
+        assert_eq!(&back, g.node(e));
+
+        let repr_ip = NodeRecordRepr::from(*g.node(ip));
+        assert_eq!(repr_ip.label, None);
+        assert!(repr_ip.first_order);
+        let back_ip = NodeRecord::from(repr_ip);
+        assert_eq!(&back_ip, g.node(ip));
+        assert!(back_ip.first_order());
+        assert_eq!(back_ip.label(), None);
+
+        // Full label-domain round trip, including the max label value.
+        for label in [None, Some(LabelId(0)), Some(LabelId(0xFFFF))] {
+            for first in [false, true] {
+                let mut rec = NodeRecord::new(NodeKind::Event, g.node(e).key);
+                if let Some(l) = label {
+                    rec.set_label(l);
+                }
+                if first {
+                    rec.mark_first_order();
+                }
+                assert_eq!(NodeRecord::from(NodeRecordRepr::from(rec)), rec);
+            }
+        }
     }
 
     #[test]

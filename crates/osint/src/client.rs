@@ -143,19 +143,34 @@ impl OsintClient {
         &self.world
     }
 
-    /// All reports created strictly before `day` (the main dataset pull).
-    pub fn events_before(&self, day: u32) -> Vec<RawReport> {
-        self.world.events.iter().filter(|e| e.day < day).map(|e| e.report.clone()).collect()
+    /// Borrowed view of all reports created strictly before `day` (the
+    /// main dataset pull). The generator materialises events once; this
+    /// streams them out without cloning, so a full-scale build never
+    /// duplicates the report set just to read it.
+    pub fn reports_before(&self, day: u32) -> impl Iterator<Item = &RawReport> + '_ {
+        self.world.events.iter().filter(move |e| e.day < day).map(|e| &e.report)
     }
 
-    /// Reports with `lo <= day < hi` (monthly study batches).
-    pub fn events_between(&self, lo: u32, hi: u32) -> Vec<RawReport> {
+    /// Borrowed view of reports with `lo <= day < hi` (monthly study
+    /// batches), no cloning.
+    pub fn reports_between(&self, lo: u32, hi: u32) -> impl Iterator<Item = &RawReport> + '_ {
         self.world
             .events
             .iter()
-            .filter(|e| e.day >= lo && e.day < hi)
-            .map(|e| e.report.clone())
-            .collect()
+            .filter(move |e| e.day >= lo && e.day < hi)
+            .map(|e| &e.report)
+    }
+
+    /// All reports created strictly before `day`, cloned into owned
+    /// form. Prefer [`Self::reports_before`] on hot paths.
+    pub fn events_before(&self, day: u32) -> Vec<RawReport> {
+        self.reports_before(day).cloned().collect()
+    }
+
+    /// Reports with `lo <= day < hi`, cloned into owned form. Prefer
+    /// [`Self::reports_between`] on hot paths.
+    pub fn events_between(&self, lo: u32, hi: u32) -> Vec<RawReport> {
+        self.reports_between(lo, hi).cloned().collect()
     }
 
     /// Reports with `lo <= day < hi` in **canonical arrival order**:

@@ -35,6 +35,7 @@ fn main() {
             val_fraction: 0.0,
             l2_normalize: false,
             label_visible_fraction: 0.7,
+            sampled_neighbor_cap: None,
         },
         ae: AutoencoderConfig { hidden: 128, code: 48, epochs: 3, ..Default::default() },
         fine_tune: trail_gnn::FineTune::default(),

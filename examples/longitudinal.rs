@@ -31,6 +31,7 @@ fn main() {
             val_fraction: 0.0,
             l2_normalize: false,
             label_visible_fraction: 0.7,
+            sampled_neighbor_cap: None,
         },
         ae: AutoencoderConfig { hidden: 128, code: 48, epochs: 3, ..Default::default() },
         fine_tune: trail_gnn::FineTune { lr: 5e-3, epochs: 8 },

@@ -46,6 +46,15 @@
 # written through the TWL1 log must scan back equal
 # (recovered_equal==1) and a torn tail must truncate to exactly the
 # durable prefix (torn_tail_ok==1).
+#
+# The perf tier's scale gate (`repro scale-bench --quick`) holds the
+# paper-scale ingest contract: every shard-parallel build must be
+# bitwise-identical to the sequential reference (the bench exits
+# non-zero otherwise), the compact u32 CSR must agree with the
+# pointer-width layout while staying >=40% smaller per node, and the
+# measured bytes/node is compared against the committed
+# BENCH_scale.json baseline. The 8-thread speedup (>=2x) is gated only
+# on machines reporting >=8 cores.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -259,6 +268,56 @@ if [ "$run_perf" -eq 1 ]; then
       exit !ok
     }' "$perf_dir/stream_out.txt"; then
     echo "FAIL: streaming gate (see BENCH_stream.json for the committed baseline)" >&2
+    exit 1
+  fi
+
+  echo "== perf tier: sharded ingest determinism + compact storage =="
+  # scale-bench exits non-zero on its own invariants (every sharded
+  # build bitwise-equal to the sequential reference, u32 CSR agreeing
+  # with the pointer-width layout). The awk gate additionally holds the
+  # compact-storage claim against the committed BENCH_scale.json
+  # baseline, and gates the 8-thread speedup only on machines with the
+  # cores to show it — on narrower boxes the sharded path's parallel
+  # win cannot materialize, so only the equality invariants apply.
+  (cd "$perf_dir" && "$repro_bin" scale-bench --quick > scale_out.txt)
+  grep '^\[scale' "$perf_dir/scale_out.txt"
+  base_bpn="$(sed -n 's/.*"bytes_per_node_compact": \([0-9.]*\),*/\1/p' BENCH_scale.json | head -1)"
+  if [ -z "$base_bpn" ]; then
+    echo "FAIL: committed BENCH_scale.json lacks a bytes_per_node_compact baseline" >&2
+    exit 1
+  fi
+  if ! awk -v bb="$base_bpn" '
+    /^\[scale-summary\] /{
+      for (i = 2; i <= NF; i++) { split($i, kv, "="); v[kv[1]] = kv[2] }
+      found = 1
+    }
+    END{
+      if (!found) { print "no [scale-summary] line" > "/dev/stderr"; exit 1 }
+      ok = 1
+      if (v["shard_equal"] + 0 != 1) {
+        print "FAIL: a sharded build diverged from the sequential reference" > "/dev/stderr"; ok = 0
+      }
+      if (v["structural_ok"] + 0 != 1) {
+        print "FAIL: compact u32 CSR disagrees with the pointer-width layout" > "/dev/stderr"; ok = 0
+      }
+      if (v["events"] + 0 < 1) {
+        print "FAIL: scale-bench ingested no events" > "/dev/stderr"; ok = 0
+      }
+      if (v["compact_ratio"] + 0 > 0.6) {
+        printf "FAIL: compact adjacency is %sx the wide layout (need <=0.6, i.e. >=40%% smaller)\n", \
+          v["compact_ratio"] > "/dev/stderr"; ok = 0
+      }
+      if (v["bpn_compact"] + 0 > 1.5 * bb) {
+        printf "FAIL: %s bytes/node compact > 1.5x committed baseline %s\n", \
+          v["bpn_compact"], bb > "/dev/stderr"; ok = 0
+      }
+      if (v["cores"] + 0 >= 8 && v["speedup8"] + 0 < 2.0) {
+        printf "FAIL: 8-thread sharded ingest speedup %sx < 2x on a %s-core machine\n", \
+          v["speedup8"], v["cores"] > "/dev/stderr"; ok = 0
+      }
+      exit !ok
+    }' "$perf_dir/scale_out.txt"; then
+    echo "FAIL: scale gate (see BENCH_scale.json for the committed baseline)" >&2
     exit 1
   fi
 

@@ -76,6 +76,7 @@ fn gnn_learns_and_beats_random() {
         val_fraction: 0.1,
         l2_normalize: false,
         label_visible_fraction: 0.6,
+        sampled_neighbor_cap: None,
     };
     let scores = attribute::eval_event_gnn(&mut rng, &sys.tkg, &emb, 2, &cfg, 2);
     let (acc, _) = scores.acc_mean_std();

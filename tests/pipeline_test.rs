@@ -42,14 +42,14 @@ fn every_edge_respects_the_table1_schema() {
 fn labels_only_on_event_nodes() {
     let sys = build(406);
     for (_, rec) in sys.tkg.graph.iter_nodes() {
-        if rec.label.is_some() {
+        if rec.label().is_some() {
             assert_eq!(rec.kind, NodeKind::Event);
         }
     }
     // And every collected event carries its label.
     for info in &sys.tkg.events {
         assert_eq!(
-            sys.tkg.graph.node(info.node).label,
+            sys.tkg.graph.node(info.node).label(),
             Some(trail_graph::ids::LabelId(info.apt))
         );
     }
@@ -63,13 +63,13 @@ fn secondary_nodes_exist_and_are_not_first_order() {
         .graph
         .iter_nodes()
         .filter(|(_, n)| {
-            !n.first_order && matches!(n.kind, NodeKind::Ip | NodeKind::Domain | NodeKind::Url)
+            !n.first_order() && matches!(n.kind, NodeKind::Ip | NodeKind::Domain | NodeKind::Url)
         })
         .count();
     assert!(secondary > 0, "enrichment discovered no secondary IOCs");
     // Secondary IOCs have no InReport in-edges.
     for (id, rec) in sys.tkg.graph.iter_nodes() {
-        if !rec.first_order && rec.kind != NodeKind::Event && rec.kind != NodeKind::Asn {
+        if !rec.first_order() && rec.kind != NodeKind::Event && rec.kind != NodeKind::Asn {
             let reported = sys
                 .tkg
                 .graph
@@ -104,7 +104,7 @@ fn reuse_histogram_totals_match_first_order_population() {
         .tkg
         .graph
         .iter_nodes()
-        .filter(|(_, n)| n.first_order && n.kind != NodeKind::Event)
+        .filter(|(_, n)| n.first_order() && n.kind != NodeKind::Event)
         .count();
     assert_eq!(histogram_total, first_order_iocs);
 }
@@ -121,7 +121,7 @@ fn graph_snapshot_roundtrips_through_persistence() {
     let node = restored
         .find_node(NodeKind::Event, &info.report_id)
         .expect("event survives the roundtrip");
-    assert_eq!(restored.node(node).label, Some(trail_graph::ids::LabelId(info.apt)));
+    assert_eq!(restored.node(node).label(), Some(trail_graph::ids::LabelId(info.apt)));
 }
 
 #[test]

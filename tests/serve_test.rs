@@ -37,6 +37,7 @@ fn concurrent_serving_is_deterministic_and_counters_reconcile() {
         val_fraction: 0.1,
         l2_normalize: true,
         label_visible_fraction: 0.7,
+        sampled_neighbor_cap: None,
     };
     let frozen = freeze::train_frozen(&mut rng, &sys.tkg, &ae, &gnn, 2);
     let bundle = ServeBundle::freeze(&sys.tkg, &frozen).expect("freeze");
